@@ -1,0 +1,312 @@
+// Benchmarks regenerating the paper's evaluation artifacts, one per
+// figure/table (see DESIGN.md's per-experiment index). Figures 4-7 are
+// benchmarked per platform at a representative sweep point; Figures 8-9
+// benchmark the measure-and-fit pipeline; the remaining benchmarks
+// cover the deadline schedule and the two ablations.
+//
+// Benchmark time here is host wall time for executing the simulators;
+// the modeled device durations the figures report are deterministic
+// outputs, not measurements, so -benchtime does not change the figures.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/airspace"
+	"repro/internal/ap"
+	"repro/internal/core"
+	"repro/internal/cuda"
+	"repro/internal/experiments"
+	"repro/internal/platform"
+	"repro/internal/radar"
+	"repro/internal/radarnet"
+	"repro/internal/rng"
+	"repro/internal/tasks"
+	"repro/internal/terrain"
+	"repro/internal/vector"
+)
+
+// benchN is the sweep point used for the per-platform benchmarks:
+// mid-sweep in Figures 4/6.
+const benchN = 4000
+
+func benchWorld(n int) (*airspace.World, *radar.Frame) {
+	root := rng.New(2018)
+	w := airspace.NewWorld(n, root.Split())
+	f := radar.Generate(w, radar.DefaultNoise, root.Split())
+	return w, f
+}
+
+// benchTrack benchmarks one Task 1 invocation on the named platform.
+func benchTrack(b *testing.B, name string, n int) {
+	b.Helper()
+	p := platform.MustNew(name, 1)
+	w, f := benchWorld(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		wc, fc := w.Clone(), f.Clone()
+		b.StartTimer()
+		p.Track(wc, fc)
+	}
+}
+
+// benchDetect benchmarks one Tasks 2+3 invocation on the named platform.
+func benchDetect(b *testing.B, name string, n int) {
+	b.Helper()
+	p := platform.MustNew(name, 1)
+	w, _ := benchWorld(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		wc := w.Clone()
+		b.StartTimer()
+		p.DetectResolve(wc)
+	}
+}
+
+// Figure 4 — Task 1, all platforms.
+func BenchmarkFig4_Task1_GeForce9800GT(b *testing.B) { benchTrack(b, platform.GeForce9800GT, benchN) }
+func BenchmarkFig4_Task1_GTX880M(b *testing.B)       { benchTrack(b, platform.GTX880M, benchN) }
+func BenchmarkFig4_Task1_TitanXPascal(b *testing.B)  { benchTrack(b, platform.TitanXPascal, benchN) }
+func BenchmarkFig4_Task1_STARAN(b *testing.B)        { benchTrack(b, platform.STARAN, benchN) }
+func BenchmarkFig4_Task1_ClearSpeed(b *testing.B)    { benchTrack(b, platform.ClearSpeed, benchN) }
+func BenchmarkFig4_Task1_Xeon16(b *testing.B)        { benchTrack(b, platform.Xeon16, benchN) }
+
+// Figure 5 — Task 1, NVIDIA cards at the deeper sweep point.
+func BenchmarkFig5_Task1_GeForce9800GT_8000(b *testing.B) {
+	benchTrack(b, platform.GeForce9800GT, 8000)
+}
+func BenchmarkFig5_Task1_GTX880M_8000(b *testing.B)      { benchTrack(b, platform.GTX880M, 8000) }
+func BenchmarkFig5_Task1_TitanXPascal_8000(b *testing.B) { benchTrack(b, platform.TitanXPascal, 8000) }
+
+// Figure 6 — Tasks 2+3, all platforms.
+func BenchmarkFig6_Task23_GeForce9800GT(b *testing.B) {
+	benchDetect(b, platform.GeForce9800GT, benchN)
+}
+func BenchmarkFig6_Task23_GTX880M(b *testing.B)      { benchDetect(b, platform.GTX880M, benchN) }
+func BenchmarkFig6_Task23_TitanXPascal(b *testing.B) { benchDetect(b, platform.TitanXPascal, benchN) }
+func BenchmarkFig6_Task23_STARAN(b *testing.B)       { benchDetect(b, platform.STARAN, benchN) }
+func BenchmarkFig6_Task23_ClearSpeed(b *testing.B)   { benchDetect(b, platform.ClearSpeed, benchN) }
+func BenchmarkFig6_Task23_Xeon16(b *testing.B)       { benchDetect(b, platform.Xeon16, benchN) }
+
+// Figure 7 — Tasks 2+3, NVIDIA cards at the deeper sweep point.
+func BenchmarkFig7_Task23_GeForce9800GT_8000(b *testing.B) {
+	benchDetect(b, platform.GeForce9800GT, 8000)
+}
+func BenchmarkFig7_Task23_GTX880M_8000(b *testing.B) { benchDetect(b, platform.GTX880M, 8000) }
+func BenchmarkFig7_Task23_TitanXPascal_8000(b *testing.B) {
+	benchDetect(b, platform.TitanXPascal, 8000)
+}
+
+// Figures 8 and 9 — the measure-and-curve-fit pipelines.
+func BenchmarkFig8_FitPipeline(b *testing.B) {
+	cfg := experiments.Config{Seed: 2018, Quick: true}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig8(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9_FitPipeline(b *testing.B) {
+	cfg := experiments.Config{Seed: 2018, Quick: true}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig9(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Table T-DL — a full deadline-accounted major cycle (16 periods of
+// Task 1 plus the fused Tasks 2+3) on the two extreme platforms.
+func BenchmarkDeadlines_MajorCycle_TitanX(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := platform.MustNew(platform.TitanXPascal, 1)
+		sys := core.NewSystem(p, core.Config{N: 2000, Seed: 2018})
+		sys.RunMajorCycles(1)
+	}
+}
+
+func BenchmarkDeadlines_MajorCycle_Xeon16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := platform.MustNew(platform.Xeon16, 1)
+		sys := core.NewSystem(p, core.Config{N: 2000, Seed: 2018})
+		sys.RunMajorCycles(1)
+	}
+}
+
+// Table T-DET — repeated identical runs (the determinism check).
+func BenchmarkDeterminism_RepeatRun(b *testing.B) {
+	p := platform.MustNew(platform.TitanXPascal, 1)
+	w, f := benchWorld(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		wc, fc := w.Clone(), f.Clone()
+		b.StartTimer()
+		p.Track(wc, fc)
+	}
+}
+
+// Table A-KRN — fused versus split Tasks 2+3 kernels.
+func BenchmarkKernelSplit_Fused(b *testing.B) {
+	eng := cuda.NewEngine(cuda.GeForce9800GT)
+	w, _ := benchWorld(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		wc := w.Clone()
+		b.StartTimer()
+		eng.CheckCollisionPath(wc)
+	}
+}
+
+func BenchmarkKernelSplit_Split(b *testing.B) {
+	eng := cuda.NewEngine(cuda.GeForce9800GT)
+	w, _ := benchWorld(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		wc := w.Clone()
+		b.StartTimer()
+		eng.DetectOnly(wc)
+		eng.ResolveOnly(wc)
+	}
+}
+
+// Table A-BOX — correlation pass-count ablation.
+func benchBoxPasses(b *testing.B, passes int) {
+	b.Helper()
+	root := rng.New(2018)
+	w := airspace.NewWorld(2000, root.Split())
+	f := radar.Generate(w, 0.8, root.Split())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		wc, fc := w.Clone(), f.Clone()
+		b.StartTimer()
+		tasks.CorrelateN(wc, fc, passes)
+	}
+}
+
+func BenchmarkBoxPasses_1(b *testing.B) { benchBoxPasses(b, 1) }
+func BenchmarkBoxPasses_2(b *testing.B) { benchBoxPasses(b, 2) }
+func BenchmarkBoxPasses_3(b *testing.B) { benchBoxPasses(b, 3) }
+
+// Reference implementations, for calibrating the simulators' host cost.
+func BenchmarkReference_Task1(b *testing.B) {
+	w, f := benchWorld(benchN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		wc, fc := w.Clone(), f.Clone()
+		b.StartTimer()
+		tasks.Correlate(wc, fc)
+	}
+}
+
+func BenchmarkReference_Task23(b *testing.B) {
+	w, _ := benchWorld(benchN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		wc := w.Clone()
+		b.StartTimer()
+		tasks.DetectResolve(wc)
+	}
+}
+
+// Extension — the terrain-avoidance task (related work [11], Section
+// 7.2 future work) on the reference path and the CUDA engine.
+func BenchmarkTerrain_Reference(b *testing.B) {
+	root := rng.New(2018)
+	g := terrain.Generate(4, 40, 14000, root.Split())
+	w := airspace.NewWorld(benchN, root.Split())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		wc := w.Clone()
+		b.StartTimer()
+		terrain.Avoid(wc, g, terrain.DefaultHorizonPeriods, terrain.DefaultClearanceFt)
+	}
+}
+
+func BenchmarkTerrain_CUDA(b *testing.B) {
+	root := rng.New(2018)
+	g := terrain.Generate(4, 40, 14000, root.Split())
+	w := airspace.NewWorld(benchN, root.Split())
+	eng := cuda.NewEngine(cuda.TitanXPascal)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		wc := w.Clone()
+		b.StartTimer()
+		terrain.AvoidCUDA(eng, wc, g, terrain.DefaultHorizonPeriods, terrain.DefaultClearanceFt)
+	}
+}
+
+// Extension — the conflict-priority display list: Batcher's bitonic
+// network on the CUDA engine vs the AP's min-reduce/step idiom.
+func BenchmarkPriority_CUDABitonic(b *testing.B) {
+	w, _ := benchWorld(benchN)
+	tasks.Detect(w)
+	eng := cuda.NewEngine(cuda.TitanXPascal)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		wc := w.Clone()
+		b.StartTimer()
+		eng.ConflictPriority(wc)
+	}
+}
+
+func BenchmarkPriority_APMinReduce(b *testing.B) {
+	w, _ := benchWorld(benchN)
+	tasks.Detect(w)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		wc := w.Clone()
+		m := ap.NewMachine(ap.STARAN, wc.N())
+		b.StartTimer()
+		ap.PriorityProgram(m, wc)
+	}
+}
+
+// Extension — the wide-vector machines of Section 7.2.
+func BenchmarkVector_Task1_XeonPhi(b *testing.B) {
+	m := vector.New(vector.XeonPhi7210)
+	w, f := benchWorld(benchN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		wc, fc := w.Clone(), f.Clone()
+		b.StartTimer()
+		m.Track(wc, fc)
+	}
+}
+
+func BenchmarkVector_Task23_XeonPhi(b *testing.B) {
+	m := vector.New(vector.XeonPhi7210)
+	w, _ := benchWorld(benchN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		wc := w.Clone()
+		b.StartTimer()
+		m.DetectResolve(wc)
+	}
+}
+
+// Extension — radar-network report generation (multi-site coverage,
+// cones of silence, dropouts).
+func BenchmarkRadarNet_Generate(b *testing.B) {
+	net := radarnet.NewGrid(4, 4, 80, 2, 0.1, radar.DefaultNoise)
+	w, _ := benchWorld(benchN)
+	r := rng.New(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Generate(w, r)
+	}
+}

@@ -1,0 +1,177 @@
+// Command atmbench regenerates every figure and table of the paper's
+// evaluation (Section 6) plus the ablations documented in DESIGN.md,
+// rendering each as an ASCII table + chart and writing a CSV per
+// artifact.
+//
+// Usage:
+//
+//	atmbench                      # everything, full sweeps (minutes)
+//	atmbench -quick               # trimmed sweeps (seconds)
+//	atmbench -fig 4               # one figure
+//	atmbench -table deadlines     # one table
+//	atmbench -out results/        # CSV output directory
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		figNum  = flag.Int("fig", 0, "regenerate one figure (4-9); 0 = all")
+		table   = flag.String("table", "", "regenerate one table (deadlines, determinism, kernelsplit, boxpasses, normalized, vector, radarnet, capacity)")
+		quick   = flag.Bool("quick", false, "trimmed sweeps for a fast smoke run")
+		outDir  = flag.String("out", "results", "directory for CSV output")
+		cycles  = flag.Int("cycles", 0, "major cycles per measurement (0 = default)")
+		seed    = flag.Uint64("seed", 2018, "random seed")
+		noChart = flag.Bool("nochart", false, "suppress ASCII charts")
+	)
+	flag.Parse()
+	cfg := experiments.Config{Cycles: *cycles, Seed: *seed, Quick: *quick}
+	if err := run(cfg, *figNum, *table, *outDir, !*noChart); err != nil {
+		fmt.Fprintln(os.Stderr, "atmbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg experiments.Config, figNum int, table, outDir string, chart bool) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+
+	emitDataset := func(d *trace.Dataset) error {
+		fmt.Println()
+		if err := report.DatasetTable(os.Stdout, d); err != nil {
+			return err
+		}
+		if chart {
+			fmt.Println()
+			if err := report.Chart(os.Stdout, d, 64, 16); err != nil {
+				return err
+			}
+		}
+		path := filepath.Join(outDir, d.ID+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := d.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", path)
+		return nil
+	}
+
+	emitFit := func(r *experiments.FitReport) error {
+		if err := emitDataset(r.Dataset); err != nil {
+			return err
+		}
+		fmt.Printf("\nlinear fit    : %s\n", r.Linear)
+		fmt.Printf("quadratic fit : %s\n", r.Quadratic)
+		fmt.Printf("effective growth exponent (log-log): %.3f\n", r.Exponent)
+		if r.SmallQuadCoeff {
+			fmt.Println("quadratic coefficient is very small compared to the linear coefficient (Fig. 9's observation)")
+		}
+		if r.NearLinear {
+			fmt.Println("verdict: linear or near-linear — SIMD-like (the paper's conclusion)")
+		} else {
+			fmt.Println("verdict: quadratic over this domain (low coefficient; deadlines still met)")
+		}
+		return nil
+	}
+
+	type job struct {
+		name string
+		run  func() error
+	}
+	figJobs := map[int]job{
+		4: {"fig4", func() error { d, err := experiments.Fig4(cfg); return emit(d, err, emitDataset) }},
+		5: {"fig5", func() error { d, err := experiments.Fig5(cfg); return emit(d, err, emitDataset) }},
+		6: {"fig6", func() error { d, err := experiments.Fig6(cfg); return emit(d, err, emitDataset) }},
+		7: {"fig7", func() error { d, err := experiments.Fig7(cfg); return emit(d, err, emitDataset) }},
+		8: {"fig8", func() error { r, err := experiments.Fig8(cfg); return emitF(r, err, emitFit) }},
+		9: {"fig9", func() error { r, err := experiments.Fig9(cfg); return emitF(r, err, emitFit) }},
+	}
+	tableJobs := map[string]job{
+		"deadlines":   {"deadlines", func() error { d, err := experiments.DeadlineTable(cfg); return emit(d, err, emitDataset) }},
+		"determinism": {"determinism", func() error { d, err := experiments.DeterminismTable(cfg, 5); return emit(d, err, emitDataset) }},
+		"kernelsplit": {"kernelsplit", func() error { d, err := experiments.KernelSplitTable(cfg); return emit(d, err, emitDataset) }},
+		"boxpasses":   {"boxpasses", func() error { d, err := experiments.BoxPassTable(cfg); return emit(d, err, emitDataset) }},
+		"normalized":  {"normalized", func() error { d, err := experiments.NormalizedTable(cfg); return emit(d, err, emitDataset) }},
+		"vector":      {"vector", func() error { d, err := experiments.VectorTable(cfg); return emit(d, err, emitDataset) }},
+		"radarnet":    {"radarnet", func() error { d, err := experiments.RadarNetTable(cfg); return emit(d, err, emitDataset) }},
+		"capacity":    {"capacity", func() error { d, err := experiments.CapacityTable(cfg); return emit(d, err, emitDataset) }},
+	}
+
+	switch {
+	case figNum != 0:
+		j, ok := figJobs[figNum]
+		if !ok {
+			return fmt.Errorf("no figure %d (have 4-9)", figNum)
+		}
+		return j.run()
+	case table != "":
+		j, ok := tableJobs[table]
+		if !ok {
+			return fmt.Errorf("no table %q (have deadlines, determinism, kernelsplit, boxpasses, normalized, vector, radarnet, capacity)", table)
+		}
+		return j.run()
+	}
+
+	// Everything: the two sweeps are measured once and every artifact
+	// derived from them (the per-figure jobs above re-measure and are
+	// only used for single-artifact invocations).
+	all, err := experiments.RunAll(cfg)
+	if err != nil {
+		return err
+	}
+	for _, art := range []struct {
+		name string
+		run  func() error
+	}{
+		{"Figure 4", func() error { return emitDataset(all.Fig4) }},
+		{"Figure 5", func() error { return emitDataset(all.Fig5) }},
+		{"Figure 6", func() error { return emitDataset(all.Fig6) }},
+		{"Figure 7", func() error { return emitDataset(all.Fig7) }},
+		{"Figure 8", func() error { return emitFit(all.Fig8) }},
+		{"Figure 9", func() error { return emitFit(all.Fig9) }},
+		{"Table deadlines", func() error { return emitDataset(all.Deadlines) }},
+		{"Table normalized", func() error { return emitDataset(all.Normalized) }},
+		{"Table determinism", tableJobs["determinism"].run},
+		{"Table kernelsplit", tableJobs["kernelsplit"].run},
+		{"Table boxpasses", tableJobs["boxpasses"].run},
+		{"Table vector", tableJobs["vector"].run},
+		{"Table radarnet", tableJobs["radarnet"].run},
+	} {
+		fmt.Printf("\n=== %s ===\n", art.name)
+		if err := art.run(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func emit(d *trace.Dataset, err error, f func(*trace.Dataset) error) error {
+	if err != nil {
+		return err
+	}
+	return f(d)
+}
+
+func emitF(r *experiments.FitReport, err error, f func(*experiments.FitReport) error) error {
+	if err != nil {
+		return err
+	}
+	return f(r)
+}

@@ -1,0 +1,100 @@
+// Command atmfit fits polynomials to a timing series CSV (as written
+// by atmbench) and prints MATLAB-style goodness-of-fit reports — the
+// curve-shape analysis of the paper's Section 6.2.
+//
+// Usage:
+//
+//	atmfit -in results/fig8.csv
+//	atmfit -in results/fig9.csv -series "GeForce 9800 GT" -degree 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/fit"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "", "input CSV file (from atmbench); required")
+		series = flag.String("series", "", "series label to fit (default: first series)")
+		degree = flag.Int("degree", 0, "fit only this degree (0 = both linear and quadratic)")
+	)
+	flag.Parse()
+	if err := run(*in, *series, *degree); err != nil {
+		fmt.Fprintln(os.Stderr, "atmfit:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, series string, degree int) error {
+	if in == "" {
+		return fmt.Errorf("need -in <csv file>")
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	d, err := trace.ReadCSV(f)
+	if err != nil {
+		return err
+	}
+	if len(d.Series) == 0 {
+		return fmt.Errorf("%s contains no series", in)
+	}
+	s := &d.Series[0]
+	if series != "" {
+		s = d.Get(series)
+		if s == nil {
+			return fmt.Errorf("series %q not found in %s", series, in)
+		}
+	}
+	fmt.Printf("dataset %s — %s\nseries  %q (%d points)\n\n", d.ID, d.Title, s.Label, len(s.Points))
+
+	xs, ys := s.XS(), s.YS()
+	xmax := 0.0
+	for _, x := range xs {
+		if x > xmax {
+			xmax = x
+		}
+	}
+	fitOne := func(deg int) (*fit.Result, error) {
+		r, err := fit.Poly(xs, ys, deg)
+		if err != nil {
+			return nil, fmt.Errorf("degree %d: %w", deg, err)
+		}
+		fmt.Printf("degree %d: %s\n", deg, r)
+		return r, nil
+	}
+	if degree > 0 {
+		_, err := fitOne(degree)
+		return err
+	}
+	if _, err := fitOne(1); err != nil {
+		return err
+	}
+	quad, err := fitOne(2)
+	if err != nil {
+		return err
+	}
+	ratio, _ := fit.NearLinear(quad, xmax, 1)
+	fmt.Printf("\nquadratic-term contribution over domain: %.4f of the linear term\n", ratio)
+	exp, err := fit.EffectiveExponent(xs, ys)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("effective growth exponent (log-log): %.3f\n", exp)
+	if exp <= experiments.NearLinearExp {
+		fmt.Println("verdict: linear or near-linear — SIMD-like")
+	} else if exp < 2.2 {
+		fmt.Println("verdict: quadratic over this domain")
+	} else {
+		fmt.Println("verdict: clearly superlinear")
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+// Command atmreplay inspects a run recorded by atmsim -record: it
+// prints the schedule summary and can re-render any stored snapshot as
+// the ASCII plan view, so archived runs can be reviewed or diffed
+// without re-simulating.
+//
+// Usage:
+//
+//	atmreplay -in run.jsonl
+//	atmreplay -in run.jsonl -snapshot 16
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/replay"
+	"repro/internal/sched"
+	"repro/internal/viz"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "recorded run (JSON lines); required")
+		snapshot = flag.Int("snapshot", -1, "render the snapshot at this period (-1 = none)")
+	)
+	flag.Parse()
+	if err := run(*in, *snapshot); err != nil {
+		fmt.Fprintln(os.Stderr, "atmreplay:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in string, snapshot int) error {
+	if in == "" {
+		return fmt.Errorf("need -in <recorded run>")
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	r := replay.NewReader(f)
+	var (
+		periods, misses, snaps int
+		t1Total, t23Total      time.Duration
+		t1Max                  time.Duration
+		rendered               bool
+	)
+	for {
+		rec, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		periods++
+		if rec.Missed {
+			misses++
+		}
+		t1Total += rec.Task1
+		t23Total += rec.Task23
+		if rec.Task1 > t1Max {
+			t1Max = rec.Task1
+		}
+		if len(rec.Aircraft) > 0 {
+			snaps++
+			if rec.Period == snapshot {
+				w := replay.Restore(rec.Aircraft)
+				fmt.Printf("snapshot at period %d:\n", rec.Period)
+				if err := viz.Render(os.Stdout, w, viz.Options{}); err != nil {
+					return err
+				}
+				rendered = true
+			}
+		}
+	}
+	if periods == 0 {
+		return fmt.Errorf("%s holds no records", in)
+	}
+	if snapshot >= 0 && !rendered {
+		return fmt.Errorf("no snapshot stored at period %d (snapshots: every 16th period by default)", snapshot)
+	}
+
+	fmt.Printf("periods      : %d (%.1f major cycles, %v of schedule time)\n",
+		periods, float64(periods)/sched.PeriodsPerMajorCycle,
+		time.Duration(periods)*sched.PeriodDur)
+	fmt.Printf("snapshots    : %d\n", snaps)
+	fmt.Printf("Task 1       : mean %v, max %v\n", t1Total/time.Duration(periods), t1Max)
+	if t23Total > 0 {
+		fmt.Printf("Tasks 2+3    : total %v\n", t23Total)
+	}
+	fmt.Printf("missed       : %d periods (%.1f%%)\n", misses, 100*float64(misses)/float64(periods))
+	return nil
+}

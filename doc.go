@@ -1,0 +1,26 @@
+// Package repro is a from-scratch Go reproduction of "Performance
+// Comparison of NVIDIA accelerators with SIMD, Associative, and
+// Multi-core Processors for Air Traffic Management" (Shaker, Sharma,
+// Baker, Yuan; ICPP 2018 Companion).
+//
+// The library implements the paper's three compute-intensive ATM tasks
+// (radar tracking & correlation, Batcher collision detection, rotation
+// collision resolution), the simulated airfield that drives them, and
+// deterministic simulators of the four architectures the paper
+// compares: three NVIDIA CUDA devices, the STARAN associative
+// processor, the ClearSpeed CSX600 AP emulation, and a 16-core Xeon
+// multicore.
+//
+// Entry points:
+//
+//   - repro/internal/core — bind a platform to a simulated airfield and
+//     run the 8-second major cycle with deadline accounting;
+//   - repro/internal/experiments — regenerate every figure and table of
+//     the paper's evaluation;
+//   - cmd/atmsim, cmd/atmbench, cmd/atmfit — command-line front ends;
+//   - examples/ — runnable scenarios (quickstart, deadlines, drone
+//     swarm, conflict storm).
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record.
+package repro

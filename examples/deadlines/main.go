@@ -1,0 +1,56 @@
+// Deadlines: the paper's central comparison, live. Runs the same
+// traffic through a CUDA device model, the associative processor and
+// the 16-core Xeon at growing aircraft counts, and shows who keeps the
+// half-second deadlines and who starts missing them.
+//
+// Run with:
+//
+//	go run ./examples/deadlines
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/report"
+)
+
+func main() {
+	platforms := []string{platform.TitanXPascal, platform.STARAN, platform.Xeon16}
+	ns := []int{1000, 4000, 8000, 16000}
+	const cycles = 1
+
+	headers := []string{"aircraft"}
+	for _, name := range platforms {
+		headers = append(headers, platform.Label(name)+" misses", "t1 mean", "t2+3")
+	}
+
+	var rows [][]string
+	for _, n := range ns {
+		row := []string{fmt.Sprint(n)}
+		for _, name := range platforms {
+			m, err := core.Measure(name, n, cycles, 2018)
+			if err != nil {
+				log.Fatal(err)
+			}
+			row = append(row,
+				fmt.Sprintf("%d/%d", m.PeriodMisses, m.Periods),
+				m.Task1Mean.String(),
+				m.Task23Mean.String())
+		}
+		rows = append(rows, row)
+		fmt.Printf("measured %d aircraft\n", n)
+	}
+
+	fmt.Println()
+	if err := report.Table(os.Stdout, headers, rows); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nThe CUDA and AP rows never miss: synchronous, deterministic execution")
+	fmt.Println("can be scheduled against hard deadlines. The Xeon's asynchronous cores")
+	fmt.Println("plus lock contention and OS jitter push its 16th period past the")
+	fmt.Println("half-second budget as the traffic grows — the paper's MIMD failure mode.")
+}

@@ -1,0 +1,105 @@
+// Swarm: the paper's Section 7.2 future-work scenario — a mobile ATM
+// center managing a drone swarm in a remote area. Two waves of survey
+// drones fly head-on passes 20 nm apart in the same altitude band; the
+// opposing lanes are offset by 2 nm, inside the 3 nm separation band,
+// so every head-on pair becomes a genuine critical conflict (the
+// conflict window opens below the 300-period urgency threshold on the
+// first major cycle) that Task 3 must steer around.
+//
+// Run with:
+//
+//	go run ./examples/swarm
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/airspace"
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/tasks"
+)
+
+const (
+	perWave     = 20
+	laneSpacing = 12.0 // nm between lanes: wide enough that a ±10° escape from the partner does not enter the neighbouring lane's conflict window
+	waveGap     = 20.0
+	speedKnots  = 240.0
+)
+
+// buildSwarm creates the two opposing waves.
+func buildSwarm() *airspace.World {
+	w := &airspace.World{Aircraft: make([]airspace.Aircraft, 2*perWave)}
+	speed := speedKnots / airspace.PeriodsPerHour
+	for i := 0; i < perWave; i++ {
+		lane := float64(i)*laneSpacing - float64(perWave-1)*laneSpacing/2
+		// Eastbound wave.
+		a := &w.Aircraft[i]
+		a.ID = int32(i)
+		a.X, a.Y = -waveGap/2, lane
+		a.DX, a.DY = speed, 0
+		a.Alt = 1200
+		a.ResetConflict()
+		// Westbound wave, offset 2 nm into the eastbound lanes.
+		b := &w.Aircraft[perWave+i]
+		b.ID = int32(perWave + i)
+		b.X, b.Y = waveGap/2, lane+2
+		b.DX, b.DY = -speed, 0
+		b.Alt = 1200
+		b.ResetConflict()
+	}
+	return w
+}
+
+// headings returns each drone's course angle in degrees.
+func headings(w *airspace.World) []float64 {
+	h := make([]float64, w.N())
+	for i, a := range w.Aircraft {
+		h[i] = math.Atan2(a.DY, a.DX) * 180 / math.Pi
+	}
+	return h
+}
+
+func main() {
+	world := buildSwarm()
+
+	// A mobile ATM center would carry an embedded accelerator; the
+	// laptop-class GTX 880M model is the natural stand-in.
+	p, err := platform.New(platform.GTX880M, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := core.NewSystemWithWorld(p, world, core.Config{Seed: 7, Noise: 0.05})
+
+	fmt.Printf("drone swarm : %d drones in two opposing waves on %s\n", world.N(), p.Name())
+	fmt.Printf("lanes %.0f nm apart, opposing lanes offset 2 nm (inside the 3 nm band)\n\n", laneSpacing)
+	fmt.Println("cycle  pending-conflicts  drones-turned  misses")
+
+	for cycle := 1; cycle <= 6; cycle++ {
+		before := headings(sys.World)
+		for period := 0; period < airspace.PeriodsPerMajorCycle; period++ {
+			sys.RunPeriod()
+		}
+		after := headings(sys.World)
+		turned := 0
+		for i := range before {
+			if math.Abs(after[i]-before[i]) > 0.1 {
+				turned++
+			}
+		}
+		// Diagnostic: re-detect on a copy to see what is still pending.
+		det := tasks.Detect(sys.World.Clone())
+		st := sys.Stats()
+		fmt.Printf("%5d  %17d  %13d  %6d\n", cycle, det.Conflicts, turned, st.PeriodMisses)
+	}
+
+	st := sys.Stats()
+	t1 := st.Task(core.Task1)
+	t23 := st.Task(core.Task23)
+	fmt.Printf("\nTask 1 mean %v, Tasks 2+3 mean %v; %d of %d periods missed\n",
+		t1.Mean(), t23.Mean(), st.PeriodMisses, st.Periods)
+	fmt.Println("\nThe resolver turns drones ±5°..±30° as the waves close; once the")
+	fmt.Println("waves pass through each other the airspace is conflict-free again.")
+}

@@ -1,0 +1,148 @@
+package ap
+
+import "fmt"
+
+// This file implements the STARAN's bit-serial arithmetic substrate.
+// STARAN PEs were one-bit processors: a W-bit word operation is
+// executed as W passes over bit planes, one cycle per bit (plus carry
+// bookkeeping), across all PEs simultaneously. The Machine's word-level
+// cost parameters (ArithCycles = 16 for the STARAN profile) summarize
+// this layer; BitPlanes makes the summary verifiable — the tests check
+// that a masked bit-serial add/compare really costs O(W) cycles per
+// word and produces the same results as ordinary integer arithmetic.
+//
+// The planes are stored transposed (one machine word of PE-bits per
+// bit position), which is also how the STARAN's multidimensional-access
+// memory held them.
+
+// WordBits is the modeled word width of the bit-serial ALU.
+const WordBits = 16
+
+// BitPlanes is a register of n WordBits-wide unsigned words stored as
+// bit planes across the PE array.
+type BitPlanes struct {
+	n      int
+	planes [WordBits][]uint64 // planes[b] holds bit b of every record
+}
+
+// NewBitPlanes returns a zeroed register for n records.
+func NewBitPlanes(n int) *BitPlanes {
+	if n < 0 {
+		panic(fmt.Sprintf("ap: NewBitPlanes with negative n %d", n))
+	}
+	words := (n + 63) / 64
+	bp := &BitPlanes{n: n}
+	for b := range bp.planes {
+		bp.planes[b] = make([]uint64, words)
+	}
+	return bp
+}
+
+// N returns the record count.
+func (bp *BitPlanes) N() int { return bp.n }
+
+// Set stores value (truncated to WordBits) into record i.
+func (bp *BitPlanes) Set(i int, value uint32) {
+	word, bit := i/64, uint(i%64)
+	for b := 0; b < WordBits; b++ {
+		if value&(1<<b) != 0 {
+			bp.planes[b][word] |= 1 << bit
+		} else {
+			bp.planes[b][word] &^= 1 << bit
+		}
+	}
+}
+
+// Get reads record i.
+func (bp *BitPlanes) Get(i int) uint32 {
+	word, bit := i/64, uint(i%64)
+	var v uint32
+	for b := 0; b < WordBits; b++ {
+		if bp.planes[b][word]&(1<<bit) != 0 {
+			v |= 1 << b
+		}
+	}
+	return v
+}
+
+// maskWords converts the machine's responder mask into plane form.
+func maskWords(m *Machine) []uint64 {
+	words := make([]uint64, (m.n+63)/64)
+	for i, on := range m.mask {
+		if on {
+			words[i/64] |= 1 << uint(i%64)
+		}
+	}
+	return words
+}
+
+// AddBroadcast adds the broadcast constant to every masked record,
+// bit-serially: one cycle per bit plane plus one for the carry ripple
+// per plane. Unmasked records are untouched (the PE's mask bit gates
+// the write-back, as in the hardware). Overflow wraps at WordBits.
+func (m *Machine) AddBroadcast(dst *BitPlanes, constant uint32) {
+	if dst.N() != m.n {
+		panic("ap: AddBroadcast register size mismatch")
+	}
+	m.Broadcast(1)
+	m.cycles += uint64(2*WordBits) * uint64(m.Tiles())
+
+	mw := maskWords(m)
+	words := len(mw)
+	carry := make([]uint64, words)
+	for b := 0; b < WordBits; b++ {
+		cbit := uint64(0)
+		if constant&(1<<b) != 0 {
+			cbit = ^uint64(0)
+		}
+		for wIdx := 0; wIdx < words; wIdx++ {
+			a := dst.planes[b][wIdx]
+			sum := a ^ cbit ^ carry[wIdx]
+			carryOut := (a & cbit) | (a & carry[wIdx]) | (cbit & carry[wIdx])
+			// Masked write-back: unmasked lanes keep their old bit.
+			dst.planes[b][wIdx] = (sum & mw[wIdx]) | (a &^ mw[wIdx])
+			carry[wIdx] = carryOut & mw[wIdx]
+		}
+	}
+}
+
+// LessBroadcast narrows the responder mask to records whose value is
+// strictly below the broadcast constant — the associative search
+// primitive, executed most-significant bit first exactly as the STARAN
+// did it: one cycle per bit plane.
+func (m *Machine) LessBroadcast(src *BitPlanes, constant uint32) {
+	if src.N() != m.n {
+		panic("ap: LessBroadcast register size mismatch")
+	}
+	m.Broadcast(1)
+	m.cycles += uint64(WordBits) * uint64(m.Tiles())
+
+	words := (m.n + 63) / 64
+	// undecided: records whose prefix equals the constant's so far;
+	// less: records already known to be smaller.
+	undecided := make([]uint64, words)
+	less := make([]uint64, words)
+	for i := range undecided {
+		undecided[i] = ^uint64(0)
+	}
+	for b := WordBits - 1; b >= 0; b-- {
+		cbit := constant&(1<<b) != 0
+		for wIdx := 0; wIdx < words; wIdx++ {
+			plane := src.planes[b][wIdx]
+			if cbit {
+				// Constant bit 1: undecided records with bit 0 become less.
+				less[wIdx] |= undecided[wIdx] &^ plane
+				undecided[wIdx] &= plane
+			} else {
+				// Constant bit 0: undecided records with bit 1 become greater.
+				undecided[wIdx] &^= plane
+			}
+		}
+	}
+	for i := 0; i < m.n; i++ {
+		if m.mask[i] {
+			m.mask[i] = less[i/64]&(1<<uint(i%64)) != 0
+		}
+	}
+	m.chargeWide(1) // mask AND write-back
+}

@@ -1,0 +1,272 @@
+// Package ap simulates an associative processor (AP) — the enhanced
+// SIMD architecture of the STARAN computer that the paper (and its
+// predecessors [12, 13]) uses as the gold standard for deterministic,
+// linear-time ATM. It also models the ClearSpeed CSX600 accelerator
+// that [12, 13] used to emulate an AP.
+//
+// The machine executes real AP programs: a sequential control unit
+// (ordinary Go code) issues wide operations over the aircraft database
+// — masked element-wise arithmetic, associative searches, constant-time
+// count/min reductions, responder selection — and every issued
+// operation charges its cycle cost. The modeled task time is
+// cycles/clock, a pure function of the instruction trace, which makes
+// the AP timing exactly as deterministic as the paper requires.
+//
+// Two profiles are provided:
+//
+//   - STARAN: the idealized associative processor of [12, 13], with one
+//     PE per aircraft record (the AP scales its PE array with the
+//     problem) and the constant-time broadcast/search/reduce hardware
+//     of the STARAN flip network. Following [13]'s argument that a
+//     present-day AP would run at memory speeds, the profile uses a
+//     modernized 40 MHz word-serial clock rather than the 1972 part's.
+//   - ClearSpeed CSX600: 2 chips x 96 PEs = 192 PEs at 210 MHz. With
+//     more records than PEs, every wide operation is tiled over
+//     ceil(N/192) virtual-PE planes, which is what bends the emulation's
+//     curve away from the ideal AP's perfectly linear one.
+package ap
+
+import (
+	"fmt"
+	"time"
+)
+
+// Profile describes one associative machine for the cost model.
+type Profile struct {
+	// Name of the machine.
+	Name string
+	// PEs is the physical processing-element count; 0 means one PE per
+	// record (the idealized AP whose array grows with the database).
+	PEs int
+	// ClockHz is the instruction clock.
+	ClockHz float64
+
+	// Per-instruction cycle costs.
+	// BroadcastCycles: control unit broadcasts one scalar word to all PEs.
+	BroadcastCycles int
+	// ArithCycles: one masked element-wise arithmetic/compare step, per
+	// tile of PEs.
+	ArithCycles int
+	// ReduceCycles: one constant-time associative reduction (count,
+	// min/max, any-responder) over a tile.
+	ReduceCycles int
+	// SelectCycles: selecting (stepping to) one responder.
+	SelectCycles int
+	// ScalarCycles: one control-unit scalar operation.
+	ScalarCycles int
+}
+
+// STARAN is the idealized associative processor profile (see package
+// comment for the modernization caveat). The 160 MHz word-serial clock
+// follows [13]'s argument that a present-day AP would run at memory
+// speeds; it is calibrated so the AP stays inside its feasible envelope
+// (no deadline misses) through the 16000-aircraft sweep, as the paper
+// reports.
+var STARAN = Profile{
+	Name:            "STARAN AP",
+	PEs:             0, // one PE per aircraft
+	ClockHz:         160e6,
+	BroadcastCycles: 4,
+	ArithCycles:     16, // bit-serial word arithmetic
+	ReduceCycles:    24, // flip-network reduction
+	SelectCycles:    8,
+	ScalarCycles:    2,
+}
+
+// ClearSpeedCSX600 is the SIMD accelerator used in [12, 13] to emulate
+// an AP: 2 chips x 96 PEs with 32-bit ALUs at 210 MHz. Per-PE word
+// operations are single-cycle (the CSX600 ALU datapath); the dominant
+// cost is the virtual-PE tiling over ceil(N/192) planes. Under this
+// calibration the emulation stays deadline-feasible through 8000
+// aircraft and exits its envelope at 16000 — see DESIGN.md.
+var ClearSpeedCSX600 = Profile{
+	Name:            "ClearSpeed CSX600",
+	PEs:             192,
+	ClockHz:         210e6,
+	BroadcastCycles: 2,
+	ArithCycles:     1, // single-cycle 32-bit ALU per PE
+	ReduceCycles:    4,
+	SelectCycles:    4,
+	ScalarCycles:    1,
+}
+
+// Profiles lists the built-in associative machine profiles.
+func Profiles() []Profile { return []Profile{STARAN, ClearSpeedCSX600} }
+
+// Machine is one associative processor executing over a database of n
+// records. It is not safe for concurrent use: an AP has exactly one
+// control unit.
+type Machine struct {
+	prof   Profile
+	n      int
+	cycles uint64
+
+	// mask is the current responder mask over the PE array.
+	mask []bool
+	// scratch is a reusable per-PE temporary register (one wide word).
+	scratch []float64
+}
+
+// NewMachine returns a machine sized for n records.
+func NewMachine(p Profile, n int) *Machine {
+	if n < 0 {
+		panic(fmt.Sprintf("ap: NewMachine with negative n %d", n))
+	}
+	return &Machine{prof: p, n: n, mask: make([]bool, n)}
+}
+
+// Profile returns the machine's profile.
+func (m *Machine) Profile() Profile { return m.prof }
+
+// N returns the database size the machine is configured for.
+func (m *Machine) N() int { return m.n }
+
+// Cycles returns the cycles charged so far.
+func (m *Machine) Cycles() uint64 { return m.cycles }
+
+// ResetCycles zeroes the cycle counter (between tasks).
+func (m *Machine) ResetCycles() { m.cycles = 0 }
+
+// Time converts the charged cycles to modeled wall time.
+func (m *Machine) Time() time.Duration {
+	return time.Duration(float64(m.cycles) / m.prof.ClockHz * float64(time.Second))
+}
+
+// Tiles returns how many PE planes one wide operation must be repeated
+// over: 1 for the idealized AP, ceil(n/PEs) for a fixed-width machine.
+func (m *Machine) Tiles() int {
+	if m.prof.PEs <= 0 || m.n == 0 {
+		return 1
+	}
+	return (m.n + m.prof.PEs - 1) / m.prof.PEs
+}
+
+// chargeWide charges units wide-arithmetic steps across all planes.
+func (m *Machine) chargeWide(units int) {
+	m.cycles += uint64(units*m.prof.ArithCycles) * uint64(m.Tiles())
+}
+
+// Broadcast charges the cost of broadcasting words scalar words from
+// the control unit to every PE.
+func (m *Machine) Broadcast(words int) {
+	m.cycles += uint64(words * m.prof.BroadcastCycles)
+}
+
+// Scalar charges n control-unit scalar operations.
+func (m *Machine) Scalar(n int) {
+	m.cycles += uint64(n * m.prof.ScalarCycles)
+}
+
+// ParallelOp executes f on every record index (a masked wide operation
+// touching every PE) and charges units arithmetic steps. The mask
+// discipline is left to f so that programs read like their AP assembly:
+// the hardware executes all PEs, masked ones simply don't store.
+func (m *Machine) ParallelOp(units int, f func(i int)) {
+	m.chargeWide(units)
+	for i := 0; i < m.n; i++ {
+		f(i)
+	}
+}
+
+// Search performs an associative search: it sets the responder mask to
+// pred over all records and charges units comparison steps.
+func (m *Machine) Search(units int, pred func(i int) bool) {
+	m.chargeWide(units)
+	for i := 0; i < m.n; i++ {
+		m.mask[i] = pred(i)
+	}
+}
+
+// MaskAnd narrows the responder mask with pred (one wide step).
+func (m *Machine) MaskAnd(pred func(i int) bool) {
+	m.chargeWide(1)
+	for i := 0; i < m.n; i++ {
+		if m.mask[i] {
+			m.mask[i] = pred(i)
+		}
+	}
+}
+
+// Mask exposes the current responder mask (read-only use by programs).
+func (m *Machine) Mask() []bool { return m.mask }
+
+// AnyResponder reports whether any PE responds (constant-time in AP
+// hardware).
+func (m *Machine) AnyResponder() bool {
+	m.cycles += uint64(m.prof.ReduceCycles) * uint64(m.Tiles())
+	for i := 0; i < m.n; i++ {
+		if m.mask[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// CountResponders returns the number of responders (constant-time
+// reduction in AP hardware).
+func (m *Machine) CountResponders() int {
+	m.cycles += uint64(m.prof.ReduceCycles) * uint64(m.Tiles())
+	c := 0
+	for i := 0; i < m.n; i++ {
+		if m.mask[i] {
+			c++
+		}
+	}
+	return c
+}
+
+// FirstResponder returns the lowest responding index, or -1. This is
+// the AP "step" (pick-one) operation.
+func (m *Machine) FirstResponder() int {
+	m.cycles += uint64(m.prof.SelectCycles) * uint64(m.Tiles())
+	for i := 0; i < m.n; i++ {
+		if m.mask[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// ClearResponder removes index i from the mask (used when stepping
+// through responders one by one).
+func (m *Machine) ClearResponder(i int) {
+	m.Scalar(1)
+	m.mask[i] = false
+}
+
+// MinReduce returns the minimum of value(i) over responders and the
+// lowest index attaining it (constant-time min-reduction plus select).
+// It returns (def, -1) when there are no responders.
+func (m *Machine) MinReduce(def float64, value func(i int) float64) (float64, int) {
+	m.cycles += uint64(m.prof.ReduceCycles+m.prof.SelectCycles) * uint64(m.Tiles())
+	best, arg := def, -1
+	for i := 0; i < m.n; i++ {
+		if m.mask[i] {
+			if v := value(i); v < best {
+				best, arg = v, i
+			}
+		}
+	}
+	return best, arg
+}
+
+// MaxReduce returns the maximum of value(i) over responders and the
+// lowest index attaining it. It returns (def, -1) with no responders.
+func (m *Machine) MaxReduce(def float64, value func(i int) float64) (float64, int) {
+	m.cycles += uint64(m.prof.ReduceCycles+m.prof.SelectCycles) * uint64(m.Tiles())
+	best, arg := def, -1
+	for i := 0; i < m.n; i++ {
+		if m.mask[i] {
+			if v := value(i); v > best {
+				best, arg = v, i
+			}
+		}
+	}
+	return best, arg
+}
+
+// LoadDatabase charges the cost of loading the aircraft records into PE
+// memories (fields wide words per record).
+func (m *Machine) LoadDatabase(fields int) {
+	m.chargeWide(fields)
+}

@@ -1,0 +1,40 @@
+package ap
+
+import (
+	"time"
+
+	"repro/internal/airspace"
+	"repro/internal/radar"
+)
+
+// Platform adapts an associative machine profile to the scheduler's
+// platform interface.
+type Platform struct {
+	prof Profile
+}
+
+// NewPlatform returns a scheduler-facing platform for the profile.
+func NewPlatform(p Profile) *Platform { return &Platform{prof: p} }
+
+// Name returns the machine name.
+func (p *Platform) Name() string { return p.prof.Name }
+
+// Deterministic reports that AP timing is a pure function of the
+// instruction trace — the synchronous-SIMD property the paper builds
+// on.
+func (p *Platform) Deterministic() bool { return true }
+
+// Track runs Task 1 as an AP program and returns the modeled time.
+func (p *Platform) Track(w *airspace.World, f *radar.Frame) time.Duration {
+	m := NewMachine(p.prof, w.N())
+	TrackProgram(m, w, f)
+	return m.Time()
+}
+
+// DetectResolve runs Tasks 2-3 as an AP program and returns the
+// modeled time.
+func (p *Platform) DetectResolve(w *airspace.World) time.Duration {
+	m := NewMachine(p.prof, w.N())
+	DetectResolveProgram(m, w)
+	return m.Time()
+}

@@ -1,0 +1,253 @@
+package ap
+
+import (
+	"repro/internal/airspace"
+	"repro/internal/geom"
+	"repro/internal/radar"
+	"repro/internal/tasks"
+)
+
+// databaseFields is the number of wide words loaded per aircraft record
+// when the flight database enters PE memory.
+const databaseFields = 10
+
+// TrackProgram is the AP implementation of Task 1. The control unit
+// walks the radar list; for each still-unmatched radar it broadcasts
+// the measured position and performs one associative search over the
+// whole aircraft database per bounding-box pass — the constant-time
+// "search, count responders, step" idiom that makes the AP linear in
+// the number of radars regardless of database size.
+//
+// Ambiguity is arbitrated per radar over the full responder set (the
+// hardware sees all responders at once), which agrees with the
+// sequential reference everywhere except the rare scan-order-dependent
+// tail cases of Algorithm 1; on unambiguous geometry the results are
+// identical.
+func TrackProgram(m *Machine, w *airspace.World, f *radar.Frame) tasks.CorrelateStats {
+	var st tasks.CorrelateStats
+	ac := w.Aircraft
+
+	m.LoadDatabase(databaseFields)
+
+	// Expected positions and match-state reset: one wide operation.
+	m.ParallelOp(4, func(i int) {
+		a := &ac[i]
+		a.ExpX = a.X + a.DX
+		a.ExpY = a.Y + a.DY
+		a.RMatch = airspace.MatchNone
+	})
+	f.Reset()
+	m.Scalar(f.N())
+
+	// matchedRadar[k] remembers which radar aircraft k is paired with,
+	// so a withdrawal can release that radar for a later pass.
+	matchedRadar := make([]int32, len(ac))
+	for i := range matchedRadar {
+		matchedRadar[i] = -1
+	}
+
+	boxHalf := tasks.InitialBoxHalf
+	for pass := 0; pass < tasks.BoxPasses; pass++ {
+		pending := 0
+		for j := range f.Reports {
+			if f.Reports[j].MatchWith == radar.Unmatched {
+				pending++
+			}
+		}
+		if pass < tasks.BoxPasses {
+			st.PassRadars[pass] = pending
+		}
+		if pending == 0 {
+			break
+		}
+
+		for j := range f.Reports {
+			rep := &f.Reports[j]
+			m.Scalar(2)
+			if rep.MatchWith != radar.Unmatched {
+				continue
+			}
+			m.Broadcast(3) // rx, ry, boxHalf
+
+			// Associative search: eligible aircraft whose expected
+			// position box contains the radar.
+			m.Search(6, func(i int) bool {
+				a := &ac[i]
+				if a.RMatch == airspace.MatchDiscarded {
+					return false
+				}
+				return rep.RX > a.ExpX-boxHalf && rep.RX < a.ExpX+boxHalf &&
+					rep.RY > a.ExpY-boxHalf && rep.RY < a.ExpY+boxHalf
+			})
+			st.Comparisons += len(ac)
+
+			// Withdraw responders that are already paired with another
+			// radar (Algorithm 1 line 8) and release those radars.
+			m.MaskAnd(func(i int) bool { return ac[i].RMatch == airspace.MatchOne })
+			for {
+				k := m.FirstResponder()
+				if k < 0 {
+					break
+				}
+				ac[k].RMatch = airspace.MatchDiscarded
+				st.WithdrawnAircraft++
+				if r := matchedRadar[k]; r >= 0 {
+					f.Reports[r].MatchWith = radar.Unmatched
+					matchedRadar[k] = -1
+					m.Scalar(2)
+				}
+				m.ClearResponder(k)
+			}
+
+			// Re-search for the free responders and resolve the radar.
+			m.Search(6, func(i int) bool {
+				a := &ac[i]
+				if a.RMatch != airspace.MatchNone {
+					return false
+				}
+				return rep.RX > a.ExpX-boxHalf && rep.RX < a.ExpX+boxHalf &&
+					rep.RY > a.ExpY-boxHalf && rep.RY < a.ExpY+boxHalf
+			})
+			switch c := m.CountResponders(); {
+			case c == 1:
+				k := m.FirstResponder()
+				ac[k].RMatch = airspace.MatchOne
+				rep.MatchWith = int32(k)
+				matchedRadar[k] = int32(j)
+				m.Scalar(3)
+			case c >= 2:
+				// Two or more aircraft respond: the radar is ambiguous
+				// and discarded (Algorithm 1 line 9).
+				rep.MatchWith = radar.Discarded
+				st.DiscardedRadars++
+				m.Scalar(1)
+			}
+		}
+		boxHalf *= 2
+	}
+
+	// Commit: everyone dead-reckons, matched aircraft take the measured
+	// position, then field re-entry. The radar scatter is a sequential
+	// control-unit loop (radar data lives with the control unit).
+	m.ParallelOp(2, func(i int) {
+		a := &ac[i]
+		a.X, a.Y = a.ExpX, a.ExpY
+	})
+	for j := range f.Reports {
+		rep := &f.Reports[j]
+		m.Scalar(2)
+		switch rep.MatchWith {
+		case radar.Unmatched:
+			st.UnmatchedRadars++
+		case radar.Discarded:
+		default:
+			if ac[rep.MatchWith].RMatch == airspace.MatchOne {
+				a := &ac[rep.MatchWith]
+				a.X, a.Y = rep.RX, rep.RY
+				st.Matched++
+				m.Scalar(2)
+			}
+		}
+	}
+	m.ParallelOp(4, func(i int) { airspace.Wrap(&ac[i]) })
+	return st
+}
+
+// apScan evaluates one candidate course for track aircraft idx against
+// the whole database in one associative pass: a broadcast of the track
+// record, a wide evaluation of Equations 1-6 on every PE, and a
+// constant-time min-reduction over the critical responders. Semantics
+// match tasks.scan exactly (min over strict improvements, lowest index
+// wins ties).
+func apScan(m *Machine, w *airspace.World, idx int, vx, vy float64, st *tasks.DetectStats) (earliest float64, with int32, critical bool) {
+	ac := w.Aircraft
+	track := &ac[idx]
+	m.Broadcast(5) // x, y, vx, vy, alt
+
+	// tmin per PE, computed by the wide Batcher evaluation.
+	// The slice is scratch PE memory; allocate once per machine.
+	if len(m.scratch) < len(ac) {
+		m.scratch = make([]float64, len(ac))
+	}
+	tm := m.scratch
+
+	m.Search(2, func(p int) bool {
+		return p != idx && tasks.AltOverlap(track, &ac[p])
+	})
+	checks := 0
+	for _, r := range m.Mask() {
+		if r {
+			checks++
+		}
+	}
+	st.PairChecks += checks
+
+	// Wide evaluation of Equations 1-6 (the 4 divisions, the interval
+	// intersection and the horizon clip): ~14 word operations.
+	m.ParallelOp(14, func(p int) {
+		if !m.mask[p] {
+			return
+		}
+		tmin, tmax, ok := tasks.PairConflict(track.X, track.Y, vx, vy, &ac[p])
+		if ok && tmin < tmax {
+			tm[p] = tmin
+		} else {
+			tm[p] = airspace.SafeTime
+		}
+	})
+	m.MaskAnd(func(p int) bool { return tm[p] < airspace.SafeTime })
+
+	earliest, arg := m.MinReduce(airspace.SafeTime, func(p int) float64 { return tm[p] })
+	with = airspace.NoConflict
+	if arg >= 0 {
+		with = int32(arg)
+	}
+	return earliest, with, earliest < airspace.CriticalTime
+}
+
+// DetectResolveProgram is the AP implementation of Tasks 2-3: the
+// control unit visits each aircraft in turn; detection of that
+// aircraft against the entire database is one constant-time associative
+// pass, so the whole task is linear in N on the ideal AP. Resolution
+// rotates the course on the control unit and re-runs the pass.
+//
+// Control flow is identical to the sequential reference, so results
+// agree bit-for-bit on any traffic.
+func DetectResolveProgram(m *Machine, w *airspace.World) tasks.DetectStats {
+	var st tasks.DetectStats
+	m.LoadDatabase(databaseFields)
+	ac := w.Aircraft
+	for i := range ac {
+		track := &ac[i]
+		track.ResetConflict()
+		m.Scalar(4)
+		tmin, with, critical := apScan(m, w, i, track.DX, track.DY, &st)
+		if !critical {
+			continue
+		}
+		st.Conflicts++
+		tasks.MarkConflict(w, track, with, tmin)
+
+		base := geom.Vec2{X: track.DX, Y: track.DY}
+		resolved := false
+		for _, deg := range tasks.RotationSchedule() {
+			st.Rotations++
+			m.Scalar(8) // rotate on the control unit
+			v := base.Rotate(deg)
+			track.BatX, track.BatY = v.X, v.Y
+			tmin, with, critical = apScan(m, w, i, v.X, v.Y, &st)
+			if !critical {
+				track.DX, track.DY = v.X, v.Y
+				track.ResetConflict()
+				st.Resolved++
+				resolved = true
+				break
+			}
+			tasks.MarkConflict(w, track, with, tmin)
+		}
+		if !resolved {
+			st.Unresolved++
+		}
+	}
+	return st
+}

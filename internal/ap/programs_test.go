@@ -1,0 +1,241 @@
+package ap
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/airspace"
+	"repro/internal/radar"
+	"repro/internal/rng"
+	"repro/internal/tasks"
+)
+
+func gridWorld(n int) *airspace.World {
+	w := &airspace.World{Aircraft: make([]airspace.Aircraft, n)}
+	side := int(math.Ceil(math.Sqrt(float64(n))))
+	for i := range w.Aircraft {
+		a := &w.Aircraft[i]
+		a.ID = int32(i)
+		a.X = float64(i%side)*6 - airspace.SetupHalf
+		a.Y = float64(i/side)*6 - airspace.SetupHalf
+		a.DX = 0.02
+		a.DY = 0.01
+		a.Alt = 10000 + float64(i%4)*3000
+		a.ResetConflict()
+	}
+	return w
+}
+
+func TestTrackProgramMatchesReferenceOnCleanTraffic(t *testing.T) {
+	w := gridWorld(400)
+	f := radar.Generate(w, 0.2, rng.New(1))
+	refW, refF := w.Clone(), f.Clone()
+	refStats := tasks.Correlate(refW, refF)
+
+	m := NewMachine(STARAN, w.N())
+	st := TrackProgram(m, w, f)
+
+	if st.Matched != refStats.Matched {
+		t.Fatalf("matched %d, reference %d", st.Matched, refStats.Matched)
+	}
+	for i := range w.Aircraft {
+		if w.Aircraft[i].X != refW.Aircraft[i].X || w.Aircraft[i].Y != refW.Aircraft[i].Y {
+			t.Fatalf("aircraft %d differs from reference", i)
+		}
+	}
+	if m.Cycles() == 0 {
+		t.Fatal("program charged no cycles")
+	}
+}
+
+func TestTrackProgramHighMatchRateOnRandomTraffic(t *testing.T) {
+	w := airspace.NewWorld(2000, rng.New(7))
+	f := radar.Generate(w, radar.DefaultNoise, rng.New(8))
+	m := NewMachine(ClearSpeedCSX600, w.N())
+	st := TrackProgram(m, w, f)
+	if st.Matched < w.N()*95/100 {
+		t.Fatalf("only %d of %d matched", st.Matched, w.N())
+	}
+}
+
+func TestTrackProgramDiscardsAmbiguousRadar(t *testing.T) {
+	// Two aircraft 0.2 nm apart share one radar: the AP sees two
+	// responders at once and discards the radar.
+	w := gridWorld(2)
+	w.Aircraft[1].X = w.Aircraft[0].X + 0.2
+	w.Aircraft[1].Y = w.Aircraft[0].Y
+	w.Aircraft[1].DX, w.Aircraft[1].DY = w.Aircraft[0].DX, w.Aircraft[0].DY
+	f := &radar.Frame{Reports: []radar.Report{
+		{RX: w.Aircraft[0].X + w.Aircraft[0].DX + 0.1, RY: w.Aircraft[0].Y + w.Aircraft[0].DY, MatchWith: radar.Unmatched},
+	}}
+	st := TrackProgram(NewMachine(STARAN, w.N()), w, f)
+	if st.DiscardedRadars != 1 || f.Reports[0].MatchWith != radar.Discarded {
+		t.Fatalf("ambiguous radar not discarded: %+v", st)
+	}
+}
+
+func TestTrackProgramWithdrawsAmbiguousAircraft(t *testing.T) {
+	// One aircraft, two radars in its box: the aircraft pairs with the
+	// first radar, then the second radar's search finds it already
+	// matched and withdraws it.
+	w := gridWorld(1)
+	a := &w.Aircraft[0]
+	ex, ey := a.X+a.DX, a.Y+a.DY
+	f := &radar.Frame{Reports: []radar.Report{
+		{RX: ex + 0.1, RY: ey, MatchWith: radar.Unmatched},
+		{RX: ex - 0.1, RY: ey, MatchWith: radar.Unmatched},
+	}}
+	st := TrackProgram(NewMachine(STARAN, w.N()), w, f)
+	if st.WithdrawnAircraft != 1 {
+		t.Fatalf("aircraft not withdrawn: %+v", st)
+	}
+	if w.Aircraft[0].X != ex || w.Aircraft[0].Y != ey {
+		t.Fatal("withdrawn aircraft must keep its expected position")
+	}
+}
+
+func TestDetectResolveProgramMatchesReferenceExactly(t *testing.T) {
+	// Control flow is sequential like the reference, so agreement must
+	// be bit-for-bit on arbitrary random traffic.
+	base := airspace.NewWorld(600, rng.New(42))
+	refW := base.Clone()
+	refStats := tasks.DetectResolve(refW)
+
+	apW := base.Clone()
+	m := NewMachine(STARAN, apW.N())
+	apStats := DetectResolveProgram(m, apW)
+
+	if apStats != refStats {
+		t.Fatalf("stats differ:\nAP  %+v\nref %+v", apStats, refStats)
+	}
+	for i := range refW.Aircraft {
+		if refW.Aircraft[i] != apW.Aircraft[i] {
+			t.Fatalf("aircraft %d differs:\nAP  %+v\nref %+v", i, apW.Aircraft[i], refW.Aircraft[i])
+		}
+	}
+}
+
+func TestDetectResolveProgramOnClearSpeedSameResults(t *testing.T) {
+	// The ClearSpeed emulation runs the same program; only the cycle
+	// count differs.
+	base := airspace.NewWorld(400, rng.New(55))
+	w1, w2 := base.Clone(), base.Clone()
+	m1 := NewMachine(STARAN, w1.N())
+	m2 := NewMachine(ClearSpeedCSX600, w2.N())
+	st1 := DetectResolveProgram(m1, w1)
+	st2 := DetectResolveProgram(m2, w2)
+	if st1 != st2 {
+		t.Fatalf("results differ across profiles: %+v vs %+v", st1, st2)
+	}
+	for i := range w1.Aircraft {
+		if w1.Aircraft[i] != w2.Aircraft[i] {
+			t.Fatalf("aircraft %d differs across profiles", i)
+		}
+	}
+	if m1.Cycles() == m2.Cycles() {
+		t.Fatal("different machines should charge different cycle counts")
+	}
+}
+
+func TestPlatformDeterministicTiming(t *testing.T) {
+	base := airspace.NewWorld(500, rng.New(9))
+	frame := radar.Generate(base, radar.DefaultNoise, rng.New(10))
+	p := NewPlatform(STARAN)
+	t1 := p.Track(base.Clone(), frame.Clone())
+	for i := 0; i < 3; i++ {
+		if got := p.Track(base.Clone(), frame.Clone()); got != t1 {
+			t.Fatalf("run %d: %v != %v", i, got, t1)
+		}
+	}
+	if !p.Deterministic() {
+		t.Fatal("AP platform must report deterministic timing")
+	}
+}
+
+func TestIdealAPTrackIsLinear(t *testing.T) {
+	// The headline property from [12, 13]: AP Task 1 time is linear in
+	// N. Doubling N must scale modeled time by ~2 (within the tolerance
+	// the O(1) program prologue introduces).
+	timeFor := func(n int) float64 {
+		w := airspace.NewWorld(n, rng.New(11))
+		f := radar.Generate(w, radar.DefaultNoise, rng.New(12))
+		p := NewPlatform(STARAN)
+		return p.Track(w, f).Seconds()
+	}
+	t4, t8 := timeFor(4000), timeFor(8000)
+	ratio := t8 / t4
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Fatalf("ideal AP Task 1 scaling ratio %v, want ~2 (linear)", ratio)
+	}
+}
+
+func TestClearSpeedSlowerThanIdealAPAtScale(t *testing.T) {
+	w := airspace.NewWorld(8000, rng.New(13))
+	f := radar.Generate(w, radar.DefaultNoise, rng.New(14))
+	ideal := NewPlatform(STARAN).Track(w.Clone(), f.Clone())
+	emu := NewPlatform(ClearSpeedCSX600).Track(w.Clone(), f.Clone())
+	if emu <= ideal {
+		t.Fatalf("ClearSpeed emulation (%v) should be slower than the ideal AP (%v) at 8000 aircraft", emu, ideal)
+	}
+}
+
+func TestHeadOnResolvedLikeReference(t *testing.T) {
+	w := gridWorld(2)
+	a, b := &w.Aircraft[0], &w.Aircraft[1]
+	a.X, a.Y, a.DX, a.DY, a.Alt = 0, 0, 0.05, 0, 10000
+	b.X, b.Y, b.DX, b.DY, b.Alt = 30, 0, -0.05, 0, 10000
+	a.ResetConflict()
+	b.ResetConflict()
+
+	st := DetectResolveProgram(NewMachine(STARAN, 2), w)
+	if st.Conflicts == 0 || st.Resolved == 0 {
+		t.Fatalf("head-on pair not resolved: %+v", st)
+	}
+	if check := tasks.Detect(w); check.Conflicts != 0 {
+		t.Fatalf("conflicts remain after AP resolution: %+v", check)
+	}
+}
+
+func TestPriorityProgramMatchesReference(t *testing.T) {
+	w := airspace.NewWorld(1200, rng.New(31))
+	tasks.Detect(w)
+	want := tasks.PriorityList(w)
+
+	m := NewMachine(STARAN, w.N())
+	got := PriorityProgram(m, w)
+	if len(got) != len(want) {
+		t.Fatalf("list length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("position %d: id %d, want %d", i, got[i], want[i])
+		}
+	}
+	if len(want) > 0 && m.Cycles() == 0 {
+		t.Fatal("program charged no cycles")
+	}
+}
+
+func TestPriorityProgramLinearInConflicts(t *testing.T) {
+	// The AP's display list costs O(k) wide operations for k conflicts:
+	// a world with no conflicts must charge far fewer cycles than a
+	// conflict-heavy one of the same size.
+	calm := airspace.NewWorld(500, rng.New(33))
+	for i := range calm.Aircraft {
+		calm.Aircraft[i].ResetConflict()
+	}
+	mCalm := NewMachine(STARAN, calm.N())
+	PriorityProgram(mCalm, calm)
+
+	busy := airspace.NewWorld(500, rng.New(33))
+	tasks.Detect(busy)
+	mBusy := NewMachine(STARAN, busy.N())
+	list := PriorityProgram(mBusy, busy)
+	if len(list) == 0 {
+		t.Skip("seed produced no conflicts")
+	}
+	if mBusy.Cycles() <= mCalm.Cycles() {
+		t.Fatalf("busy list (%d entries) cost %d cycles, calm cost %d",
+			len(list), mBusy.Cycles(), mCalm.Cycles())
+	}
+}

@@ -1,0 +1,184 @@
+// Package core ties the reproduction together: it owns the simulated
+// airfield, generates radar every period, drives the platform under
+// test through the paper's 16-period major cycle, and accounts
+// deadlines. This is the programmatic entry point used by the command
+// line tools, the examples and the benchmark harness.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/airspace"
+	"repro/internal/platform"
+	"repro/internal/radar"
+	"repro/internal/replay"
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+// Task names used in scheduler statistics.
+const (
+	// Task1 is tracking and correlation (every period).
+	Task1 = "task1:track+correlate"
+	// Task23 is the fused collision detection + resolution (every major
+	// cycle, in the 16th period).
+	Task23 = "task2+3:detect+resolve"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// N is the number of aircraft.
+	N int
+	// Seed fixes flight setup, radar noise and MIMD jitter.
+	Seed uint64
+	// Noise is the radar measurement error amplitude in nautical miles;
+	// 0 means radar.DefaultNoise.
+	Noise float64
+	// PeriodDur overrides the half-second period (tests only); 0 means
+	// the paper's 500 ms.
+	PeriodDur time.Duration
+}
+
+func (c Config) noise() float64 {
+	if c.Noise == 0 {
+		return radar.DefaultNoise
+	}
+	return c.Noise
+}
+
+// System is one running ATM simulation bound to a platform.
+type System struct {
+	Platform platform.Platform
+	World    *airspace.World
+
+	cfg      Config
+	radarRng *rng.Rand
+	tracker  *sched.Tracker
+	period   int // global period counter
+	recorder *replay.Recorder
+}
+
+// SetRecorder attaches a replay recorder; every subsequent period is
+// logged (nil detaches). The caller owns flushing.
+func (s *System) SetRecorder(r *replay.Recorder) { s.recorder = r }
+
+// NewSystem creates the airfield (SetupFlight for every aircraft) and
+// binds it to the platform.
+func NewSystem(p platform.Platform, cfg Config) *System {
+	if cfg.N < 0 {
+		panic(fmt.Sprintf("core: negative aircraft count %d", cfg.N))
+	}
+	root := rng.New(cfg.Seed)
+	setupRng := root.Split()
+	radarRng := root.Split()
+	return &System{
+		Platform: p,
+		World:    airspace.NewWorld(cfg.N, setupRng),
+		cfg:      cfg,
+		radarRng: radarRng,
+		tracker:  sched.NewTracker(cfg.PeriodDur),
+	}
+}
+
+// NewSystemWithWorld binds the platform to an externally constructed
+// traffic scenario instead of random flight setup. cfg.N is ignored.
+func NewSystemWithWorld(p platform.Platform, w *airspace.World, cfg Config) *System {
+	root := rng.New(cfg.Seed)
+	root.Split() // keep the stream layout of NewSystem
+	radarRng := root.Split()
+	return &System{
+		Platform: p,
+		World:    w,
+		cfg:      cfg,
+		radarRng: radarRng,
+		tracker:  sched.NewTracker(cfg.PeriodDur),
+	}
+}
+
+// RunPeriod executes one half-second period: radar generation (host
+// work, outside the deadline, per Section 4.2), Task 1, and — in the
+// 16th period of each major cycle — Tasks 2-3.
+func (s *System) RunPeriod() {
+	frame := radar.Generate(s.World, s.cfg.noise(), s.radarRng)
+	missesBefore := s.tracker.Stats().PeriodMisses
+	var t1, t23 time.Duration
+	s.tracker.BeginPeriod()
+	s.tracker.Run(Task1, func() time.Duration {
+		t1 = s.Platform.Track(s.World, frame)
+		return t1
+	})
+	if s.period%airspace.PeriodsPerMajorCycle == airspace.PeriodsPerMajorCycle-1 {
+		s.tracker.Run(Task23, func() time.Duration {
+			t23 = s.Platform.DetectResolve(s.World)
+			return t23
+		})
+	}
+	s.tracker.EndPeriod()
+	if s.recorder != nil {
+		missed := s.tracker.Stats().PeriodMisses > missesBefore
+		// Recording is diagnostics; a write failure must not corrupt
+		// the simulation, so it is surfaced via panic only in tests.
+		if err := s.recorder.WritePeriod(s.World, t1, t23, missed); err != nil {
+			panic(fmt.Sprintf("core: replay recording failed: %v", err))
+		}
+	}
+	s.period++
+}
+
+// RunMajorCycles runs k full 16-period major cycles.
+func (s *System) RunMajorCycles(k int) {
+	for c := 0; c < k; c++ {
+		for p := 0; p < airspace.PeriodsPerMajorCycle; p++ {
+			s.RunPeriod()
+		}
+	}
+}
+
+// Stats returns the deadline accounting collected so far.
+func (s *System) Stats() *sched.Stats { return s.tracker.Stats() }
+
+// Periods returns the number of periods executed.
+func (s *System) Periods() int { return s.period }
+
+// Measurement is the per-platform summary the experiment figures are
+// built from.
+type Measurement struct {
+	PlatformName string
+	N            int
+	// Task1Mean / Task23Mean are the average virtual durations per task
+	// invocation ("their timings are taken as an average of all
+	// iterations of the task", Section 6.1).
+	Task1Mean, Task23Mean time.Duration
+	// Task1Max / Task23Max are the worst observed invocations.
+	Task1Max, Task23Max time.Duration
+	// PeriodMisses and Periods give the deadline record.
+	PeriodMisses, Periods int
+	// Skips counts task executions abandoned for lack of budget.
+	Skips int
+}
+
+// Measure runs cycles major cycles of the named platform at N aircraft
+// and summarizes.
+func Measure(platformName string, n, cycles int, seed uint64) (Measurement, error) {
+	p, err := platform.New(platformName, seed)
+	if err != nil {
+		return Measurement{}, err
+	}
+	sys := NewSystem(p, Config{N: n, Seed: seed})
+	sys.RunMajorCycles(cycles)
+	st := sys.Stats()
+	t1 := st.Task(Task1)
+	t23 := st.Task(Task23)
+	return Measurement{
+		PlatformName: p.Name(),
+		N:            n,
+		Task1Mean:    t1.Mean(),
+		Task23Mean:   t23.Mean(),
+		Task1Max:     t1.Max,
+		Task23Max:    t23.Max,
+		PeriodMisses: st.PeriodMisses,
+		Periods:      st.Periods,
+		Skips:        st.TotalSkips,
+	}, nil
+}

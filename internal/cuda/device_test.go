@@ -1,0 +1,234 @@
+package cuda
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBlocks(t *testing.T) {
+	cases := []struct{ threads, blocks int }{
+		{0, 0}, {1, 1}, {95, 1}, {96, 1}, {97, 2}, {192, 2}, {193, 3}, {32000, 334},
+	}
+	for _, c := range cases {
+		if got := Blocks(c.threads); got != c.blocks {
+			t.Errorf("Blocks(%d) = %d, want %d", c.threads, got, c.blocks)
+		}
+	}
+}
+
+func TestProfilesSane(t *testing.T) {
+	for _, p := range Profiles() {
+		if p.Cores <= 0 || p.SMs <= 0 || p.ClockHz <= 0 || p.MemBandwidth <= 0 {
+			t.Errorf("profile %q has non-positive hardware numbers: %+v", p.Name, p)
+		}
+		if p.IPC <= 0 || p.IPC > 2 {
+			t.Errorf("profile %q has implausible IPC %v", p.Name, p.IPC)
+		}
+	}
+	if TitanXPascal.Cores <= GTX880M.Cores || GTX880M.Cores <= GeForce9800GT.Cores {
+		t.Error("core counts must increase across device generations")
+	}
+}
+
+func TestLaunchVisitsEveryThreadOnce(t *testing.T) {
+	d := NewDevice(TitanXPascal)
+	const threads = 1000
+	var mu sync.Mutex
+	seen := make([]int, threads)
+	st := d.Launch("visit", threads, func(th *Thread) {
+		mu.Lock()
+		seen[th.ID]++
+		mu.Unlock()
+		if th.ID != th.Block*ThreadsPerBlock+th.Lane {
+			t.Errorf("thread %d has inconsistent block %d / lane %d", th.ID, th.Block, th.Lane)
+		}
+	})
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("thread %d executed %d times", id, n)
+		}
+	}
+	if st.Threads != threads || st.Blocks != Blocks(threads) {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLaunchOpsAccounting(t *testing.T) {
+	d := NewDevice(GTX880M)
+	st := d.Launch("ops", 500, func(th *Thread) {
+		th.Ops(7)
+		th.Mem(16)
+	})
+	if st.TotalOps != 500*7 {
+		t.Fatalf("TotalOps = %d, want %d", st.TotalOps, 500*7)
+	}
+	if st.MaxThreadOps != 7 {
+		t.Fatalf("MaxThreadOps = %d, want 7", st.MaxThreadOps)
+	}
+	if st.MemBytes != 500*16 {
+		t.Fatalf("MemBytes = %d, want %d", st.MemBytes, 500*16)
+	}
+	if st.Time < d.Profile.LaunchOverhead {
+		t.Fatalf("Time %v below launch overhead", st.Time)
+	}
+}
+
+func TestLaunchZeroThreads(t *testing.T) {
+	d := NewDevice(GeForce9800GT)
+	st := d.Launch("empty", 0, func(th *Thread) { t.Error("kernel ran with zero threads") })
+	if st.TotalOps != 0 || st.Blocks != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLaunchNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative thread count did not panic")
+		}
+	}()
+	NewDevice(GeForce9800GT).Launch("bad", -1, func(th *Thread) {})
+}
+
+func TestLaunchDeterministicAccounting(t *testing.T) {
+	d := NewDevice(TitanXPascal)
+	kernel := func(th *Thread) { th.Ops(th.ID%13 + 1); th.Mem(th.ID % 7) }
+	a := d.Launch("k", 5000, kernel)
+	for i := 0; i < 5; i++ {
+		b := d.Launch("k", 5000, kernel)
+		if a.TotalOps != b.TotalOps || a.MaxThreadOps != b.MaxThreadOps ||
+			a.MemBytes != b.MemBytes || a.Time != b.Time {
+			t.Fatalf("run %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestSerialBound(t *testing.T) {
+	// One enormous thread among tiny ones: the kernel cannot finish
+	// faster than that thread's chain.
+	d := NewDevice(TitanXPascal)
+	st := d.Launch("serial", 96, func(th *Thread) {
+		if th.ID == 0 {
+			th.Ops(1_000_000)
+		} else {
+			th.Ops(1)
+		}
+	})
+	serial := time.Duration(1_000_000 / (d.Profile.IPC * d.Profile.ClockHz) * 1e9)
+	if st.Time < serial {
+		t.Fatalf("Time %v below the serial bound %v", st.Time, serial)
+	}
+}
+
+func TestMemoryBound(t *testing.T) {
+	// Huge cold traffic, negligible compute: time must reflect the
+	// bandwidth term.
+	d := NewDevice(GeForce9800GT)
+	st := d.Launch("mem", 96, func(th *Thread) {
+		th.Ops(1)
+		th.Mem(60_000_000) // 96 * 60 MB ~ 5.76 GB at 57.6 GB/s => ~100 ms
+	})
+	if st.Time < 90*time.Millisecond {
+		t.Fatalf("memory-bound kernel finished in %v", st.Time)
+	}
+}
+
+func TestFasterDeviceIsFaster(t *testing.T) {
+	kernel := func(th *Thread) { th.Ops(10000) }
+	old := NewDevice(GeForce9800GT).Launch("k", 9600, kernel)
+	kep := NewDevice(GTX880M).Launch("k", 9600, kernel)
+	pas := NewDevice(TitanXPascal).Launch("k", 9600, kernel)
+	if !(pas.Time < kep.Time && kep.Time < old.Time) {
+		t.Fatalf("device ordering violated: pascal=%v kepler=%v 9800gt=%v",
+			pas.Time, kep.Time, old.Time)
+	}
+}
+
+func TestTransferTimeMonotonic(t *testing.T) {
+	d := NewDevice(GTX880M)
+	small := d.TransferTime(1 << 10)
+	big := d.TransferTime(1 << 24)
+	if small <= 0 || big <= small {
+		t.Fatalf("transfer times: small=%v big=%v", small, big)
+	}
+}
+
+func TestSetWorkersStillCorrect(t *testing.T) {
+	d := NewDevice(TitanXPascal)
+	d.SetWorkers(1)
+	st1 := d.Launch("k", 1000, func(th *Thread) { th.Ops(3) })
+	d.SetWorkers(8)
+	st8 := d.Launch("k", 1000, func(th *Thread) { th.Ops(3) })
+	if st1.TotalOps != st8.TotalOps || st1.Time != st8.Time {
+		t.Fatalf("worker count changed the model: %+v vs %+v", st1, st8)
+	}
+}
+
+func TestOccupancyFor(t *testing.T) {
+	d := NewDevice(TitanXPascal) // 28 SMs
+	o := d.OccupancyFor(0)
+	if o.Blocks != 0 || o.Waves != 0 {
+		t.Fatalf("empty occupancy = %+v", o)
+	}
+	// 96 threads = 1 block: one partial wave, 1/28 SM fill.
+	o = d.OccupancyFor(96)
+	if o.Blocks != 1 || o.Waves != 1 || o.TailBlocks != 1 {
+		t.Fatalf("one-block occupancy = %+v", o)
+	}
+	if o.ThreadFill != 1 {
+		t.Fatalf("ThreadFill = %v", o.ThreadFill)
+	}
+	if o.SMFill <= 0 || o.SMFill > 1.0/28+1e-9 {
+		t.Fatalf("SMFill = %v", o.SMFill)
+	}
+	// 28 full blocks: one full wave.
+	o = d.OccupancyFor(28 * ThreadsPerBlock)
+	if o.Waves != 1 || o.SMFill != 1 || o.TailBlocks != 0 {
+		t.Fatalf("full-wave occupancy = %+v", o)
+	}
+	// 29 blocks: two waves, second nearly empty.
+	o = d.OccupancyFor(29 * ThreadsPerBlock)
+	if o.Waves != 2 || o.TailBlocks != 1 {
+		t.Fatalf("two-wave occupancy = %+v", o)
+	}
+	// Partial last block lowers thread fill.
+	o = d.OccupancyFor(100)
+	if o.Blocks != 2 || o.ThreadFill != 100.0/192 {
+		t.Fatalf("partial-block occupancy = %+v", o)
+	}
+}
+
+func TestDivergenceConvergedKernel(t *testing.T) {
+	d := NewDevice(TitanXPascal)
+	st := d.Launch("conv", 960, func(th *Thread) { th.Ops(10) })
+	if got := st.Divergence(); got != 0 {
+		t.Fatalf("uniform kernel divergence = %v, want 0", got)
+	}
+}
+
+func TestDivergenceDivergentKernel(t *testing.T) {
+	d := NewDevice(TitanXPascal)
+	// Half of each warp does 10x the work: heavy divergence.
+	st := d.Launch("div", 960, func(th *Thread) {
+		if th.Lane%2 == 0 {
+			th.Ops(100)
+		} else {
+			th.Ops(10)
+		}
+	})
+	got := st.Divergence()
+	// Waste per warp: slots = 32*100; used = 16*100+16*10 = 1760;
+	// waste fraction = (3200-1760)/3200 = 0.45.
+	if got < 0.44 || got > 0.46 {
+		t.Fatalf("divergence = %v, want ~0.45", got)
+	}
+}
+
+func TestDivergenceZeroOpsKernel(t *testing.T) {
+	d := NewDevice(GeForce9800GT)
+	st := d.Launch("zero", 96, func(th *Thread) {})
+	if st.Divergence() != 0 {
+		t.Fatalf("zero-op kernel divergence = %v", st.Divergence())
+	}
+}

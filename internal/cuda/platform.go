@@ -1,0 +1,41 @@
+package cuda
+
+import (
+	"time"
+
+	"repro/internal/airspace"
+	"repro/internal/radar"
+)
+
+// Platform adapts an Engine to the platform.Platform interface used by
+// the scheduler and the experiment harness.
+type Platform struct {
+	eng *Engine
+}
+
+// NewPlatform returns a scheduler-facing platform on the given device
+// profile.
+func NewPlatform(p Profile) *Platform {
+	return &Platform{eng: NewEngine(p)}
+}
+
+// Engine exposes the underlying kernel engine.
+func (p *Platform) Engine() *Engine { return p.eng }
+
+// Name returns the device name.
+func (p *Platform) Name() string { return p.eng.Name() }
+
+// Deterministic reports that the modeled timing is a pure function of
+// the workload — the property the paper demonstrates for CUDA devices.
+func (p *Platform) Deterministic() bool { return true }
+
+// Track runs Task 1 and returns the modeled device time.
+func (p *Platform) Track(w *airspace.World, f *radar.Frame) time.Duration {
+	return p.eng.TrackDrone(w, f).Time
+}
+
+// DetectResolve runs the fused Tasks 2-3 kernel and returns the modeled
+// device time.
+func (p *Platform) DetectResolve(w *airspace.World) time.Duration {
+	return p.eng.CheckCollisionPath(w).Time
+}

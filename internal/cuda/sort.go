@@ -1,0 +1,129 @@
+package cuda
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/airspace"
+)
+
+// This file implements Batcher's bitonic sorting network on the CUDA
+// engine and uses it for the conflict-priority display task: producing
+// the controller's list of conflicting aircraft ordered by time to
+// conflict. K. E. Batcher designed both the STARAN (the paper's AP)
+// and the bitonic network, so the two platforms sort the same list in
+// characteristically different ways — the AP by repeated constant-time
+// min-reductions (see ap.PriorityProgram), the GPU by O(log^2 n)
+// data-parallel compare-exchange stages.
+
+// opsCompareExchange is the abstract cost of one bitonic
+// compare-exchange (two loads, a lexicographic compare, a conditional
+// swap).
+const opsCompareExchange = 8
+
+// BitonicSortPairs sorts the (key, id) pairs ascending by key, with id
+// breaking ties, using Batcher's bitonic network: one kernel launch per
+// (k, j) stage with one thread per element. len(keys) must equal
+// len(ids); the slices are sorted in place. Returns the accumulated
+// kernel stats (ops are dominated by the n log^2 n compare-exchanges).
+func (e *Engine) BitonicSortPairs(keys []float64, ids []int32) []KernelStats {
+	if len(keys) != len(ids) {
+		panic("cuda: BitonicSortPairs length mismatch")
+	}
+	n := len(keys)
+	if n < 2 {
+		return nil
+	}
+	// Pad to a power of two with +Inf sentinels, as the network needs.
+	size := 1
+	for size < n {
+		size *= 2
+	}
+	k := keys
+	d := ids
+	if size != n {
+		k = make([]float64, size)
+		d = make([]int32, size)
+		copy(k, keys)
+		copy(d, ids)
+		for i := n; i < size; i++ {
+			k[i] = math.Inf(1)
+			d[i] = math.MaxInt32
+		}
+	}
+
+	var stats []KernelStats
+	for span := 2; span <= size; span *= 2 {
+		for j := span / 2; j >= 1; j /= 2 {
+			st := e.dev.Launch("bitonicStage", size, func(t *Thread) {
+				i := t.ID
+				partner := i ^ j
+				if partner <= i {
+					return
+				}
+				t.Ops(opsCompareExchange)
+				ascending := i&span == 0
+				swap := k[i] > k[partner] || (k[i] == k[partner] && d[i] > d[partner])
+				if swap == ascending {
+					k[i], k[partner] = k[partner], k[i]
+					d[i], d[partner] = d[partner], d[i]
+				}
+			})
+			stats = append(stats, st)
+		}
+	}
+	if size != len(keys) {
+		copy(keys, k[:len(keys)])
+		copy(ids, d[:len(ids)])
+	}
+	return stats
+}
+
+// PriorityResult is the conflict-priority display list.
+type PriorityResult struct {
+	// IDs are the conflicting aircraft ordered by TimeTill ascending
+	// (most urgent first), ties broken by aircraft ID.
+	IDs []int32
+	// Kernels holds the launch accounts; Time is their modeled total
+	// plus the transfer of the list to the host display.
+	Kernels []KernelStats
+	Time    time.Duration
+}
+
+// ConflictPriority produces the display list on the device: a
+// key-build kernel (TimeTill for conflicting aircraft, +Inf otherwise),
+// the bitonic sort, and a transfer of the list back to the host.
+func (e *Engine) ConflictPriority(w *airspace.World) PriorityResult {
+	n := w.N()
+	keys := make([]float64, n)
+	ids := make([]int32, n)
+	ac := w.Aircraft
+	var res PriorityResult
+
+	st := e.dev.Launch("priorityKeys", n, func(t *Thread) {
+		a := &ac[t.ID]
+		t.Ops(4)
+		ids[t.ID] = a.ID
+		if a.Col {
+			keys[t.ID] = a.TimeTill
+		} else {
+			keys[t.ID] = math.Inf(1)
+		}
+	})
+	res.Kernels = append(res.Kernels, st)
+	res.Time += st.Time
+
+	for _, s := range e.BitonicSortPairs(keys, ids) {
+		res.Kernels = append(res.Kernels, s)
+		res.Time += s.Time
+	}
+
+	for i := 0; i < n; i++ {
+		if math.IsInf(keys[i], 1) {
+			break
+		}
+		res.IDs = append(res.IDs, ids[i])
+	}
+	res.Time += e.dev.TransferTime(len(res.IDs) * 4)
+	return res
+}

@@ -1,0 +1,111 @@
+package cuda
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/airspace"
+	"repro/internal/rng"
+	"repro/internal/tasks"
+)
+
+func TestBitonicSortPairsRandom(t *testing.T) {
+	r := rng.New(1)
+	eng := NewEngine(TitanXPascal)
+	for _, n := range []int{0, 1, 2, 3, 7, 8, 9, 100, 1000, 1023, 1024, 1025} {
+		keys := make([]float64, n)
+		ids := make([]int32, n)
+		for i := range keys {
+			keys[i] = r.Range(-100, 100)
+			ids[i] = int32(i)
+		}
+		want := append([]float64(nil), keys...)
+		sort.Float64s(want)
+
+		eng.BitonicSortPairs(keys, ids)
+		for i := range keys {
+			if keys[i] != want[i] {
+				t.Fatalf("n=%d: keys[%d] = %v, want %v", n, i, keys[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBitonicSortTieBreakByID(t *testing.T) {
+	eng := NewEngine(GeForce9800GT)
+	keys := []float64{5, 5, 1, 5, 1}
+	ids := []int32{4, 2, 3, 0, 1}
+	eng.BitonicSortPairs(keys, ids)
+	wantKeys := []float64{1, 1, 5, 5, 5}
+	wantIDs := []int32{1, 3, 0, 2, 4}
+	for i := range keys {
+		if keys[i] != wantKeys[i] || ids[i] != wantIDs[i] {
+			t.Fatalf("pos %d: (%v,%d), want (%v,%d)", i, keys[i], ids[i], wantKeys[i], wantIDs[i])
+		}
+	}
+}
+
+func TestBitonicSortPairsKeepsPairing(t *testing.T) {
+	// IDs must travel with their keys.
+	r := rng.New(2)
+	eng := NewEngine(GTX880M)
+	const n = 500
+	keys := make([]float64, n)
+	ids := make([]int32, n)
+	orig := map[int32]float64{}
+	for i := range keys {
+		keys[i] = math.Floor(r.Range(0, 1e6)) // distinct with high probability
+		ids[i] = int32(i)
+		orig[ids[i]] = keys[i]
+	}
+	eng.BitonicSortPairs(keys, ids)
+	for i := range keys {
+		if orig[ids[i]] != keys[i] {
+			t.Fatalf("pair broken at %d: id %d has key %v, want %v", i, ids[i], keys[i], orig[ids[i]])
+		}
+	}
+}
+
+func TestBitonicSortMismatchedLengthsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	NewEngine(TitanXPascal).BitonicSortPairs(make([]float64, 3), make([]int32, 2))
+}
+
+func TestConflictPriorityMatchesReference(t *testing.T) {
+	w := airspace.NewWorld(1500, rng.New(7))
+	tasks.Detect(w) // mark conflicts
+	want := tasks.PriorityList(w)
+
+	res := NewEngine(TitanXPascal).ConflictPriority(w)
+	if len(res.IDs) != len(want) {
+		t.Fatalf("list length %d, want %d", len(res.IDs), len(want))
+	}
+	for i := range want {
+		if res.IDs[i] != want[i] {
+			t.Fatalf("position %d: id %d, want %d", i, res.IDs[i], want[i])
+		}
+	}
+	if len(want) > 0 && res.Time <= 0 {
+		t.Fatal("no modeled time")
+	}
+}
+
+func TestConflictPriorityEmptyAndCalm(t *testing.T) {
+	eng := NewEngine(GTX880M)
+	if res := eng.ConflictPriority(&airspace.World{}); len(res.IDs) != 0 {
+		t.Fatal("empty world produced a list")
+	}
+	// Calm traffic: no conflicts marked, empty list.
+	w := airspace.NewWorld(100, rng.New(9))
+	for i := range w.Aircraft {
+		w.Aircraft[i].ResetConflict()
+	}
+	if res := eng.ConflictPriority(w); len(res.IDs) != 0 {
+		t.Fatalf("calm world produced %d entries", len(res.IDs))
+	}
+}

@@ -1,0 +1,556 @@
+// Package experiments defines one reproducible experiment per artifact
+// of the paper's evaluation (Section 6): Figures 4-9 plus the deadline
+// and determinism claims of Section 6.2, and the ablations called out
+// in DESIGN.md. Each experiment returns a trace.Dataset that the
+// harness (cmd/atmbench, bench_test.go) renders and records.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/airspace"
+	"repro/internal/core"
+	"repro/internal/cuda"
+	"repro/internal/fit"
+	"repro/internal/platform"
+	"repro/internal/radar"
+	"repro/internal/radarnet"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/tasks"
+	"repro/internal/trace"
+)
+
+// Config controls the sweeps.
+type Config struct {
+	// Cycles is the number of 8-second major cycles measured per point
+	// (the paper averages task timings over all iterations).
+	Cycles int
+	// Seed fixes all randomness.
+	Seed uint64
+	// Quick trims the sweeps for tests: smaller Ns, one cycle.
+	Quick bool
+}
+
+// DefaultConfig is the full reproduction configuration. One major
+// cycle per measurement gives 16 Task-1 samples and one Tasks-2+3
+// sample per sweep point, which the paper's averaging treats as one
+// measurement series; raise Cycles for tighter MIMD averages.
+var DefaultConfig = Config{Cycles: 1, Seed: 2018}
+
+func (c Config) cycles() int {
+	if c.Quick {
+		return 1
+	}
+	if c.Cycles <= 0 {
+		return DefaultConfig.Cycles
+	}
+	return c.Cycles
+}
+
+// AllPlatformNs is the aircraft-count sweep for the all-platform
+// figures (Figs. 4 and 6). It stops at 16000: the ClearSpeed emulation
+// and the Xeon already miss deadlines past that scale, which is the
+// regime [12, 13] reported.
+func (c Config) AllPlatformNs() []int {
+	if c.Quick {
+		return []int{500, 1000, 2000}
+	}
+	return []int{1000, 2000, 4000, 8000, 16000}
+}
+
+// NVIDIANs is the aircraft-count sweep for the NVIDIA-only figures
+// (Figs. 5, 7, 8, 9), which extend to 32000 aircraft.
+func (c Config) NVIDIANs() []int {
+	if c.Quick {
+		return []int{500, 1000, 2000, 4000}
+	}
+	return []int{1000, 2000, 4000, 8000, 16000, 32000}
+}
+
+// Sweep holds the measurements shared by several figures.
+type Sweep struct {
+	Platforms []string
+	Ns        []int
+	// ByPlatform[name][n] is the measurement for that cell.
+	ByPlatform map[string]map[int]core.Measurement
+}
+
+// RunSweep measures every (platform, N) cell.
+func RunSweep(platforms []string, ns []int, cfg Config) (*Sweep, error) {
+	s := &Sweep{Platforms: platforms, Ns: ns, ByPlatform: map[string]map[int]core.Measurement{}}
+	for _, name := range platforms {
+		s.ByPlatform[name] = map[int]core.Measurement{}
+		for _, n := range ns {
+			m, err := core.Measure(name, n, cfg.cycles(), cfg.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: sweep %s/%d: %w", name, n, err)
+			}
+			s.ByPlatform[name][n] = m
+		}
+	}
+	return s, nil
+}
+
+// task selects which task mean a figure plots.
+type task int
+
+const (
+	task1 task = iota
+	task23
+)
+
+func (s *Sweep) dataset(id, title string, t task) *trace.Dataset {
+	d := &trace.Dataset{ID: id, Title: title, XLabel: "aircraft", YLabel: "seconds"}
+	for _, name := range s.Platforms {
+		label := platform.Label(name)
+		for _, n := range s.Ns {
+			m := s.ByPlatform[name][n]
+			y := m.Task1Mean
+			if t == task23 {
+				y = m.Task23Mean
+			}
+			d.Add(label, float64(n), y.Seconds())
+		}
+	}
+	return d
+}
+
+// Fig4 — Task 1 timings on all six platforms.
+func Fig4(cfg Config) (*trace.Dataset, error) {
+	s, err := RunSweep(platform.Names(), cfg.AllPlatformNs(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.dataset("fig4", "Task 1 (tracking & correlation) — all platforms", task1), nil
+}
+
+// Fig5 — Task 1 timings on the three NVIDIA cards.
+func Fig5(cfg Config) (*trace.Dataset, error) {
+	s, err := RunSweep(platform.NVIDIANames(), cfg.NVIDIANs(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.dataset("fig5", "Task 1 (tracking & correlation) — NVIDIA cards", task1), nil
+}
+
+// Fig6 — Tasks 2+3 timings on all six platforms.
+func Fig6(cfg Config) (*trace.Dataset, error) {
+	s, err := RunSweep(platform.Names(), cfg.AllPlatformNs(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.dataset("fig6", "Tasks 2+3 (collision detection & resolution) — all platforms", task23), nil
+}
+
+// Fig7 — Tasks 2+3 timings on the three NVIDIA cards.
+func Fig7(cfg Config) (*trace.Dataset, error) {
+	s, err := RunSweep(platform.NVIDIANames(), cfg.NVIDIANs(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.dataset("fig7", "Tasks 2+3 (collision detection & resolution) — NVIDIA cards", task23), nil
+}
+
+// FitReport carries a figure's series together with its curve fits —
+// the MATLAB analysis of Section 6.2.
+type FitReport struct {
+	Dataset   *trace.Dataset
+	Linear    *fit.Result
+	Quadratic *fit.Result
+	// Exponent is the effective growth exponent from a log-log fit:
+	// ~1 for a curve that reads as linear on the paper's figures, ~2
+	// for a genuinely quadratic one.
+	Exponent float64
+	// SmallQuadCoeff reports the paper's own Fig. 9 comparison: "the
+	// quadratic coefficient is very small compared to the linear
+	// coefficient".
+	SmallQuadCoeff bool
+	// NearLinear is the overall verdict: the curve reads as linear or
+	// near-linear over the measured domain (Exponent <= NearLinearExp).
+	NearLinear bool
+}
+
+// NearLinearExp is the effective-exponent threshold under which a
+// timing curve is declared "linear or near linear" — the paper's
+// SIMD-like regime. Strictly quadratic growth has exponent 2.
+const NearLinearExp = 1.5
+
+func fitSeries(d *trace.Dataset) (*FitReport, error) {
+	s := &d.Series[0]
+	lin, err := fit.Linear(s.XS(), s.YS())
+	if err != nil {
+		return nil, err
+	}
+	quad, err := fit.Quadratic(s.XS(), s.YS())
+	if err != nil {
+		return nil, err
+	}
+	exp, err := fit.EffectiveExponent(s.XS(), s.YS())
+	if err != nil {
+		return nil, err
+	}
+	return &FitReport{
+		Dataset:        d,
+		Linear:         lin,
+		Quadratic:      quad,
+		Exponent:       exp,
+		SmallQuadCoeff: abs(quad.Coeffs[2]) < abs(quad.Coeffs[1]),
+		NearLinear:     exp <= NearLinearExp,
+	}, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Fig8 — the near-linear curve fit for Task 1 on the GTX 880M.
+func Fig8(cfg Config) (*FitReport, error) {
+	s, err := RunSweep([]string{platform.GTX880M}, cfg.NVIDIANs(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	d := s.dataset("fig8", "Task 1 on GTX 880M with curve fit", task1)
+	return fitSeries(d)
+}
+
+// Fig9 — the quadratic (small-coefficient) fit for Tasks 2+3 on the
+// GeForce 9800 GT.
+func Fig9(cfg Config) (*FitReport, error) {
+	s, err := RunSweep([]string{platform.GeForce9800GT}, cfg.NVIDIANs(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	d := s.dataset("fig9", "Tasks 2+3 on GeForce 9800 GT with curve fit", task23)
+	return fitSeries(d)
+}
+
+// DeadlineTable — Section 6.2's deadline record: periods missed per
+// platform per N over the sweep. NVIDIA and AP rows must be all zero;
+// the Xeon row grows with N.
+func DeadlineTable(cfg Config) (*trace.Dataset, error) {
+	s, err := RunSweep(platform.Names(), cfg.AllPlatformNs(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	d := &trace.Dataset{ID: "deadlines", Title: "Deadline misses per run", XLabel: "aircraft", YLabel: "missed periods"}
+	for _, name := range s.Platforms {
+		label := platform.Label(name)
+		for _, n := range s.Ns {
+			m := s.ByPlatform[name][n]
+			d.Add(label, float64(n), float64(m.PeriodMisses))
+		}
+	}
+	return d, nil
+}
+
+// DeterminismTable — Section 6.2's repeatability observation: the same
+// configuration run repeatedly, reporting the maximum deviation of the
+// Task 1 mean across runs. Zero for the CUDA and AP models; positive
+// for the Xeon.
+func DeterminismTable(cfg Config, runs int) (*trace.Dataset, error) {
+	if runs < 2 {
+		runs = 2
+	}
+	n := 2000
+	if cfg.Quick {
+		n = 500
+	}
+	d := &trace.Dataset{ID: "determinism", Title: fmt.Sprintf("Max Task-1 timing deviation across %d identical runs", runs), XLabel: "aircraft", YLabel: "seconds"}
+	for _, name := range platform.Names() {
+		var samples []float64
+		for r := 0; r < runs; r++ {
+			// The workload seed is fixed — same traffic every run — but
+			// the platform seed varies, modeling a fresh set of OS
+			// conditions each time the program is re-run. Deterministic
+			// machines ignore it; the multicore's jitter does not.
+			p, err := platform.New(name, cfg.Seed+uint64(r))
+			if err != nil {
+				return nil, err
+			}
+			sys := core.NewSystem(p, core.Config{N: n, Seed: cfg.Seed})
+			sys.RunMajorCycles(1)
+			samples = append(samples, sys.Stats().Task(core.Task1).Mean().Seconds())
+		}
+		d.Add(platform.Label(name), float64(n), stats.MaxDeviation(samples))
+	}
+	return d, nil
+}
+
+// KernelSplitTable — the A-KRN ablation: the paper fuses Tasks 2 and 3
+// into one kernel "because it cuts overhead for memory and data
+// transfer". This experiment measures the fused kernel against a
+// split detect-then-resolve pipeline on the oldest card, where transfer
+// costs bite hardest.
+func KernelSplitTable(cfg Config) (*trace.Dataset, error) {
+	d := &trace.Dataset{ID: "kernelsplit", Title: "Fused vs split Tasks 2+3 kernel (GeForce 9800 GT)", XLabel: "aircraft", YLabel: "seconds"}
+	for _, n := range cfg.NVIDIANs() {
+		root := rng.New(cfg.Seed)
+		w := airspace.NewWorld(n, root.Split())
+		eng := cuda.NewEngine(cuda.GeForce9800GT)
+
+		fused := eng.CheckCollisionPath(w.Clone())
+		d.Add("fused (paper)", float64(n), fused.Time.Seconds())
+
+		split := w.Clone()
+		det := eng.DetectOnly(split)
+		resv := eng.ResolveOnly(split)
+		d.Add("split detect+resolve", float64(n), (det.Time + resv.Time).Seconds())
+	}
+	return d, nil
+}
+
+// BoxPassTable — the A-BOX ablation over Algorithm 1's bounding-box
+// doubling: correlation success rate after 1, 2 and 3 passes at a
+// noise level that exercises the larger boxes.
+func BoxPassTable(cfg Config) (*trace.Dataset, error) {
+	d := &trace.Dataset{ID: "boxpasses", Title: "Correlation success vs bounding-box passes (noise 0.8 nm)", XLabel: "aircraft", YLabel: "fraction matched"}
+	// 0.8 nm noise exceeds the initial 0.5 nm half-box, so a large
+	// share of radars can only correlate after the box doubles — the
+	// situation Algorithm 1's extra passes exist for.
+	const noise = 0.8
+	for _, n := range cfg.AllPlatformNs() {
+		for passes := 1; passes <= tasks.BoxPasses; passes++ {
+			root := rng.New(cfg.Seed)
+			w := airspace.NewWorld(n, root.Split())
+			f := radar.Generate(w, noise, root.Split())
+			st := tasks.CorrelateN(w, f, passes)
+			d.Add(fmt.Sprintf("%d pass(es)", passes), float64(n), float64(st.Matched)/float64(n))
+		}
+	}
+	return d, nil
+}
+
+// NormalizedTable — the Section 7.2 future-work idea: normalize each
+// platform's Task 1 curve by its throughput capacity so efficiency can
+// be compared across machines of very different size. Throughput
+// capacity is estimated as the platform's own Task 1 rate at the
+// smallest sweep point (aircraft per second), making every curve start
+// at the same normalized height; divergence above 1.0 shows how
+// super-linearly the platform degrades with scale.
+func NormalizedTable(cfg Config) (*trace.Dataset, error) {
+	s, err := RunSweep(platform.Names(), cfg.AllPlatformNs(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	d := &trace.Dataset{ID: "normalized", Title: "Task 1 time normalized by small-N throughput", XLabel: "aircraft", YLabel: "normalized time"}
+	n0 := s.Ns[0]
+	for _, name := range s.Platforms {
+		label := platform.Label(name)
+		base := s.ByPlatform[name][n0].Task1Mean.Seconds() / float64(n0)
+		if base <= 0 {
+			continue
+		}
+		for _, n := range s.Ns {
+			m := s.ByPlatform[name][n]
+			ideal := base * float64(n) // perfectly linear extrapolation
+			d.Add(label, float64(n), m.Task1Mean.Seconds()/ideal)
+		}
+	}
+	return d, nil
+}
+
+// VectorTable — the Section 7.2 future-work comparison: the wide-vector
+// commodity machines (Xeon Phi, an AVX2 workstation) against the
+// fastest GPU and the plain multicore on Task 1. It answers the paper's
+// closing question of whether SIMDization on commodity parts recovers
+// GPU-like behaviour.
+func VectorTable(cfg Config) (*trace.Dataset, error) {
+	names := []string{platform.TitanXPascal, platform.XeonPhi, platform.AVX2, platform.Xeon16}
+	s, err := RunSweep(names, cfg.AllPlatformNs(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.dataset("vector", "Task 1 — wide-vector machines vs GPU vs multicore (§7.2)", task1), nil
+}
+
+// RadarNetTable — the radar-environment robustness extension (the
+// Section 4.1 discussion the paper simplifies away): tracking quality
+// as the radar channel degrades. Traffic is tracked for several major
+// cycles over a multi-site radar network at increasing dropout
+// probability; the table reports the fraction of aircraft updated from
+// a radar fix each period and the resulting mean position error
+// against dead-reckoning-only truth.
+func RadarNetTable(cfg Config) (*trace.Dataset, error) {
+	n := 2000
+	periods := 32
+	if cfg.Quick {
+		n = 500
+		periods = 8
+	}
+	d := &trace.Dataset{ID: "radarnet", Title: "Tracking quality vs radar dropout (multi-site network)", XLabel: "dropout %", YLabel: "value"}
+	for _, dropout := range []float64{0, 0.1, 0.2, 0.3, 0.5} {
+		root := rng.New(cfg.Seed)
+		w := airspace.NewWorld(n, root.Split())
+		// truth flies the same courses with perfect knowledge.
+		truth := w.Clone()
+		net := radarnet.NewGrid(4, 4, 80, 2, dropout, radar.DefaultNoise)
+		genRng := root.Split()
+
+		matchedTotal := 0
+		for p := 0; p < periods; p++ {
+			f, _ := net.Generate(w, genRng)
+			st := tasks.Correlate(w, f)
+			matchedTotal += st.Matched
+			for i := range truth.Aircraft {
+				a := &truth.Aircraft[i]
+				a.X += a.DX
+				a.Y += a.DY
+			}
+			truth.WrapAll()
+		}
+		errSum := 0.0
+		for i := range w.Aircraft {
+			dx := w.Aircraft[i].X - truth.Aircraft[i].X
+			dy := w.Aircraft[i].Y - truth.Aircraft[i].Y
+			errSum += math.Hypot(dx, dy)
+		}
+		x := dropout * 100
+		d.Add("fraction radar-tracked", x, float64(matchedTotal)/float64(n*periods))
+		d.Add("mean position error (nm)", x, errSum/float64(n))
+	}
+	return d, nil
+}
+
+// CapacityTable — the paper's Section 7.2 proposal made concrete:
+// "obtain or determine the maximum throughput capacity ... of as many
+// of these systems as possible". For each platform the table reports
+// the largest aircraft count in a doubling sweep (1000, 2000, ...,
+// 32000) whose worst-case period — the 16th, carrying Task 1 plus the
+// fused Tasks 2+3 — still fits the half-second budget. The
+// nondeterministic multicore is probed three times and must pass all
+// three.
+//
+// This experiment is not part of atmbench's default run: the largest
+// probes are host-expensive. Invoke it with -table capacity.
+func CapacityTable(cfg Config) (*trace.Dataset, error) {
+	maxN := 32000
+	if cfg.Quick {
+		maxN = 4000
+	}
+	d := &trace.Dataset{ID: "capacity", Title: "Estimated throughput capacity (largest N meeting every deadline)", XLabel: "platform#", YLabel: "aircraft"}
+	names := append(append([]string{}, platform.Names()...), platform.XeonPhi)
+	for idx, name := range names {
+		capacity := 0
+		for n := 1000; n <= maxN; n *= 2 {
+			if !sixteenthPeriodFits(name, n, cfg) {
+				break
+			}
+			capacity = n
+		}
+		d.Add(platform.Label(name), float64(idx+1), float64(capacity))
+	}
+	return d, nil
+}
+
+// sixteenthPeriodFits probes the binding schedule constraint: one 16th
+// period (Task 1 + Tasks 2+3) at n aircraft.
+func sixteenthPeriodFits(name string, n int, cfg Config) bool {
+	probes := 1
+	if name == platform.Xeon16 {
+		probes = 3 // jittery machine: require all probes to pass
+	}
+	for k := 0; k < probes; k++ {
+		p, err := platform.New(name, cfg.Seed+uint64(k))
+		if err != nil {
+			return false
+		}
+		root := rng.New(cfg.Seed)
+		w := airspace.NewWorld(n, root.Split())
+		f := radar.Generate(w, radar.DefaultNoise, root.Split())
+		load := p.Track(w, f) + p.DetectResolve(w)
+		if load > sched.PeriodDur {
+			return false
+		}
+	}
+	return true
+}
+
+// MeasurementDuration is a tiny helper for callers formatting results.
+func MeasurementDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// AllResults bundles every artifact of the evaluation, computed from
+// two shared sweeps (the all-platform sweep and the NVIDIA-only sweep)
+// so that each (platform, N) cell is measured exactly once.
+type AllResults struct {
+	Fig4, Fig5, Fig6, Fig7 *trace.Dataset
+	Fig8, Fig9             *FitReport
+	Deadlines              *trace.Dataset
+	Normalized             *trace.Dataset
+}
+
+// RunAll measures the two sweeps once and derives Figures 4-9 plus the
+// deadline and normalized tables from them. The determinism table and
+// the ablations are cheaper and independently computed (see
+// DeterminismTable, KernelSplitTable, BoxPassTable).
+func RunAll(cfg Config) (*AllResults, error) {
+	all, err := RunSweep(platform.Names(), cfg.AllPlatformNs(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	nv, err := RunSweep(platform.NVIDIANames(), cfg.NVIDIANs(), cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &AllResults{
+		Fig4: all.dataset("fig4", "Task 1 (tracking & correlation) — all platforms", task1),
+		Fig5: nv.dataset("fig5", "Task 1 (tracking & correlation) — NVIDIA cards", task1),
+		Fig6: all.dataset("fig6", "Tasks 2+3 (collision detection & resolution) — all platforms", task23),
+		Fig7: nv.dataset("fig7", "Tasks 2+3 (collision detection & resolution) — NVIDIA cards", task23),
+	}
+
+	// Fig. 8: the 880M Task-1 series from the NVIDIA sweep.
+	fig8 := &trace.Dataset{ID: "fig8", Title: "Task 1 on GTX 880M with curve fit", XLabel: "aircraft", YLabel: "seconds"}
+	label880 := platform.Label(platform.GTX880M)
+	for _, p := range res.Fig5.Get(label880).Points {
+		fig8.Add(label880, p.X, p.Y)
+	}
+	if res.Fig8, err = fitSeries(fig8); err != nil {
+		return nil, err
+	}
+
+	// Fig. 9: the 9800 GT Tasks-2+3 series from the NVIDIA sweep.
+	fig9 := &trace.Dataset{ID: "fig9", Title: "Tasks 2+3 on GeForce 9800 GT with curve fit", XLabel: "aircraft", YLabel: "seconds"}
+	labelOld := platform.Label(platform.GeForce9800GT)
+	for _, p := range res.Fig7.Get(labelOld).Points {
+		fig9.Add(labelOld, p.X, p.Y)
+	}
+	if res.Fig9, err = fitSeries(fig9); err != nil {
+		return nil, err
+	}
+
+	// Deadline table from the all-platform sweep.
+	dl := &trace.Dataset{ID: "deadlines", Title: "Deadline misses per run", XLabel: "aircraft", YLabel: "missed periods"}
+	for _, name := range all.Platforms {
+		label := platform.Label(name)
+		for _, n := range all.Ns {
+			dl.Add(label, float64(n), float64(all.ByPlatform[name][n].PeriodMisses))
+		}
+	}
+	res.Deadlines = dl
+
+	// Throughput-normalized table from the all-platform sweep.
+	norm := &trace.Dataset{ID: "normalized", Title: "Task 1 time normalized by small-N throughput", XLabel: "aircraft", YLabel: "normalized time"}
+	n0 := all.Ns[0]
+	for _, name := range all.Platforms {
+		label := platform.Label(name)
+		base := all.ByPlatform[name][n0].Task1Mean.Seconds() / float64(n0)
+		if base <= 0 {
+			continue
+		}
+		for _, n := range all.Ns {
+			norm.Add(label, float64(n), all.ByPlatform[name][n].Task1Mean.Seconds()/(base*float64(n)))
+		}
+	}
+	res.Normalized = norm
+	return res, nil
+}

@@ -1,0 +1,251 @@
+// Package fit implements the polynomial least-squares curve fitting and
+// "goodness of fit" statistics the paper obtains from MATLAB's Curve
+// Fitting Toolbox (Section 6.2): given timing series over aircraft
+// counts, it fits linear and quadratic models and reports the four
+// MATLAB goodness values — SSE, R-square, adjusted R-square and RMSE —
+// that the paper uses to argue the NVIDIA curves are linear or
+// "quadratic with a very small quadratic coefficient".
+package fit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Result is one fitted polynomial with its goodness-of-fit report.
+type Result struct {
+	// Coeffs holds the polynomial coefficients, constant term first:
+	// y = Coeffs[0] + Coeffs[1] x + Coeffs[2] x^2 + ...
+	Coeffs []float64
+	// SSE is the sum of squared errors of the fit.
+	SSE float64
+	// R2 is the coefficient of determination.
+	R2 float64
+	// AdjR2 is R2 adjusted for the residual degrees of freedom.
+	AdjR2 float64
+	// RMSE is the root mean squared error (residual standard error).
+	RMSE float64
+	// N is the number of points fitted.
+	N int
+}
+
+// Degree returns the polynomial degree.
+func (r *Result) Degree() int { return len(r.Coeffs) - 1 }
+
+// Eval evaluates the fitted polynomial at x (Horner's method).
+func (r *Result) Eval(x float64) float64 {
+	y := 0.0
+	for i := len(r.Coeffs) - 1; i >= 0; i-- {
+		y = y*x + r.Coeffs[i]
+	}
+	return y
+}
+
+// String formats the polynomial and its goodness values the way the
+// paper's MATLAB reports read.
+func (r *Result) String() string {
+	var b strings.Builder
+	for i := len(r.Coeffs) - 1; i >= 0; i-- {
+		c := r.Coeffs[i]
+		switch {
+		case i == len(r.Coeffs)-1:
+			fmt.Fprintf(&b, "%.6g", c)
+		case c < 0:
+			fmt.Fprintf(&b, " - %.6g", -c)
+		default:
+			fmt.Fprintf(&b, " + %.6g", c)
+		}
+		switch i {
+		case 0:
+		case 1:
+			b.WriteString("*x")
+		default:
+			fmt.Fprintf(&b, "*x^%d", i)
+		}
+	}
+	fmt.Fprintf(&b, "  (SSE=%.4g, R2=%.6f, adjR2=%.6f, RMSE=%.4g)", r.SSE, r.R2, r.AdjR2, r.RMSE)
+	return b.String()
+}
+
+// ErrBadInput reports unusable fitting input.
+var ErrBadInput = errors.New("fit: need len(x) == len(y) and more points than coefficients")
+
+// Poly fits a polynomial of the given degree to (x, y) by least
+// squares, solving the normal equations with partially pivoted Gaussian
+// elimination. It requires len(x) == len(y) > degree+1 distinct points.
+func Poly(x, y []float64, degree int) (*Result, error) {
+	n := len(x)
+	if degree < 0 || n != len(y) || n <= degree+1 {
+		return nil, ErrBadInput
+	}
+	m := degree + 1
+
+	// Scale x to [0, 1]-ish to keep the Vandermonde system conditioned
+	// for N in the tens of thousands, then unscale the coefficients.
+	xmax := 0.0
+	for _, v := range x {
+		if a := math.Abs(v); a > xmax {
+			xmax = a
+		}
+	}
+	if xmax == 0 {
+		xmax = 1
+	}
+
+	// Normal equations: (V^T V) c = V^T y with V[i][j] = (x[i]/xmax)^j.
+	ata := make([][]float64, m)
+	for i := range ata {
+		ata[i] = make([]float64, m+1)
+	}
+	for k := 0; k < n; k++ {
+		xs := x[k] / xmax
+		pow := make([]float64, m)
+		p := 1.0
+		for j := 0; j < m; j++ {
+			pow[j] = p
+			p *= xs
+		}
+		for i := 0; i < m; i++ {
+			for j := 0; j < m; j++ {
+				ata[i][j] += pow[i] * pow[j]
+			}
+			ata[i][m] += pow[i] * y[k]
+		}
+	}
+
+	coeffs, err := solve(ata)
+	if err != nil {
+		return nil, err
+	}
+	// Unscale: c_j corresponds to (x/xmax)^j.
+	scale := 1.0
+	for j := range coeffs {
+		coeffs[j] /= scale
+		scale *= xmax
+	}
+
+	r := &Result{Coeffs: coeffs, N: n}
+	r.goodness(x, y)
+	return r, nil
+}
+
+// solve performs Gaussian elimination with partial pivoting on the
+// augmented matrix a (m rows, m+1 columns), returning the solution.
+func solve(a [][]float64) ([]float64, error) {
+	m := len(a)
+	for col := 0; col < m; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < m; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-300 {
+			return nil, errors.New("fit: singular normal equations (degenerate x values)")
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		// Eliminate.
+		for r := col + 1; r < m; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c <= m; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+		}
+	}
+	// Back substitution.
+	sol := make([]float64, m)
+	for r := m - 1; r >= 0; r-- {
+		v := a[r][m]
+		for c := r + 1; c < m; c++ {
+			v -= a[r][c] * sol[c]
+		}
+		sol[r] = v / a[r][r]
+	}
+	return sol, nil
+}
+
+// goodness fills in MATLAB's four goodness-of-fit statistics.
+func (r *Result) goodness(x, y []float64) {
+	n := len(x)
+	mean := 0.0
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(n)
+
+	sse, sst := 0.0, 0.0
+	for i := range x {
+		res := y[i] - r.Eval(x[i])
+		sse += res * res
+		dev := y[i] - mean
+		sst += dev * dev
+	}
+	r.SSE = sse
+	if sst > 0 {
+		r.R2 = 1 - sse/sst
+	} else {
+		r.R2 = 1 // constant data perfectly fitted
+	}
+	dof := n - len(r.Coeffs)
+	if dof > 0 && sst > 0 {
+		r.AdjR2 = 1 - (sse/float64(dof))/(sst/float64(n-1))
+	} else {
+		r.AdjR2 = r.R2
+	}
+	if dof > 0 {
+		r.RMSE = math.Sqrt(sse / float64(dof))
+	}
+}
+
+// Linear fits y = c0 + c1 x.
+func Linear(x, y []float64) (*Result, error) { return Poly(x, y, 1) }
+
+// Quadratic fits y = c0 + c1 x + c2 x^2.
+func Quadratic(x, y []float64) (*Result, error) { return Poly(x, y, 2) }
+
+// NearLinear classifies a quadratic fit by term contribution: the
+// curve is "close to linear" when the quadratic term contributes little
+// compared to the linear term over the measured domain, i.e.
+// |c2| * xmax <= tol * |c1|. It returns the contribution ratio. Note
+// that for curves dominated by a constant overhead floor this ratio is
+// misleading; EffectiveExponent is the robust shape classifier.
+func NearLinear(q *Result, xmax, tol float64) (ratio float64, nearLinear bool) {
+	if q.Degree() < 2 {
+		return 0, true
+	}
+	c1, c2 := q.Coeffs[1], q.Coeffs[2]
+	if c1 == 0 {
+		return math.Inf(1), false
+	}
+	ratio = math.Abs(c2) * xmax / math.Abs(c1)
+	return ratio, ratio <= tol
+}
+
+// EffectiveExponent fits log y = a log x + b and returns the slope a —
+// the effective growth exponent of the curve over the measured domain.
+// A curve that "looks linear" on the paper's figures has an exponent
+// near 1 even when a strict quadratic term is present under a constant
+// overhead floor, and a genuinely quadratic curve approaches 2. All
+// points must be strictly positive.
+func EffectiveExponent(x, y []float64) (float64, error) {
+	if len(x) != len(y) || len(x) < 3 {
+		return 0, ErrBadInput
+	}
+	lx := make([]float64, len(x))
+	ly := make([]float64, len(y))
+	for i := range x {
+		if x[i] <= 0 || y[i] <= 0 {
+			return 0, errors.New("fit: EffectiveExponent needs positive data")
+		}
+		lx[i] = math.Log(x[i])
+		ly[i] = math.Log(y[i])
+	}
+	r, err := Poly(lx, ly, 1)
+	if err != nil {
+		return 0, err
+	}
+	return r.Coeffs[1], nil
+}

@@ -1,0 +1,248 @@
+package fit
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestLinearExactRecovery(t *testing.T) {
+	// y = 3 + 2x fitted exactly.
+	x := []float64{1, 2, 3, 4, 5, 6}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = 3 + 2*v
+	}
+	r, err := Linear(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(r.Coeffs[0], 3, 1e-9) || !almostEq(r.Coeffs[1], 2, 1e-9) {
+		t.Fatalf("coeffs = %v, want [3 2]", r.Coeffs)
+	}
+	if !almostEq(r.R2, 1, 1e-12) || !almostEq(r.SSE, 0, 1e-9) {
+		t.Fatalf("perfect fit has R2=%v SSE=%v", r.R2, r.SSE)
+	}
+}
+
+func TestQuadraticExactRecovery(t *testing.T) {
+	// y = 1 - 0.5x + 0.25x^2 over a realistic aircraft-count domain.
+	x := []float64{1000, 2000, 4000, 8000, 16000, 32000}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = 1 - 0.5*v + 0.25*v*v
+	}
+	r, err := Quadratic(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(r.Coeffs[0], 1, 1e-4) || !almostEq(r.Coeffs[1], -0.5, 1e-7) || !almostEq(r.Coeffs[2], 0.25, 1e-10) {
+		t.Fatalf("coeffs = %v, want [1 -0.5 0.25]", r.Coeffs)
+	}
+}
+
+func TestCubicRecovery(t *testing.T) {
+	x := []float64{-3, -2, -1, 0, 1, 2, 3, 4}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = 2 + v - 0.5*v*v + 0.125*v*v*v
+	}
+	r, err := Poly(x, y, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 1, -0.5, 0.125}
+	for i := range want {
+		if !almostEq(r.Coeffs[i], want[i], 1e-8) {
+			t.Fatalf("coeffs = %v, want %v", r.Coeffs, want)
+		}
+	}
+}
+
+func TestNoisyLinearGoodness(t *testing.T) {
+	// Linear data with small noise: R2 near 1 but SSE > 0, RMSE close
+	// to the noise scale.
+	r := rng.New(5)
+	var x, y []float64
+	for i := 1; i <= 50; i++ {
+		x = append(x, float64(i))
+		y = append(y, 10+3*float64(i)+r.Noise(0.5))
+	}
+	res, err := Linear(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.R2 < 0.999 {
+		t.Fatalf("R2 = %v for nearly-linear data", res.R2)
+	}
+	if res.SSE <= 0 {
+		t.Fatal("noisy fit reported zero SSE")
+	}
+	if res.RMSE <= 0 || res.RMSE > 1 {
+		t.Fatalf("RMSE = %v, expected around the 0.29 noise sigma", res.RMSE)
+	}
+	if res.AdjR2 > res.R2 {
+		t.Fatalf("adjusted R2 (%v) must not exceed R2 (%v)", res.AdjR2, res.R2)
+	}
+}
+
+func TestQuadraticBeatsLinearOnQuadraticData(t *testing.T) {
+	// The paper's Fig. 9 methodology: choose the model by goodness of
+	// fit.
+	var x, y []float64
+	for i := 1; i <= 20; i++ {
+		v := float64(i)
+		x = append(x, v)
+		y = append(y, 5+v+0.3*v*v)
+	}
+	lin, err := Linear(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quad, err := Quadratic(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quad.SSE >= lin.SSE {
+		t.Fatalf("quadratic SSE %v not below linear SSE %v", quad.SSE, lin.SSE)
+	}
+	if quad.AdjR2 <= lin.AdjR2 {
+		t.Fatalf("quadratic adjR2 %v not above linear %v", quad.AdjR2, lin.AdjR2)
+	}
+}
+
+func TestBadInput(t *testing.T) {
+	if _, err := Linear([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	if _, err := Linear([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Fatal("too few points accepted")
+	}
+	if _, err := Poly([]float64{1, 2, 3}, []float64{1, 2, 3}, -1); err == nil {
+		t.Fatal("negative degree accepted")
+	}
+}
+
+func TestSingularInput(t *testing.T) {
+	// All x identical: the normal equations are singular.
+	x := []float64{5, 5, 5, 5}
+	y := []float64{1, 2, 3, 4}
+	if _, err := Linear(x, y); err == nil {
+		t.Fatal("degenerate x values accepted")
+	}
+}
+
+func TestConstantData(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{7, 7, 7, 7}
+	r, err := Linear(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(r.Coeffs[0], 7, 1e-9) || !almostEq(r.Coeffs[1], 0, 1e-9) {
+		t.Fatalf("coeffs = %v", r.Coeffs)
+	}
+	if r.R2 != 1 {
+		t.Fatalf("constant data R2 = %v", r.R2)
+	}
+}
+
+func TestEvalHorner(t *testing.T) {
+	r := &Result{Coeffs: []float64{1, 2, 3}} // 1 + 2x + 3x^2
+	if got := r.Eval(2); got != 17 {
+		t.Fatalf("Eval(2) = %v, want 17", got)
+	}
+	if r.Degree() != 2 {
+		t.Fatalf("Degree = %d", r.Degree())
+	}
+}
+
+func TestNearLinearClassification(t *testing.T) {
+	// Tiny quadratic coefficient over the domain: near-linear (Fig. 9's
+	// conclusion).
+	q := &Result{Coeffs: []float64{0, 1e-3, 1e-9}}
+	ratio, ok := NearLinear(q, 32000, 0.1)
+	if !ok {
+		t.Fatalf("ratio %v should classify as near-linear", ratio)
+	}
+	// Dominant quadratic term: not near-linear.
+	q2 := &Result{Coeffs: []float64{0, 1e-3, 1e-3}}
+	if _, ok := NearLinear(q2, 32000, 0.1); ok {
+		t.Fatal("strongly quadratic curve classified as near-linear")
+	}
+	// Degenerate: no linear term at all.
+	q3 := &Result{Coeffs: []float64{0, 0, 1}}
+	if _, ok := NearLinear(q3, 10, 0.1); ok {
+		t.Fatal("pure quadratic with zero linear term classified as near-linear")
+	}
+	// A linear fit is trivially near-linear.
+	if _, ok := NearLinear(&Result{Coeffs: []float64{0, 1}}, 10, 0.1); !ok {
+		t.Fatal("linear fit not near-linear")
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	r := &Result{Coeffs: []float64{1, -2, 3}}
+	s := r.String()
+	for _, want := range []string{"x^2", "SSE", "R2", "RMSE"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestLargeDomainConditioning(t *testing.T) {
+	// Aircraft counts up to 32000 with second-scale times: the scaled
+	// solver must stay stable.
+	x := []float64{1000, 2000, 4000, 6000, 8000, 12000, 16000, 24000, 32000}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = 1e-4*v + 1e-9*v*v
+	}
+	r, err := Quadratic(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(r.Coeffs[1], 1e-4, 1e-8) || !almostEq(r.Coeffs[2], 1e-9, 1e-12) {
+		t.Fatalf("coeffs = %v", r.Coeffs)
+	}
+}
+
+func TestEffectiveExponent(t *testing.T) {
+	x := []float64{1000, 2000, 4000, 8000, 16000, 32000}
+	mk := func(f func(float64) float64) []float64 {
+		y := make([]float64, len(x))
+		for i, v := range x {
+			y[i] = f(v)
+		}
+		return y
+	}
+	// Pure linear: exponent 1.
+	if e, err := EffectiveExponent(x, mk(func(v float64) float64 { return 3 * v })); err != nil || !almostEq(e, 1, 1e-9) {
+		t.Fatalf("linear exponent = %v, %v", e, err)
+	}
+	// Pure quadratic: exponent 2.
+	if e, err := EffectiveExponent(x, mk(func(v float64) float64 { return 1e-9 * v * v })); err != nil || !almostEq(e, 2, 1e-9) {
+		t.Fatalf("quadratic exponent = %v, %v", e, err)
+	}
+	// Overhead floor + tiny quadratic: reads near-linear, as on the
+	// paper's figures.
+	e, err := EffectiveExponent(x, mk(func(v float64) float64 { return 2e-4 + 7.7e-12*v*v }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e < 0.8 || e > 1.5 {
+		t.Fatalf("floor+quadratic exponent = %v, want near 1", e)
+	}
+	// Errors.
+	if _, err := EffectiveExponent([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Fatal("too few points accepted")
+	}
+	if _, err := EffectiveExponent([]float64{1, 2, 3}, []float64{1, -2, 3}); err == nil {
+		t.Fatal("negative data accepted")
+	}
+}

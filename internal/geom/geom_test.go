@@ -1,0 +1,156 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVecArithmetic(t *testing.T) {
+	v := Vec2{3, 4}
+	w := Vec2{-1, 2}
+	if got := v.Add(w); got != (Vec2{2, 6}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := v.Sub(w); got != (Vec2{4, 2}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Scale(2); got != (Vec2{6, 8}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := v.Len(); got != 5 {
+		t.Errorf("Len = %v", got)
+	}
+}
+
+// Property: rotation preserves speed. This is the invariant collision
+// resolution depends on — a turned aircraft keeps its velocity magnitude.
+func TestRotatePreservesLength(t *testing.T) {
+	r := rng.New(1)
+	for i := 0; i < 1000; i++ {
+		v := Vec2{r.Range(-10, 10), r.Range(-10, 10)}
+		deg := r.Range(-180, 180)
+		got := v.Rotate(deg).Len()
+		if !almostEq(got, v.Len(), 1e-9) {
+			t.Fatalf("Rotate(%v, %v) changed length: %v -> %v", v, deg, v.Len(), got)
+		}
+	}
+}
+
+func TestRotateKnownAngles(t *testing.T) {
+	v := Vec2{1, 0}
+	if got := v.Rotate(90); !almostEq(got.X, 0, 1e-12) || !almostEq(got.Y, 1, 1e-12) {
+		t.Errorf("Rotate 90 = %v", got)
+	}
+	if got := v.Rotate(180); !almostEq(got.X, -1, 1e-12) || !almostEq(got.Y, 0, 1e-12) {
+		t.Errorf("Rotate 180 = %v", got)
+	}
+	if got := v.Rotate(-90); !almostEq(got.X, 0, 1e-12) || !almostEq(got.Y, -1, 1e-12) {
+		t.Errorf("Rotate -90 = %v", got)
+	}
+}
+
+// Property: rotating by d then -d is the identity (within float error).
+func TestRotateInverse(t *testing.T) {
+	if err := quick.Check(func(x, y, deg float64) bool {
+		x = math.Mod(x, 1e3)
+		y = math.Mod(y, 1e3)
+		deg = math.Mod(deg, 360)
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsNaN(deg) {
+			return true
+		}
+		v := Vec2{x, y}
+		got := v.Rotate(deg).Rotate(-deg)
+		return almostEq(got.X, v.X, 1e-6) && almostEq(got.Y, v.Y, 1e-6)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProject(t *testing.T) {
+	p := Project(Vec2{1, 2}, Vec2{0.5, -0.25}, 4)
+	if p != (Vec2{3, 1}) {
+		t.Errorf("Project = %v", p)
+	}
+}
+
+func TestIntervalIntersect(t *testing.T) {
+	a := Interval{0, 10}
+	b := Interval{5, 15}
+	got := a.Intersect(b)
+	if got != (Interval{5, 10}) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got.Empty() {
+		t.Error("non-empty intersection reported empty")
+	}
+	c := Interval{11, 20}
+	if !a.Intersect(c).Empty() {
+		t.Error("disjoint intervals reported non-empty")
+	}
+}
+
+func TestAxisConflictWindowConverging(t *testing.T) {
+	// Trial at x=10 moving at -1/period toward track at x=0, stationary.
+	// Separation < 3 during t in (7, 13).
+	w, open := AxisConflictWindow(0, 0, 10, -1, 3)
+	if open {
+		t.Fatal("converging pair reported unbounded")
+	}
+	if !almostEq(w.Lo, 7, 1e-12) || !almostEq(w.Hi, 13, 1e-12) {
+		t.Fatalf("window = %+v, want [7,13]", w)
+	}
+}
+
+func TestAxisConflictWindowDiverging(t *testing.T) {
+	// Trial ahead and moving away: window lies entirely in the past.
+	w, open := AxisConflictWindow(0, 0, 10, +1, 3)
+	if open {
+		t.Fatal("diverging pair reported unbounded")
+	}
+	if w.Hi >= 0 {
+		t.Fatalf("diverging pair window = %+v, want entirely negative", w)
+	}
+}
+
+func TestAxisConflictWindowParallel(t *testing.T) {
+	// Same velocity, close together: conflict at all times.
+	if _, open := AxisConflictWindow(0, 1, 2, 1, 3); !open {
+		t.Error("close parallel pair should be unbounded")
+	}
+	// Same velocity, far apart: never in conflict.
+	w, open := AxisConflictWindow(0, 1, 100, 1, 3)
+	if open || !w.Empty() {
+		t.Errorf("distant parallel pair: window=%+v open=%v, want empty", w, open)
+	}
+}
+
+// Property: the analytic window agrees with direct evaluation of the
+// separation |d + dv t| < sep at sampled times.
+func TestAxisConflictWindowMatchesSampling(t *testing.T) {
+	r := rng.New(99)
+	for i := 0; i < 2000; i++ {
+		trackP := r.Range(-100, 100)
+		trackV := r.Range(-1, 1)
+		trialP := r.Range(-100, 100)
+		trialV := r.Range(-1, 1)
+		const sep = 3.0
+		w, open := AxisConflictWindow(trackP, trackV, trialP, trialV, sep)
+		for _, tm := range []float64{0, 1, 5, 25, 125, 625} {
+			sepAt := math.Abs((trialP + trialV*tm) - (trackP + trackV*tm))
+			inWindow := open || (!w.Empty() && tm >= w.Lo && tm <= w.Hi)
+			// Skip knife-edge cases where float rounding flips <.
+			if math.Abs(sepAt-sep) < 1e-9 {
+				continue
+			}
+			if (sepAt < sep) != inWindow {
+				t.Fatalf("case %d t=%v: sepAt=%v inWindow=%v window=%+v open=%v",
+					i, tm, sepAt, inWindow, w, open)
+			}
+		}
+	}
+}

@@ -1,0 +1,475 @@
+// Package mimd simulates the shared-memory multicore baseline of the
+// paper: a 16-core Intel Xeon running the ATM tasks with the aircraft
+// database in shared memory. The tasks really execute on a pool of
+// goroutines (one per modeled core) with lock-arbitrated radar
+// claiming, and a cost model converts the measured per-core work into
+// modeled time.
+//
+// The model encodes the paper's central criticism of MIMD for
+// real-time work: asynchronous cores make the time for a fixed
+// computation non-constant. Three ingredients produce that behaviour:
+//
+//   - critical path: the slowest core's operation count bounds the
+//     task (static partitioning plus skew leaves cores imbalanced);
+//   - contention: a superlinear factor models coherence traffic, lock
+//     arbitration and memory-bus pressure that grow with database size
+//     ("the multi-core curve increases rapidly" [12, 13]);
+//   - jitter: an exponential OS-scheduling noise term redrawn on every
+//     task invocation, so the same task on the same data takes a
+//     different time each period — the non-determinism that makes
+//     deadline guarantees impossible.
+//
+// The contention and jitter coefficients are documented model knobs
+// (see DESIGN.md): they are chosen to reproduce the qualitative shape
+// reported by [12, 13] — linear-looking at small N, steeply superlinear
+// past ~10k aircraft, with regular deadline misses — not measured Xeon
+// values.
+package mimd
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/airspace"
+	"repro/internal/geom"
+	"repro/internal/radar"
+	"repro/internal/rng"
+	"repro/internal/tasks"
+)
+
+// Profile describes one shared-memory multicore machine.
+type Profile struct {
+	// Name of the machine.
+	Name string
+	// Cores is the worker count.
+	Cores int
+	// ClockHz and IPC give per-core abstract-op throughput.
+	ClockHz float64
+	IPC     float64
+
+	// Contention: modeled slowdown factor
+	// 1 + ContentionCoef * (N/ContentionScale)^ContentionExp.
+	ContentionCoef  float64
+	ContentionExp   float64
+	ContentionScale float64
+
+	// JitterMeanPerK is the mean of the exponential scheduling-jitter
+	// term per 1000 aircraft, redrawn each task invocation.
+	JitterMeanPerK time.Duration
+
+	// BarrierCost is charged once per parallel phase (thread join plus
+	// cache-line ping-pong at the barrier).
+	BarrierCost time.Duration
+
+	// LockCycles is charged per lock acquisition.
+	LockCycles int
+}
+
+// Xeon16 is the paper's multicore baseline: a 16-core Intel Xeon.
+var Xeon16 = Profile{
+	Name:            "Intel Xeon (16 cores)",
+	Cores:           16,
+	ClockHz:         2.4e9,
+	IPC:             1.2,
+	ContentionCoef:  0.08,
+	ContentionExp:   1.2,
+	ContentionScale: 2000,
+	JitterMeanPerK:  3 * time.Millisecond,
+	BarrierCost:     50 * time.Microsecond,
+	LockCycles:      120,
+}
+
+// Machine executes the ATM tasks on a modeled multicore. Each Machine
+// owns a private jitter stream that advances across calls, so repeated
+// executions of the same task take different modeled times — by design.
+type Machine struct {
+	prof   Profile
+	jitter *rng.Rand
+}
+
+// New returns a machine with the given profile; seed fixes the jitter
+// stream so whole-program runs stay reproducible.
+func New(p Profile, seed uint64) *Machine {
+	if p.Cores <= 0 {
+		panic("mimd: profile needs at least one core")
+	}
+	return &Machine{prof: p, jitter: rng.New(seed)}
+}
+
+// Name returns the machine name.
+func (m *Machine) Name() string { return m.prof.Name }
+
+// Deterministic reports false: MIMD timing varies run to run, which is
+// the paper's core argument against it for hard real-time systems.
+func (m *Machine) Deterministic() bool { return false }
+
+// Aircraft match states for the lock-arbitrated correlation, kept in
+// int32 so they can be read atomically by scanning workers.
+const (
+	acFree int32 = iota
+	acMatched
+	acWithdrawn
+)
+
+// workTally accumulates per-core op counts and lock statistics.
+type workTally struct {
+	ops   []uint64 // per worker
+	locks uint64   // total lock acquisitions (atomic)
+}
+
+func newTally(cores int) *workTally { return &workTally{ops: make([]uint64, cores)} }
+
+func (t *workTally) maxOps() uint64 {
+	var m uint64
+	for _, v := range t.ops {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// parallel runs body(core, lo, hi) over a contiguous partition of
+// [0, n) and returns when all workers joined. It returns the number of
+// phases charged (always 1).
+func (m *Machine) parallel(n int, body func(core, lo, hi int)) {
+	cores := m.prof.Cores
+	var wg sync.WaitGroup
+	for c := 0; c < cores; c++ {
+		lo := c * n / cores
+		hi := (c + 1) * n / cores
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(core, lo, hi int) {
+			defer wg.Done()
+			body(core, lo, hi)
+		}(c, lo, hi)
+	}
+	wg.Wait()
+}
+
+// contention returns the modeled slowdown factor at database size n.
+func (m *Machine) contention(n int) float64 {
+	p := &m.prof
+	if n == 0 {
+		return 1
+	}
+	return 1 + p.ContentionCoef*math.Pow(float64(n)/p.ContentionScale, p.ContentionExp)
+}
+
+// taskTime converts a tally into modeled time for one task invocation.
+func (m *Machine) taskTime(n, phases int, t *workTally) time.Duration {
+	p := &m.prof
+	ops := t.maxOps() + t.locks*uint64(p.LockCycles)/uint64(p.Cores)
+	base := float64(ops) / (p.IPC * p.ClockHz) * m.contention(n)
+	jitter := m.jitter.Exp(float64(p.JitterMeanPerK) * float64(n) / 1000)
+	return time.Duration(base*float64(time.Second)) +
+		time.Duration(phases)*p.BarrierCost +
+		time.Duration(jitter)
+}
+
+// Abstract op charges, aligned with the CUDA kernel charges so the
+// platforms are compared on the same work units.
+const (
+	opsExpected  = 6
+	opsBoxCheck  = 10
+	opsClaim     = 12 // claim bookkeeping under a lock
+	opsCommit    = 8
+	opsWrap      = 6
+	opsPairCheck = 40
+	opsRotate    = 14
+)
+
+// lockStripes spreads per-aircraft locks to keep the real contention
+// in the simulator itself bounded.
+const lockStripes = 256
+
+// Track runs Task 1 with radars partitioned across cores and
+// first-come-first-served, lock-arbitrated claiming: the natural
+// shared-memory port of Algorithm 1. Ambiguous geometry is therefore
+// resolved in arrival order — nondeterministically under real
+// concurrency, exactly as on real hardware.
+func (m *Machine) Track(w *airspace.World, f *radar.Frame) (tasks.CorrelateStats, time.Duration) {
+	var st tasks.CorrelateStats
+	n := w.N()
+	r := f.N()
+	ac := w.Aircraft
+	reps := f.Reports
+	tally := newTally(m.prof.Cores)
+	phases := 0
+
+	state := make([]int32, n)     // acFree/acMatched/acWithdrawn
+	matchedBy := make([]int32, n) // radar currently paired with aircraft
+	var locks [lockStripes]sync.Mutex
+
+	phases++
+	m.parallel(n, func(core, lo, hi int) {
+		var ops uint64
+		for i := lo; i < hi; i++ {
+			a := &ac[i]
+			a.ExpX = a.X + a.DX
+			a.ExpY = a.Y + a.DY
+			a.RMatch = airspace.MatchNone
+			matchedBy[i] = -1
+			ops += opsExpected
+		}
+		tally.ops[core] += ops
+	})
+	f.Reset()
+
+	boxHalf := tasks.InitialBoxHalf
+	for pass := 0; pass < tasks.BoxPasses; pass++ {
+		pending := 0
+		for j := range reps {
+			if reps[j].MatchWith == radar.Unmatched {
+				pending++
+			}
+		}
+		if pass < tasks.BoxPasses {
+			st.PassRadars[pass] = pending
+		}
+		if pending == 0 {
+			break
+		}
+		phases++
+		var comparisons, discarded, withdrawn uint64
+		m.parallel(r, func(core, lo, hi int) {
+			var ops, comps uint64
+			for j := lo; j < hi; j++ {
+				rep := &reps[j]
+				// A concurrent withdrawal may release this radar while
+				// we read it, so the load must be atomic.
+				if atomic.LoadInt32(&rep.MatchWith) != radar.Unmatched {
+					continue
+				}
+				hits := 0
+				cand := int32(-1)
+				for p := 0; p < n; p++ {
+					if atomic.LoadInt32(&state[p]) == acWithdrawn {
+						continue
+					}
+					ops += opsBoxCheck
+					comps++
+					a := &ac[p]
+					if rep.RX > a.ExpX-boxHalf && rep.RX < a.ExpX+boxHalf &&
+						rep.RY > a.ExpY-boxHalf && rep.RY < a.ExpY+boxHalf {
+						hits++
+						cand = a.ID
+						if hits > 1 {
+							break
+						}
+					}
+				}
+				switch {
+				case hits >= 2:
+					atomic.StoreInt32(&rep.MatchWith, radar.Discarded)
+					atomic.AddUint64(&discarded, 1)
+				case hits == 1:
+					ops += opsClaim
+					atomic.AddUint64(&tally.locks, 1)
+					mu := &locks[int(cand)%lockStripes]
+					mu.Lock()
+					switch atomic.LoadInt32(&state[cand]) {
+					case acFree:
+						atomic.StoreInt32(&state[cand], acMatched)
+						matchedBy[cand] = int32(j)
+						atomic.StoreInt32(&rep.MatchWith, cand)
+					case acMatched:
+						// Second radar reached an already-paired
+						// aircraft: withdraw it and release its radar
+						// (Algorithm 1 line 8). This radar retries with
+						// the next, doubled box.
+						atomic.StoreInt32(&state[cand], acWithdrawn)
+						atomic.AddUint64(&withdrawn, 1)
+						if prev := matchedBy[cand]; prev >= 0 {
+							atomic.StoreInt32(&reps[prev].MatchWith, radar.Unmatched)
+							matchedBy[cand] = -1
+						}
+					}
+					mu.Unlock()
+				}
+			}
+			tally.ops[core] += ops
+			atomic.AddUint64(&comparisons, comps)
+		})
+		st.Comparisons += int(comparisons)
+		st.DiscardedRadars += int(discarded)
+		st.WithdrawnAircraft += int(withdrawn)
+		boxHalf *= 2
+	}
+
+	// Commit phase.
+	phases++
+	m.parallel(n, func(core, lo, hi int) {
+		var ops uint64
+		for i := lo; i < hi; i++ {
+			a := &ac[i]
+			a.X, a.Y = a.ExpX, a.ExpY
+			if state[i] == acMatched {
+				a.RMatch = airspace.MatchOne
+			} else if state[i] == acWithdrawn {
+				a.RMatch = airspace.MatchDiscarded
+			}
+			ops += opsCommit
+		}
+		tally.ops[core] += ops
+	})
+	phases++
+	var matched uint64
+	m.parallel(r, func(core, lo, hi int) {
+		var ops uint64
+		for j := lo; j < hi; j++ {
+			rep := &reps[j]
+			ops += opsCommit
+			if rep.MatchWith >= 0 && state[rep.MatchWith] == acMatched {
+				a := &ac[rep.MatchWith]
+				a.X, a.Y = rep.RX, rep.RY
+				atomic.AddUint64(&matched, 1)
+			}
+		}
+		tally.ops[core] += ops
+	})
+	st.Matched = int(matched)
+	for j := range reps {
+		if reps[j].MatchWith == radar.Unmatched {
+			st.UnmatchedRadars++
+		}
+	}
+	phases++
+	m.parallel(n, func(core, lo, hi int) {
+		var ops uint64
+		for i := lo; i < hi; i++ {
+			airspace.Wrap(&ac[i])
+			ops += opsWrap
+		}
+		tally.ops[core] += ops
+	})
+
+	return st, m.taskTime(n, phases, tally)
+}
+
+// DetectResolve runs Tasks 2-3 with aircraft partitioned across cores.
+// Workers scan a shared snapshot of committed courses and write only
+// their own aircraft, then a commit phase applies resolved courses —
+// the same snapshot discipline as the CUDA kernel, since a lock-free
+// shared-memory implementation needs it just as much.
+func (m *Machine) DetectResolve(w *airspace.World) (tasks.DetectStats, time.Duration) {
+	n := w.N()
+	ac := w.Aircraft
+	tally := newTally(m.prof.Cores)
+	phases := 0
+
+	snapX := make([]float64, n)
+	snapY := make([]float64, n)
+	snapDX := make([]float64, n)
+	snapDY := make([]float64, n)
+	snapAlt := make([]float64, n)
+	newDX := make([]float64, n)
+	newDY := make([]float64, n)
+	resolved := make([]bool, n)
+
+	phases++
+	m.parallel(n, func(core, lo, hi int) {
+		var ops uint64
+		for i := lo; i < hi; i++ {
+			a := &ac[i]
+			snapX[i], snapY[i] = a.X, a.Y
+			snapDX[i], snapDY[i] = a.DX, a.DY
+			snapAlt[i] = a.Alt
+			newDX[i], newDY[i] = a.DX, a.DY
+			ops += opsExpected
+		}
+		tally.ops[core] += ops
+	})
+
+	var conflicts, rotations, resolvedCount, unresolvedCount, pairChecks uint64
+	scan := func(i int, vx, vy float64, ops *uint64) (earliest float64, with int32, critical bool) {
+		earliest = airspace.SafeTime
+		with = airspace.NoConflict
+		checks := uint64(0)
+		for p := 0; p < n; p++ {
+			if p == i || math.Abs(snapAlt[p]-snapAlt[i]) >= airspace.AltBandFeet {
+				*ops++
+				continue
+			}
+			checks++
+			trial := airspace.Aircraft{X: snapX[p], Y: snapY[p], DX: snapDX[p], DY: snapDY[p]}
+			tmin, tmax, ok := tasks.PairConflict(snapX[i], snapY[i], vx, vy, &trial)
+			if ok && tmin < tmax && tmin < earliest {
+				earliest = tmin
+				with = int32(p)
+			}
+		}
+		*ops += checks * opsPairCheck
+		atomic.AddUint64(&pairChecks, checks)
+		return earliest, with, earliest < airspace.CriticalTime
+	}
+
+	phases++
+	m.parallel(n, func(core, lo, hi int) {
+		var ops uint64
+		for i := lo; i < hi; i++ {
+			a := &ac[i]
+			a.ResetConflict()
+			tmin, with, critical := scan(i, snapDX[i], snapDY[i], &ops)
+			if !critical {
+				continue
+			}
+			atomic.AddUint64(&conflicts, 1)
+			a.Col = true
+			a.ColWith = with
+			a.TimeTill = tmin
+			base := geom.Vec2{X: snapDX[i], Y: snapDY[i]}
+			done := false
+			for _, deg := range tasks.RotationSchedule() {
+				atomic.AddUint64(&rotations, 1)
+				ops += opsRotate
+				v := base.Rotate(deg)
+				a.BatX, a.BatY = v.X, v.Y
+				tmin, with, critical = scan(i, v.X, v.Y, &ops)
+				if !critical {
+					newDX[i], newDY[i] = v.X, v.Y
+					resolved[i] = true
+					atomic.AddUint64(&resolvedCount, 1)
+					done = true
+					break
+				}
+				a.ColWith = with
+				if tmin < a.TimeTill {
+					a.TimeTill = tmin
+				}
+			}
+			if !done {
+				atomic.AddUint64(&unresolvedCount, 1)
+			}
+		}
+		tally.ops[core] += ops
+	})
+
+	phases++
+	m.parallel(n, func(core, lo, hi int) {
+		var ops uint64
+		for i := lo; i < hi; i++ {
+			ops += opsCommit
+			if resolved[i] {
+				a := &ac[i]
+				a.DX, a.DY = newDX[i], newDY[i]
+				a.ResetConflict()
+			}
+		}
+		tally.ops[core] += ops
+	})
+
+	st := tasks.DetectStats{
+		Conflicts:  int(conflicts),
+		Rotations:  int(rotations),
+		Resolved:   int(resolvedCount),
+		Unresolved: int(unresolvedCount),
+		PairChecks: int(pairChecks),
+	}
+	return st, m.taskTime(n, phases, tally)
+}

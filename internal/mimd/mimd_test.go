@@ -1,0 +1,211 @@
+package mimd
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/airspace"
+	"repro/internal/radar"
+	"repro/internal/rng"
+	"repro/internal/tasks"
+)
+
+func gridWorld(n int) *airspace.World {
+	w := &airspace.World{Aircraft: make([]airspace.Aircraft, n)}
+	side := int(math.Ceil(math.Sqrt(float64(n))))
+	for i := range w.Aircraft {
+		a := &w.Aircraft[i]
+		a.ID = int32(i)
+		a.X = float64(i%side)*6 - airspace.SetupHalf
+		a.Y = float64(i/side)*6 - airspace.SetupHalf
+		a.DX = 0.02
+		a.DY = 0.01
+		a.Alt = 10000 + float64(i%4)*3000
+		a.ResetConflict()
+	}
+	return w
+}
+
+func TestNewPanicsWithoutCores(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-core profile did not panic")
+		}
+	}()
+	New(Profile{}, 1)
+}
+
+func TestTrackMatchesReferenceOnCleanTraffic(t *testing.T) {
+	w := gridWorld(400)
+	f := radar.Generate(w, 0.2, rng.New(1))
+	refW, refF := w.Clone(), f.Clone()
+	refStats := tasks.Correlate(refW, refF)
+
+	m := New(Xeon16, 1)
+	st, _ := m.Track(w, f)
+	if st.Matched != refStats.Matched {
+		t.Fatalf("matched %d, reference %d", st.Matched, refStats.Matched)
+	}
+	for i := range w.Aircraft {
+		if w.Aircraft[i].X != refW.Aircraft[i].X || w.Aircraft[i].Y != refW.Aircraft[i].Y {
+			t.Fatalf("aircraft %d position differs from reference", i)
+		}
+	}
+}
+
+func TestTrackHighMatchRateOnRandomTraffic(t *testing.T) {
+	w := airspace.NewWorld(3000, rng.New(7))
+	f := radar.Generate(w, radar.DefaultNoise, rng.New(8))
+	st, _ := New(Xeon16, 2).Track(w, f)
+	if st.Matched < w.N()*95/100 {
+		t.Fatalf("only %d of %d matched", st.Matched, w.N())
+	}
+}
+
+func TestTimingIsNonDeterministic(t *testing.T) {
+	// The heart of the paper's MIMD critique: the same task on the same
+	// data takes a different time each invocation.
+	base := airspace.NewWorld(1000, rng.New(9))
+	frame := radar.Generate(base, radar.DefaultNoise, rng.New(10))
+	m := New(Xeon16, 3)
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 5; i++ {
+		_, d := m.Track(base.Clone(), frame.Clone())
+		seen[d] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("5 identical runs produced identical times: %v", seen)
+	}
+	if m.Deterministic() {
+		t.Fatal("MIMD machine must not claim determinism")
+	}
+}
+
+func TestSameSeedSameTimeSequence(t *testing.T) {
+	// Whole-program reproducibility: two machines with the same seed
+	// draw the same jitter sequence.
+	base := airspace.NewWorld(500, rng.New(11))
+	frame := radar.Generate(base, radar.DefaultNoise, rng.New(12))
+	m1 := New(Xeon16, 42)
+	m2 := New(Xeon16, 42)
+	for i := 0; i < 3; i++ {
+		_, d1 := m1.Track(base.Clone(), frame.Clone())
+		_, d2 := m2.Track(base.Clone(), frame.Clone())
+		if d1 != d2 {
+			t.Fatalf("run %d: same seed, different times %v vs %v", i, d1, d2)
+		}
+	}
+}
+
+func TestContentionGrowsSuperlinearly(t *testing.T) {
+	m := New(Xeon16, 1)
+	c1 := m.contention(2000)
+	c2 := m.contention(16000)
+	c3 := m.contention(32000)
+	if !(c1 < c2 && c2 < c3) {
+		t.Fatalf("contention not increasing: %v %v %v", c1, c2, c3)
+	}
+	// Superlinear: the factor itself must grow faster than N.
+	if (c3-1)/(c2-1) < 2 {
+		t.Fatalf("contention growth too shallow: %v -> %v", c2, c3)
+	}
+	if m.contention(0) != 1 {
+		t.Fatal("empty database must have unit contention")
+	}
+}
+
+func TestDetectResolveInvariants(t *testing.T) {
+	w := airspace.NewWorld(800, rng.New(21))
+	speeds := make([]float64, w.N())
+	for i, a := range w.Aircraft {
+		speeds[i] = a.SpeedKnots()
+	}
+	st, d := New(Xeon16, 5).DetectResolve(w)
+	if d <= 0 {
+		t.Fatal("no modeled time")
+	}
+	if st.Resolved+st.Unresolved > st.Conflicts {
+		t.Fatalf("inconsistent stats: %+v", st)
+	}
+	for i, a := range w.Aircraft {
+		if math.Abs(a.SpeedKnots()-speeds[i]) > 1e-6 {
+			t.Fatalf("aircraft %d speed changed", i)
+		}
+	}
+}
+
+func TestDetectResolveHeadOnQuiesces(t *testing.T) {
+	w := gridWorld(2)
+	a, b := &w.Aircraft[0], &w.Aircraft[1]
+	a.X, a.Y, a.DX, a.DY, a.Alt = 0, 0, 0.05, 0, 10000
+	b.X, b.Y, b.DX, b.DY, b.Alt = 30, 0, -0.05, 0, 10000
+	a.ResetConflict()
+	b.ResetConflict()
+	m := New(Xeon16, 6)
+	for cycle := 0; cycle < 3; cycle++ {
+		m.DetectResolve(w)
+		if check := tasks.Detect(w.Clone()); check.Conflicts == 0 {
+			return
+		}
+	}
+	t.Fatal("head-on conflict not quiesced within 3 cycles")
+}
+
+func TestXeonSlowerThanLinearAtScale(t *testing.T) {
+	// The multicore curve must grow clearly faster than linear: 2x the
+	// aircraft must cost more than 3x the time at scale (quadratic work
+	// on fixed cores plus growing contention).
+	m := New(Xeon16, 7)
+	timeFor := func(n int) float64 {
+		w := airspace.NewWorld(n, rng.New(13))
+		f := radar.Generate(w, radar.DefaultNoise, rng.New(14))
+		// Average over a few periods to tame jitter.
+		total := 0.0
+		for k := 0; k < 5; k++ {
+			_, d := m.Track(w.Clone(), f.Clone())
+			total += d.Seconds()
+		}
+		return total / 5
+	}
+	t8 := timeFor(8000)
+	t16 := timeFor(16000)
+	if t16/t8 < 3 {
+		t.Fatalf("Xeon scaling ratio %.2f for 2x aircraft — should be superlinear", t16/t8)
+	}
+}
+
+func TestTrackTimeIncludesJitterTail(t *testing.T) {
+	// Across many draws the jitter must occasionally spike well above
+	// its mean — that tail is what produces the sporadic misses.
+	m := New(Xeon16, 8)
+	base := airspace.NewWorld(200, rng.New(15))
+	frame := radar.Generate(base, radar.DefaultNoise, rng.New(16))
+	var min, max time.Duration
+	for i := 0; i < 50; i++ {
+		_, d := m.Track(base.Clone(), frame.Clone())
+		if i == 0 || d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	if max < 2*min {
+		t.Fatalf("jitter spread too tight: min=%v max=%v", min, max)
+	}
+}
+
+func TestEmptyWorld(t *testing.T) {
+	w := &airspace.World{}
+	f := &radar.Frame{}
+	m := New(Xeon16, 9)
+	st, _ := m.Track(w, f)
+	if st.Matched != 0 {
+		t.Fatalf("empty world matched %d", st.Matched)
+	}
+	dst, _ := m.DetectResolve(w)
+	if dst.Conflicts != 0 {
+		t.Fatalf("empty world had conflicts")
+	}
+}

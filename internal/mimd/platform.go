@@ -1,0 +1,40 @@
+package mimd
+
+import (
+	"time"
+
+	"repro/internal/airspace"
+	"repro/internal/radar"
+)
+
+// Platform adapts a Machine to the scheduler's platform interface.
+type Platform struct {
+	m *Machine
+}
+
+// NewPlatform returns a scheduler-facing multicore platform. seed fixes
+// the jitter stream for whole-program reproducibility.
+func NewPlatform(p Profile, seed uint64) *Platform {
+	return &Platform{m: New(p, seed)}
+}
+
+// Machine exposes the underlying multicore machine.
+func (p *Platform) Machine() *Machine { return p.m }
+
+// Name returns the machine name.
+func (p *Platform) Name() string { return p.m.Name() }
+
+// Deterministic reports false — the MIMD property under test.
+func (p *Platform) Deterministic() bool { return false }
+
+// Track runs Task 1 and returns the modeled time.
+func (p *Platform) Track(w *airspace.World, f *radar.Frame) time.Duration {
+	_, d := p.m.Track(w, f)
+	return d
+}
+
+// DetectResolve runs Tasks 2-3 and returns the modeled time.
+func (p *Platform) DetectResolve(w *airspace.World) time.Duration {
+	_, d := p.m.DetectResolve(w)
+	return d
+}

@@ -1,0 +1,93 @@
+// Package radar simulates the radar reports that, in a real ATM system,
+// arrive from radar towers every half-second period. Following Section
+// 4.1 of the paper it assumes at most one report per aircraft per
+// period, synthesizes each report as the aircraft's expected position
+// plus small random noise, and then deliberately disorders the report
+// list (split into fourths, each fourth reversed) so that Tracking and
+// Correlation has real work to do.
+package radar
+
+import (
+	"repro/internal/airspace"
+	"repro/internal/rng"
+)
+
+// Match states for Report.MatchWith (Algorithm 1).
+const (
+	// Unmatched means no aircraft has correlated with this radar yet.
+	Unmatched int32 = -1
+	// Discarded means more than one aircraft correlated with this radar,
+	// so the radar has been dropped.
+	Discarded int32 = -2
+)
+
+// DefaultNoise is the default radar measurement error amplitude in
+// nautical miles. It is kept below half of the initial 1x1 nm
+// correlation box so that an isolated aircraft always correlates on the
+// first pass.
+const DefaultNoise = 0.25
+
+// Report is one simulated radar sighting.
+type Report struct {
+	// RX, RY is the measured position in nautical miles.
+	RX, RY float64
+	// MatchWith holds the correlation state: Unmatched, Discarded, or
+	// the ID of the aircraft this radar matched.
+	MatchWith int32
+}
+
+// Frame is the set of reports for one period.
+type Frame struct {
+	Reports []Report
+}
+
+// Generate produces one report per aircraft at its expected position
+// (X+DX, Y+DY) plus independent noise in [-noise, +noise] on each
+// coordinate, then shuffles the list with ShuffleFourths. The aircraft
+// records are not modified.
+func Generate(w *airspace.World, noise float64, r *rng.Rand) *Frame {
+	f := &Frame{Reports: make([]Report, w.N())}
+	for i := range w.Aircraft {
+		a := &w.Aircraft[i]
+		f.Reports[i] = Report{
+			RX:        a.X + a.DX + r.Noise(noise),
+			RY:        a.Y + a.DY + r.Noise(noise),
+			MatchWith: Unmatched,
+		}
+	}
+	ShuffleFourths(f.Reports)
+	return f
+}
+
+// ShuffleFourths disorders reports exactly as the paper's host code
+// does: "the radar data array is split into fourths and each fourth is
+// reversed". This guarantees radar[i] does not generally correspond to
+// aircraft[i] while remaining deterministic.
+func ShuffleFourths(reports []Report) {
+	n := len(reports)
+	for q := 0; q < 4; q++ {
+		lo := q * n / 4
+		hi := (q + 1) * n / 4
+		for i, j := lo, hi-1; i < j; i, j = i+1, j-1 {
+			reports[i], reports[j] = reports[j], reports[i]
+		}
+	}
+}
+
+// Reset returns every report to the Unmatched state so a frame can be
+// reused across correlation passes or platforms.
+func (f *Frame) Reset() {
+	for i := range f.Reports {
+		f.Reports[i].MatchWith = Unmatched
+	}
+}
+
+// Clone returns a deep copy of the frame.
+func (f *Frame) Clone() *Frame {
+	c := &Frame{Reports: make([]Report, len(f.Reports))}
+	copy(c.Reports, f.Reports)
+	return c
+}
+
+// N returns the number of reports in the frame.
+func (f *Frame) N() int { return len(f.Reports) }

@@ -1,0 +1,138 @@
+package radar
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/airspace"
+	"repro/internal/rng"
+)
+
+func TestGenerateOneReportPerAircraft(t *testing.T) {
+	w := airspace.NewWorld(100, rng.New(1))
+	f := Generate(w, DefaultNoise, rng.New(2))
+	if f.N() != w.N() {
+		t.Fatalf("frame has %d reports for %d aircraft", f.N(), w.N())
+	}
+}
+
+func TestGenerateNoiseBounded(t *testing.T) {
+	w := airspace.NewWorld(500, rng.New(3))
+	f := Generate(w, DefaultNoise, rng.New(4))
+	// Each report must lie within noise of some aircraft's expected
+	// position; verify by matching each report to its nearest expected
+	// position.
+	for _, rep := range f.Reports {
+		best := math.Inf(1)
+		for _, a := range w.Aircraft {
+			ex, ey := a.X+a.DX, a.Y+a.DY
+			d := math.Max(math.Abs(rep.RX-ex), math.Abs(rep.RY-ey))
+			if d < best {
+				best = d
+			}
+		}
+		if best > DefaultNoise {
+			t.Fatalf("report (%v,%v) is %v nm from every expected position", rep.RX, rep.RY, best)
+		}
+	}
+}
+
+func TestGenerateStartsUnmatched(t *testing.T) {
+	w := airspace.NewWorld(50, rng.New(5))
+	f := Generate(w, DefaultNoise, rng.New(6))
+	for i, rep := range f.Reports {
+		if rep.MatchWith != Unmatched {
+			t.Fatalf("report %d starts with MatchWith=%d", i, rep.MatchWith)
+		}
+	}
+}
+
+func TestGenerateDoesNotMoveAircraft(t *testing.T) {
+	w := airspace.NewWorld(50, rng.New(5))
+	before := w.Clone()
+	Generate(w, DefaultNoise, rng.New(6))
+	for i := range w.Aircraft {
+		if w.Aircraft[i] != before.Aircraft[i] {
+			t.Fatalf("Generate modified aircraft %d", i)
+		}
+	}
+}
+
+// The shuffle must disorder the list: with fourth-reversal, report i
+// corresponds to aircraft i only at the centers of the fourths.
+func TestShuffleDisorders(t *testing.T) {
+	w := airspace.NewWorld(1000, rng.New(7))
+	f := Generate(w, 0, rng.New(8)) // no noise: report == expected position
+	inPlace := 0
+	for i, rep := range f.Reports {
+		a := &w.Aircraft[i]
+		if rep.RX == a.X+a.DX && rep.RY == a.Y+a.DY {
+			inPlace++
+		}
+	}
+	if inPlace > 8 {
+		t.Fatalf("%d of 1000 reports still aligned with their aircraft index", inPlace)
+	}
+}
+
+func TestShuffleFourthsIsInvolution(t *testing.T) {
+	reports := make([]Report, 101) // deliberately not divisible by 4
+	for i := range reports {
+		reports[i] = Report{RX: float64(i)}
+	}
+	ShuffleFourths(reports)
+	ShuffleFourths(reports)
+	for i := range reports {
+		if reports[i].RX != float64(i) {
+			t.Fatalf("double shuffle is not identity at %d", i)
+		}
+	}
+}
+
+func TestShuffleFourthsPreservesMultiset(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 100, 101, 102, 103} {
+		reports := make([]Report, n)
+		for i := range reports {
+			reports[i] = Report{RX: float64(i)}
+		}
+		ShuffleFourths(reports)
+		seen := make([]bool, n)
+		for _, rep := range reports {
+			idx := int(rep.RX)
+			if seen[idx] {
+				t.Fatalf("n=%d: report %d duplicated by shuffle", n, idx)
+			}
+			seen[idx] = true
+		}
+	}
+}
+
+func TestResetClearsMatches(t *testing.T) {
+	f := &Frame{Reports: []Report{{MatchWith: 5}, {MatchWith: Discarded}}}
+	f.Reset()
+	for i, rep := range f.Reports {
+		if rep.MatchWith != Unmatched {
+			t.Fatalf("report %d not reset: %d", i, rep.MatchWith)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	f := &Frame{Reports: []Report{{RX: 1}, {RX: 2}}}
+	c := f.Clone()
+	c.Reports[0].RX = 99
+	if f.Reports[0].RX == 99 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	w := airspace.NewWorld(64, rng.New(9))
+	a := Generate(w, DefaultNoise, rng.New(10))
+	b := Generate(w, DefaultNoise, rng.New(10))
+	for i := range a.Reports {
+		if a.Reports[i] != b.Reports[i] {
+			t.Fatalf("same seed produced different report %d", i)
+		}
+	}
+}

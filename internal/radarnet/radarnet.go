@@ -1,0 +1,175 @@
+// Package radarnet models the radar environment the paper's Section
+// 4.1 describes but simplifies away: "most aircraft in the US are
+// within the range of 2 to 6 radars, [but] a radar report may not be
+// obtained for some aircraft during some periods."
+//
+// A Network is a set of radar sites with finite range and a cone of
+// silence directly overhead (a radar cannot see targets near its
+// zenith). Each period, an aircraft is reported by its nearest covering
+// site — unless every covering site has it inside the cone, it is out
+// of range of all sites, or the report is lost to a dropout draw. The
+// resulting frame has at most one report per aircraft (the paper's
+// simplification) but, unlike radar.Generate, can have fewer reports
+// than aircraft, which exercises Task 1's dead-reckoning path: aircraft
+// without a report keep their expected position until the next period.
+package radarnet
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/airspace"
+	"repro/internal/radar"
+	"repro/internal/rng"
+)
+
+// Site is one radar installation.
+type Site struct {
+	// ID indexes the site in its network.
+	ID int32
+	// X, Y is the site position in field coordinates (nm).
+	X, Y float64
+	// RangeNM is the detection radius.
+	RangeNM float64
+	// ConeNM is the cone-of-silence radius: targets within this
+	// horizontal distance of the site are invisible to it (the zenith
+	// blind spot, projected to the ground for the 2-D field).
+	ConeNM float64
+}
+
+// Covers reports whether the site can see a target at (x, y).
+func (s *Site) Covers(x, y float64) bool {
+	d := math.Hypot(x-s.X, y-s.Y)
+	return d <= s.RangeNM && d > s.ConeNM
+}
+
+// InCone reports whether (x, y) is inside the site's cone of silence.
+func (s *Site) InCone(x, y float64) bool {
+	return math.Hypot(x-s.X, y-s.Y) <= s.ConeNM
+}
+
+// Network is a set of sites plus the channel model.
+type Network struct {
+	Sites []Site
+	// DropoutProb is the per-aircraft per-period probability that the
+	// selected site's return is lost.
+	DropoutProb float64
+	// Noise is the measurement error amplitude in nm.
+	Noise float64
+}
+
+// NewGrid places rows x cols sites on a regular grid over the field.
+// With range >= the grid diagonal pitch, every field point is covered
+// by several sites, matching the paper's "2 to 6 radars" remark.
+func NewGrid(rows, cols int, rangeNM, coneNM, dropout, noise float64) *Network {
+	if rows <= 0 || cols <= 0 || rangeNM <= 0 || coneNM < 0 || dropout < 0 || dropout > 1 {
+		panic(fmt.Sprintf("radarnet: bad grid parameters %dx%d range=%v cone=%v dropout=%v",
+			rows, cols, rangeNM, coneNM, dropout))
+	}
+	net := &Network{DropoutProb: dropout, Noise: noise}
+	pitchX := 2 * airspace.FieldHalf / float64(cols)
+	pitchY := 2 * airspace.FieldHalf / float64(rows)
+	id := int32(0)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			net.Sites = append(net.Sites, Site{
+				ID:      id,
+				X:       -airspace.FieldHalf + (float64(c)+0.5)*pitchX,
+				Y:       -airspace.FieldHalf + (float64(r)+0.5)*pitchY,
+				RangeNM: rangeNM,
+				ConeNM:  coneNM,
+			})
+			id++
+		}
+	}
+	return net
+}
+
+// CoverageAt returns how many sites cover the point and whether at
+// least one site holds it inside a cone of silence while no site covers
+// it (the true blind case).
+func (n *Network) CoverageAt(x, y float64) (covering int, blindInCone bool) {
+	inCone := false
+	for i := range n.Sites {
+		s := &n.Sites[i]
+		if s.Covers(x, y) {
+			covering++
+		} else if s.InCone(x, y) {
+			inCone = true
+		}
+	}
+	return covering, covering == 0 && inCone
+}
+
+// Stats describes one generated frame.
+type Stats struct {
+	// Reported is the number of aircraft with a report this period.
+	Reported int
+	// OutOfRange is the number of aircraft no site could see.
+	OutOfRange int
+	// ConeBlind is the number of aircraft invisible only because every
+	// site that is close enough holds them in its cone of silence.
+	ConeBlind int
+	// Dropouts is the number of reports lost to the channel.
+	Dropouts int
+	// MeanCoverage is the average number of covering sites per aircraft.
+	MeanCoverage float64
+}
+
+// Generate produces the period's radar frame: at most one report per
+// aircraft, from its nearest covering site, with noise; aircraft that
+// are out of range, cone-blind or dropped get no report. The report
+// list is shuffled with the paper's fourth-reversal.
+func (n *Network) Generate(w *airspace.World, r *rng.Rand) (*radar.Frame, Stats) {
+	var st Stats
+	f := &radar.Frame{}
+	totalCoverage := 0
+	for i := range w.Aircraft {
+		a := &w.Aircraft[i]
+		ex := a.X + a.DX
+		ey := a.Y + a.DY
+
+		best := -1
+		bestDist := math.Inf(1)
+		covering := 0
+		inCone := false
+		for sIdx := range n.Sites {
+			s := &n.Sites[sIdx]
+			d := math.Hypot(ex-s.X, ey-s.Y)
+			switch {
+			case d <= s.ConeNM:
+				inCone = true
+			case d <= s.RangeNM:
+				covering++
+				if d < bestDist {
+					bestDist = d
+					best = sIdx
+				}
+			}
+		}
+		totalCoverage += covering
+		if best < 0 {
+			if inCone {
+				st.ConeBlind++
+			} else {
+				st.OutOfRange++
+			}
+			continue
+		}
+		if r.Float64() < n.DropoutProb {
+			st.Dropouts++
+			continue
+		}
+		f.Reports = append(f.Reports, radar.Report{
+			RX:        ex + r.Noise(n.Noise),
+			RY:        ey + r.Noise(n.Noise),
+			MatchWith: radar.Unmatched,
+		})
+		st.Reported++
+	}
+	if w.N() > 0 {
+		st.MeanCoverage = float64(totalCoverage) / float64(w.N())
+	}
+	radar.ShuffleFourths(f.Reports)
+	return f, st
+}

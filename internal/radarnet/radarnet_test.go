@@ -1,0 +1,169 @@
+package radarnet
+
+import (
+	"testing"
+
+	"repro/internal/airspace"
+	"repro/internal/radar"
+	"repro/internal/rng"
+	"repro/internal/tasks"
+)
+
+// defaultNet covers the whole field with a 4x4 grid of 80 nm radars
+// (every point within range of several sites).
+func defaultNet() *Network {
+	return NewGrid(4, 4, 80, 2, 0, radar.DefaultNoise)
+}
+
+func TestNewGridPlacement(t *testing.T) {
+	n := NewGrid(2, 3, 100, 1, 0, 0.25)
+	if len(n.Sites) != 6 {
+		t.Fatalf("sites = %d", len(n.Sites))
+	}
+	for _, s := range n.Sites {
+		if !airspace.InField(s.X, s.Y) {
+			t.Fatalf("site %d at (%v,%v) outside field", s.ID, s.X, s.Y)
+		}
+	}
+	// Distinct positions.
+	seen := map[[2]float64]bool{}
+	for _, s := range n.Sites {
+		key := [2]float64{s.X, s.Y}
+		if seen[key] {
+			t.Fatalf("duplicate site position %v", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestNewGridPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad params did not panic")
+		}
+	}()
+	NewGrid(0, 1, 10, 1, 0, 0)
+}
+
+func TestSiteCoverage(t *testing.T) {
+	s := Site{X: 0, Y: 0, RangeNM: 50, ConeNM: 3}
+	if !s.Covers(10, 10) {
+		t.Fatal("in-range point not covered")
+	}
+	if s.Covers(100, 0) {
+		t.Fatal("out-of-range point covered")
+	}
+	if s.Covers(1, 1) {
+		t.Fatal("cone-of-silence point covered")
+	}
+	if !s.InCone(1, 1) || s.InCone(10, 10) {
+		t.Fatal("InCone wrong")
+	}
+}
+
+func TestFullFieldCoverage(t *testing.T) {
+	n := defaultNet()
+	for x := -120.0; x <= 120; x += 20 {
+		for y := -120.0; y <= 120; y += 20 {
+			covering, blind := n.CoverageAt(x, y)
+			if covering == 0 && !blind {
+				t.Fatalf("point (%v,%v) covered by no site", x, y)
+			}
+		}
+	}
+}
+
+func TestGenerateReportsMostAircraft(t *testing.T) {
+	w := airspace.NewWorld(2000, rng.New(1))
+	f, st := defaultNet().Generate(w, rng.New(2))
+	if st.Reported != f.N() {
+		t.Fatalf("stats reported %d but frame has %d", st.Reported, f.N())
+	}
+	if st.Reported < w.N()*95/100 {
+		t.Fatalf("only %d of %d reported: %+v", st.Reported, w.N(), st)
+	}
+	if st.MeanCoverage < 2 {
+		t.Fatalf("mean coverage %v — paper expects 2 to 6 radars per aircraft", st.MeanCoverage)
+	}
+	if st.MeanCoverage > 8 {
+		t.Fatalf("mean coverage %v implausibly high", st.MeanCoverage)
+	}
+}
+
+func TestDropoutsReduceReports(t *testing.T) {
+	w := airspace.NewWorld(2000, rng.New(3))
+	lossy := NewGrid(4, 4, 80, 2, 0.3, radar.DefaultNoise)
+	_, st := lossy.Generate(w, rng.New(4))
+	if st.Dropouts == 0 {
+		t.Fatal("30% dropout produced no losses")
+	}
+	frac := float64(st.Reported) / float64(w.N())
+	if frac > 0.8 || frac < 0.55 {
+		t.Fatalf("report fraction %v under 30%% dropout", frac)
+	}
+}
+
+func TestConeOfSilence(t *testing.T) {
+	// One site with a big cone; an aircraft directly overhead is blind.
+	n := &Network{Sites: []Site{{ID: 0, X: 0, Y: 0, RangeNM: 200, ConeNM: 10}}, Noise: 0.25}
+	w := &airspace.World{Aircraft: []airspace.Aircraft{
+		{ID: 0, X: 1, Y: 1, Alt: 10000},   // in the cone
+		{ID: 1, X: 50, Y: 50, Alt: 10000}, // covered
+	}}
+	_, st := n.Generate(w, rng.New(5))
+	if st.ConeBlind != 1 || st.Reported != 1 {
+		t.Fatalf("stats = %+v, want 1 cone-blind / 1 reported", st)
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	n := &Network{Sites: []Site{{ID: 0, X: -120, Y: -120, RangeNM: 10, ConeNM: 1}}, Noise: 0.25}
+	w := &airspace.World{Aircraft: []airspace.Aircraft{{ID: 0, X: 120, Y: 120, Alt: 10000}}}
+	_, st := n.Generate(w, rng.New(6))
+	if st.OutOfRange != 1 || st.Reported != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// The integration property: Task 1 over a lossy radar network still
+// correlates every reported aircraft and dead-reckons the rest, so the
+// population position error stays bounded.
+func TestCorrelateOverLossyNetwork(t *testing.T) {
+	w := airspace.NewWorld(1500, rng.New(7))
+	net := NewGrid(4, 4, 80, 2, 0.1, radar.DefaultNoise)
+	r := rng.New(8)
+	for period := 0; period < 5; period++ {
+		f, st := net.Generate(w, r)
+		cs := tasks.Correlate(w, f)
+		if cs.Matched < st.Reported*90/100 {
+			t.Fatalf("period %d: matched %d of %d reported (%+v)", period, cs.Matched, st.Reported, cs)
+		}
+		// Everyone still advances: either to a radar fix or by dead
+		// reckoning; nobody is stuck outside the field.
+		for i := range w.Aircraft {
+			a := &w.Aircraft[i]
+			if !airspace.InField(a.X, a.Y) {
+				maxStep := airspace.SpeedMax / airspace.PeriodsPerHour
+				if a.X < -airspace.FieldHalf-maxStep || a.X > airspace.FieldHalf+maxStep ||
+					a.Y < -airspace.FieldHalf-maxStep || a.Y > airspace.FieldHalf+maxStep {
+					t.Fatalf("aircraft %d lost at (%v,%v)", i, a.X, a.Y)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	w := airspace.NewWorld(300, rng.New(9))
+	n := defaultNet()
+	f1, st1 := n.Generate(w.Clone(), rng.New(10))
+	f2, st2 := n.Generate(w.Clone(), rng.New(10))
+	if st1 != st2 || f1.N() != f2.N() {
+		t.Fatalf("stats differ: %+v vs %+v", st1, st2)
+	}
+	for i := range f1.Reports {
+		if f1.Reports[i] != f2.Reports[i] {
+			t.Fatalf("report %d differs", i)
+		}
+	}
+}

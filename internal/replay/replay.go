@@ -1,0 +1,173 @@
+// Package replay records and replays simulation runs. A Recorder
+// writes one JSON line per period — the schedule outcome plus (at a
+// configurable stride) full aircraft snapshots — so a run can be
+// archived, diffed against a later build as a regression check, or fed
+// to external plotting. A Reader streams the records back and can
+// reconstruct the world at any snapshot.
+package replay
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/airspace"
+)
+
+// AircraftState is the serialized form of one flight record.
+type AircraftState struct {
+	ID       int32   `json:"id"`
+	X        float64 `json:"x"`
+	Y        float64 `json:"y"`
+	DX       float64 `json:"dx"`
+	DY       float64 `json:"dy"`
+	Alt      float64 `json:"alt"`
+	Col      bool    `json:"col,omitempty"`
+	ColWith  int32   `json:"colWith,omitempty"`
+	TimeTill float64 `json:"timeTill,omitempty"`
+}
+
+// Record is one period's log line.
+type Record struct {
+	// Period is the global period index (0-based).
+	Period int `json:"period"`
+	// Task1 and Task23 are the modeled durations in nanoseconds
+	// (Task23 is 0 in periods where it is not scheduled).
+	Task1  time.Duration `json:"task1"`
+	Task23 time.Duration `json:"task23,omitempty"`
+	// Missed reports whether the period missed its deadline.
+	Missed bool `json:"missed,omitempty"`
+	// Aircraft is the full snapshot, present every SnapshotStride-th
+	// period (and always in period 0).
+	Aircraft []AircraftState `json:"aircraft,omitempty"`
+}
+
+// Recorder writes records as JSON lines.
+type Recorder struct {
+	w *bufio.Writer
+	// SnapshotStride controls how often full world snapshots are
+	// embedded: every k-th period (1 = every period; 0 = default 16).
+	SnapshotStride int
+	periods        int
+}
+
+// NewRecorder returns a Recorder writing to w.
+func NewRecorder(w io.Writer) *Recorder {
+	return &Recorder{w: bufio.NewWriter(w), SnapshotStride: 16}
+}
+
+// Snapshot converts a world into its serialized form.
+func Snapshot(w *airspace.World) []AircraftState {
+	out := make([]AircraftState, w.N())
+	for i := range w.Aircraft {
+		a := &w.Aircraft[i]
+		out[i] = AircraftState{
+			ID: a.ID, X: a.X, Y: a.Y, DX: a.DX, DY: a.DY, Alt: a.Alt,
+			Col: a.Col, ColWith: a.ColWith, TimeTill: a.TimeTill,
+		}
+	}
+	return out
+}
+
+// Restore rebuilds a world from a snapshot.
+func Restore(states []AircraftState) *airspace.World {
+	w := &airspace.World{Aircraft: make([]airspace.Aircraft, len(states))}
+	for i, s := range states {
+		a := &w.Aircraft[i]
+		a.ID, a.X, a.Y, a.DX, a.DY, a.Alt = s.ID, s.X, s.Y, s.DX, s.DY, s.Alt
+		a.Col, a.ColWith, a.TimeTill = s.Col, s.ColWith, s.TimeTill
+		if !s.Col {
+			a.ColWith = airspace.NoConflict
+			a.TimeTill = airspace.SafeTime
+		}
+	}
+	return w
+}
+
+// WritePeriod appends one period record, embedding a world snapshot on
+// the configured stride.
+func (r *Recorder) WritePeriod(w *airspace.World, task1, task23 time.Duration, missed bool) error {
+	stride := r.SnapshotStride
+	if stride <= 0 {
+		stride = 16
+	}
+	rec := Record{Period: r.periods, Task1: task1, Task23: task23, Missed: missed}
+	if r.periods%stride == 0 {
+		rec.Aircraft = Snapshot(w)
+	}
+	r.periods++
+	b, err := json.Marshal(&rec)
+	if err != nil {
+		return err
+	}
+	if _, err := r.w.Write(b); err != nil {
+		return err
+	}
+	return r.w.WriteByte('\n')
+}
+
+// Flush flushes buffered records to the underlying writer.
+func (r *Recorder) Flush() error { return r.w.Flush() }
+
+// Reader streams records back.
+type Reader struct {
+	s *bufio.Scanner
+}
+
+// NewReader returns a Reader over a record stream.
+func NewReader(rd io.Reader) *Reader {
+	s := bufio.NewScanner(rd)
+	s.Buffer(make([]byte, 1<<20), 64<<20) // snapshots of large worlds
+	return &Reader{s: s}
+}
+
+// Next returns the next record, or io.EOF.
+func (r *Reader) Next() (*Record, error) {
+	if !r.s.Scan() {
+		if err := r.s.Err(); err != nil {
+			return nil, err
+		}
+		return nil, io.EOF
+	}
+	var rec Record
+	if err := json.Unmarshal(r.s.Bytes(), &rec); err != nil {
+		return nil, fmt.Errorf("replay: bad record: %w", err)
+	}
+	return &rec, nil
+}
+
+// Summary aggregates a whole stream.
+type Summary struct {
+	Periods   int
+	Misses    int
+	Snapshots int
+	Task1     time.Duration
+	Task23    time.Duration
+}
+
+// Summarize consumes the stream and aggregates it.
+func Summarize(rd io.Reader) (Summary, error) {
+	var s Summary
+	r := NewReader(rd)
+	for {
+		rec, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return s, nil
+		}
+		if err != nil {
+			return s, err
+		}
+		s.Periods++
+		if rec.Missed {
+			s.Misses++
+		}
+		if len(rec.Aircraft) > 0 {
+			s.Snapshots++
+		}
+		s.Task1 += rec.Task1
+		s.Task23 += rec.Task23
+	}
+}

@@ -1,0 +1,147 @@
+package replay
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/airspace"
+	"repro/internal/rng"
+)
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	w := airspace.NewWorld(200, rng.New(1))
+	w.Aircraft[3].Col = true
+	w.Aircraft[3].ColWith = 7
+	w.Aircraft[3].TimeTill = 42
+
+	got := Restore(Snapshot(w))
+	if got.N() != w.N() {
+		t.Fatalf("N = %d", got.N())
+	}
+	for i := range w.Aircraft {
+		a, b := &w.Aircraft[i], &got.Aircraft[i]
+		if a.ID != b.ID || a.X != b.X || a.Y != b.Y || a.DX != b.DX || a.DY != b.DY || a.Alt != b.Alt {
+			t.Fatalf("aircraft %d kinematics differ", i)
+		}
+		if a.Col != b.Col {
+			t.Fatalf("aircraft %d conflict flag differs", i)
+		}
+	}
+	if got.Aircraft[3].ColWith != 7 || got.Aircraft[3].TimeTill != 42 {
+		t.Fatal("conflict detail lost")
+	}
+	// Non-conflicting aircraft get clean defaults.
+	if got.Aircraft[0].ColWith != airspace.NoConflict || got.Aircraft[0].TimeTill != airspace.SafeTime {
+		t.Fatal("clean aircraft defaults wrong")
+	}
+}
+
+func TestRecorderStreamRoundTrip(t *testing.T) {
+	w := airspace.NewWorld(50, rng.New(2))
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+	rec.SnapshotStride = 4
+	for p := 0; p < 10; p++ {
+		if err := rec.WritePeriod(w, time.Duration(p)*time.Millisecond, 0, p == 7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(&buf)
+	snapshots, periods := 0, 0
+	for {
+		record, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if record.Period != periods {
+			t.Fatalf("period %d out of order (%d)", record.Period, periods)
+		}
+		if record.Task1 != time.Duration(periods)*time.Millisecond {
+			t.Fatalf("period %d task1 = %v", periods, record.Task1)
+		}
+		if len(record.Aircraft) > 0 {
+			snapshots++
+			if len(record.Aircraft) != 50 {
+				t.Fatalf("snapshot has %d aircraft", len(record.Aircraft))
+			}
+		}
+		periods++
+	}
+	if periods != 10 {
+		t.Fatalf("read %d periods", periods)
+	}
+	if snapshots != 3 { // periods 0, 4, 8
+		t.Fatalf("snapshots = %d, want 3", snapshots)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	w := airspace.NewWorld(10, rng.New(3))
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+	for p := 0; p < 16; p++ {
+		t23 := time.Duration(0)
+		if p == 15 {
+			t23 = 5 * time.Millisecond
+		}
+		if err := rec.WritePeriod(w, time.Millisecond, t23, p == 15); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec.Flush()
+	s, err := Summarize(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Periods != 16 || s.Misses != 1 || s.Snapshots != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Task1 != 16*time.Millisecond || s.Task23 != 5*time.Millisecond {
+		t.Fatalf("summary durations = %+v", s)
+	}
+}
+
+func TestReaderBadInput(t *testing.T) {
+	r := NewReader(strings.NewReader("not json\n"))
+	if _, err := r.Next(); err == nil {
+		t.Fatal("bad record accepted")
+	}
+}
+
+func TestReaderEmpty(t *testing.T) {
+	r := NewReader(strings.NewReader(""))
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+}
+
+func TestDefaultStride(t *testing.T) {
+	w := airspace.NewWorld(5, rng.New(4))
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+	rec.SnapshotStride = 0 // force default
+	for p := 0; p < 17; p++ {
+		if err := rec.WritePeriod(w, 0, 0, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec.Flush()
+	s, err := Summarize(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Snapshots != 2 { // periods 0 and 16
+		t.Fatalf("snapshots = %d, want 2", s.Snapshots)
+	}
+}

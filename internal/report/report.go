@@ -1,0 +1,192 @@
+// Package report renders experiment results for the terminal: aligned
+// ASCII tables and a simple scatter chart, so cmd/atmbench can show the
+// regenerated figures without any plotting dependency.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Table writes an aligned ASCII table.
+func Table(w io.Writer, headers []string, rows [][]string) error {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(headers)); err != nil {
+		return err
+	}
+	total := len(headers)*2 - 2
+	for _, wd := range widths {
+		total += wd
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DatasetTable renders a dataset as a table with the sweep variable in
+// the first column and one column per series.
+func DatasetTable(w io.Writer, d *trace.Dataset) error {
+	if _, err := fmt.Fprintf(w, "%s — %s\n", d.ID, d.Title); err != nil {
+		return err
+	}
+	// Collect the union of X values in order of first appearance.
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range d.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	headers := []string{d.XLabel}
+	for _, s := range d.Series {
+		headers = append(headers, s.Label)
+	}
+	// Time-valued datasets get duration formatting; anything else (miss
+	// counts, fractions, nautical miles) is printed as a plain number.
+	format := func(v float64) string { return fmt.Sprintf("%.4g", v) }
+	if strings.Contains(d.YLabel, "second") {
+		format = formatSeconds
+	}
+	var rows [][]string
+	for _, x := range xs {
+		row := []string{fmt.Sprintf("%.0f", x)}
+		for _, s := range d.Series {
+			cell := ""
+			for _, p := range s.Points {
+				if p.X == x {
+					cell = format(p.Y)
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		rows = append(rows, row)
+	}
+	return Table(w, headers, rows)
+}
+
+// formatSeconds pretty-prints a duration in seconds with an adaptive
+// unit.
+func formatSeconds(s float64) string {
+	switch {
+	case s == 0:
+		return "0"
+	case math.Abs(s) < 1e-3:
+		return fmt.Sprintf("%.1fµs", s*1e6)
+	case math.Abs(s) < 1:
+		return fmt.Sprintf("%.3fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.3fs", s)
+	}
+}
+
+// Chart renders the dataset as an ASCII scatter plot of the given size.
+// Each series is drawn with its own glyph; the legend maps glyphs to
+// labels.
+func Chart(w io.Writer, d *trace.Dataset, width, height int) error {
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	glyphs := "*o+x#@%&"
+	var xmin, xmax, ymin, ymax float64
+	first := true
+	for _, s := range d.Series {
+		for _, p := range s.Points {
+			if first {
+				xmin, xmax, ymin, ymax = p.X, p.X, p.Y, p.Y
+				first = false
+				continue
+			}
+			xmin = math.Min(xmin, p.X)
+			xmax = math.Max(xmax, p.X)
+			ymin = math.Min(ymin, p.Y)
+			ymax = math.Max(ymax, p.Y)
+		}
+	}
+	if first {
+		_, err := fmt.Fprintln(w, "(no data)")
+		return err
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range d.Series {
+		g := glyphs[si%len(glyphs)]
+		for _, p := range s.Points {
+			cx := int(math.Round((p.X - xmin) / (xmax - xmin) * float64(width-1)))
+			cy := int(math.Round((p.Y - ymin) / (ymax - ymin) * float64(height-1)))
+			row := height - 1 - cy
+			grid[row][cx] = g
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s (%s vs %s)\n", d.Title, d.YLabel, d.XLabel); err != nil {
+		return err
+	}
+	for i, row := range grid {
+		label := "          "
+		if i == 0 {
+			label = fmt.Sprintf("%9.3g ", ymax)
+		} else if i == height-1 {
+			label = fmt.Sprintf("%9.3g ", ymin)
+		}
+		if _, err := fmt.Fprintf(w, "%s|%s\n", label, string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s+%s\n", strings.Repeat(" ", 10), strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s%-10.3g%*.3g\n", strings.Repeat(" ", 11), xmin, width-10, xmax); err != nil {
+		return err
+	}
+	for si, s := range d.Series {
+		if _, err := fmt.Fprintf(w, "  %c = %s\n", glyphs[si%len(glyphs)], s.Label); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func sample() *trace.Dataset {
+	d := &trace.Dataset{ID: "fig4", Title: "Task 1", XLabel: "aircraft", YLabel: "seconds"}
+	d.Add("Titan X", 1000, 0.0012)
+	d.Add("Titan X", 2000, 0.0025)
+	d.Add("Xeon", 1000, 0.05)
+	d.Add("Xeon", 2000, 0.21)
+	return d
+}
+
+func TestTableAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	err := Table(&buf, []string{"a", "long-header"}, [][]string{{"xxxx", "1"}, {"y", "22"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %q", lines)
+	}
+	if !strings.HasPrefix(lines[0], "a    ") {
+		t.Fatalf("header not padded: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Fatalf("no separator: %q", lines[1])
+	}
+}
+
+func TestDatasetTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := DatasetTable(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fig4", "aircraft", "Titan X", "Xeon", "1000", "2000", "1.200ms", "210.000ms"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatSeconds(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{0.0000005, "0.5µs"},
+		{0.0025, "2.500ms"},
+		{1.5, "1.500s"},
+	}
+	for _, c := range cases {
+		if got := formatSeconds(c.in); got != c.want {
+			t.Errorf("formatSeconds(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestChartRenders(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Chart(&buf, sample(), 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("chart missing glyphs:\n%s", out)
+	}
+	if !strings.Contains(out, "* = Titan X") || !strings.Contains(out, "o = Xeon") {
+		t.Fatalf("chart missing legend:\n%s", out)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Chart(&buf, &trace.Dataset{Title: "empty"}, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no data") {
+		t.Fatalf("empty chart output: %q", buf.String())
+	}
+}
+
+func TestChartSinglePoint(t *testing.T) {
+	d := &trace.Dataset{Title: "one"}
+	d.Add("A", 5, 5)
+	var buf bytes.Buffer
+	if err := Chart(&buf, d, 20, 6); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "*") {
+		t.Fatal("single point not plotted")
+	}
+}
+
+func TestChartMinimumDimensions(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Chart(&buf, sample(), 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no output with clamped dimensions")
+	}
+}

@@ -1,0 +1,146 @@
+// Package rng provides a small, fast, deterministic pseudo-random number
+// generator used by every stochastic component of the reproduction
+// (flight setup, radar noise, MIMD scheduling jitter).
+//
+// Reproducibility is a core claim of the paper ("we would get the exact
+// same timings again and again"), so the simulation cannot depend on
+// global seeding or on math/rand implementation changes across Go
+// releases. This package implements xoshiro256** seeded through
+// splitmix64, both public-domain algorithms by Blackman and Vigna, so a
+// (seed, call-sequence) pair yields bit-identical streams on every
+// platform and Go version.
+package rng
+
+import "math"
+
+// Rand is a deterministic xoshiro256** generator. It is NOT safe for
+// concurrent use; derive per-goroutine generators with Split.
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from seed via splitmix64, which
+// guarantees the xoshiro state is well mixed even for small seeds.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	sm := seed
+	for i := range r.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	// xoshiro must not start from the all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next value in the stream.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Split returns a new generator whose stream is statistically independent
+// of r's. It advances r.
+func (r *Rand) Split() *Rand {
+	return New(r.Uint64())
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Range returns a uniform value in [lo, hi). It panics if hi < lo.
+func (r *Rand) Range(lo, hi float64) float64 {
+	if hi < lo {
+		panic("rng: Range with hi < lo")
+	}
+	return lo + (hi-lo)*r.Float64()
+}
+
+// IntN returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) IntN(n int) int {
+	if n <= 0 {
+		panic("rng: IntN with n <= 0")
+	}
+	// Lemire's nearly-divisionless bounded generation.
+	v := r.Uint64()
+	hi, lo := mul64(v, uint64(n))
+	if lo < uint64(n) {
+		thresh := -uint64(n) % uint64(n)
+		for lo < thresh {
+			v = r.Uint64()
+			hi, lo = mul64(v, uint64(n))
+		}
+	}
+	return int(hi)
+}
+
+// mul64 computes the 128-bit product of a and b.
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aHi*bLo + (aLo*bLo)>>32
+	w1 := t & mask
+	w2 := t >> 32
+	w1 += aLo * bHi
+	hi = aHi*bHi + w2 + (w1 >> 32)
+	lo = a * b
+	return hi, lo
+}
+
+// Bool returns true with probability 1/2.
+func (r *Rand) Bool() bool { return r.Uint64()&1 == 1 }
+
+// Sign returns +1 or -1 with equal probability. The paper determines
+// coordinate and velocity signs with parity tests on small random
+// integers; Sign abstracts that.
+func (r *Rand) Sign() float64 {
+	if r.Bool() {
+		return 1
+	}
+	return -1
+}
+
+// Noise returns a uniform value in [-amp, +amp], used for radar
+// measurement error ("a small random noise ... can be either positive or
+// negative").
+func (r *Rand) Noise(amp float64) float64 {
+	return r.Range(-amp, amp)
+}
+
+// Exp returns an exponentially distributed value with the given mean,
+// used by the MIMD model for OS-scheduling jitter tails.
+func (r *Rand) Exp(mean float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// Perm fills p with a uniform random permutation of [0, len(p)).
+func (r *Rand) Perm(p []int) {
+	for i := range p {
+		p[i] = i
+	}
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.IntN(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}

@@ -1,0 +1,217 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("streams diverged at draw %d: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical draws out of 100", same)
+	}
+}
+
+func TestZeroSeedIsUsable(t *testing.T) {
+	r := New(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("seed 0 produced repeated values: %d unique of 100", len(seen))
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestRangeBounds(t *testing.T) {
+	r := New(9)
+	if err := quick.Check(func(lo, span float64) bool {
+		lo = math.Mod(lo, 1e6)
+		span = math.Abs(math.Mod(span, 1e6))
+		v := r.Range(lo, lo+span)
+		return v >= lo && (span == 0 && v == lo || v < lo+span)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangePanicsOnInvertedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Range(1, 0) did not panic")
+		}
+	}()
+	New(1).Range(1, 0)
+}
+
+func TestIntNBoundsAndCoverage(t *testing.T) {
+	r := New(11)
+	const n = 7
+	counts := make([]int, n)
+	for i := 0; i < 7000; i++ {
+		v := r.IntN(n)
+		if v < 0 || v >= n {
+			t.Fatalf("IntN(%d) out of range: %d", n, v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c == 0 {
+			t.Fatalf("IntN(%d) never produced %d in 7000 draws", n, v)
+		}
+		// Rough uniformity: expect ~1000 each.
+		if c < 700 || c > 1300 {
+			t.Errorf("IntN(%d): value %d drawn %d times, far from uniform", n, v, c)
+		}
+	}
+}
+
+func TestIntNPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("IntN(0) did not panic")
+		}
+	}()
+	New(1).IntN(0)
+}
+
+func TestSignIsBalanced(t *testing.T) {
+	r := New(13)
+	pos := 0
+	for i := 0; i < 10000; i++ {
+		s := r.Sign()
+		if s != 1 && s != -1 {
+			t.Fatalf("Sign returned %v", s)
+		}
+		if s == 1 {
+			pos++
+		}
+	}
+	if pos < 4500 || pos > 5500 {
+		t.Fatalf("Sign badly unbalanced: %d positives of 10000", pos)
+	}
+}
+
+func TestNoiseAmplitude(t *testing.T) {
+	r := New(17)
+	const amp = 0.25
+	for i := 0; i < 10000; i++ {
+		v := r.Noise(amp)
+		if v < -amp || v > amp {
+			t.Fatalf("Noise(%v) out of range: %v", amp, v)
+		}
+	}
+}
+
+func TestExpMeanAndPositivity(t *testing.T) {
+	r := New(19)
+	const mean = 3.0
+	sum := 0.0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		v := r.Exp(mean)
+		if v < 0 {
+			t.Fatalf("Exp produced negative value %v", v)
+		}
+		sum += v
+	}
+	got := sum / n
+	if math.Abs(got-mean) > 0.1*mean {
+		t.Fatalf("Exp mean %v, want ~%v", got, mean)
+	}
+}
+
+func TestSplitStreamsAreIndependent(t *testing.T) {
+	parent := New(23)
+	child := parent.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("parent and split child produced %d identical draws", same)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(29)
+	p := make([]int, 100)
+	r.Perm(p)
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			t.Fatalf("Perm produced invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestPermShuffles(t *testing.T) {
+	r := New(31)
+	p := make([]int, 100)
+	r.Perm(p)
+	inPlace := 0
+	for i, v := range p {
+		if i == v {
+			inPlace++
+		}
+	}
+	if inPlace > 20 {
+		t.Fatalf("Perm left %d of 100 elements in place", inPlace)
+	}
+}
+
+func TestMul64(t *testing.T) {
+	cases := []struct {
+		a, b, hi, lo uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{1 << 32, 1 << 32, 1, 0},
+		{math.MaxUint64, math.MaxUint64, math.MaxUint64 - 1, 1},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.a, c.b)
+		if hi != c.hi || lo != c.lo {
+			t.Errorf("mul64(%d,%d) = (%d,%d), want (%d,%d)", c.a, c.b, hi, lo, c.hi, c.lo)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}

@@ -1,0 +1,183 @@
+// Package sched implements the paper's real-time schedule: the
+// 8-second major cycle of 16 half-second periods with hard deadlines.
+// Tasks scheduled in a period must finish before the period ends; a
+// task that overruns is a deadline miss, and remaining tasks in that
+// period are skipped so the next period starts on time (Section 3).
+// Leftover period time is waited out so no task ever starts early
+// (Section 4.2).
+//
+// The Tracker runs on a virtual clock fed by the platforms' modeled
+// task durations, so a full day of ATM traffic can be accounted in
+// milliseconds of host time while preserving the deadline semantics
+// exactly. An optional wall-clock pacing mode reproduces the paper's
+// actual busy-wait loop for demonstrations.
+package sched
+
+import (
+	"fmt"
+	"time"
+)
+
+// PeriodDur is the paper's scheduling period: one half-second.
+const PeriodDur = 500 * time.Millisecond
+
+// PeriodsPerMajorCycle is the number of periods in the 8-second major
+// cycle.
+const PeriodsPerMajorCycle = 16
+
+// TaskStats aggregates one task's behaviour over a run.
+type TaskStats struct {
+	// Runs is the number of completed executions (including ones that
+	// missed their deadline — the work still happened).
+	Runs int
+	// Misses is the number of executions that finished after the end of
+	// their period.
+	Misses int
+	// Skips is the number of scheduled executions abandoned because the
+	// period budget was already exhausted by earlier tasks.
+	Skips int
+	// Total and Max accumulate the task's virtual durations.
+	Total, Max time.Duration
+}
+
+// Mean returns the average duration per completed run.
+func (t *TaskStats) Mean() time.Duration {
+	if t.Runs == 0 {
+		return 0
+	}
+	return t.Total / time.Duration(t.Runs)
+}
+
+// Stats aggregates a whole run.
+type Stats struct {
+	// Periods executed.
+	Periods int
+	// PeriodMisses is the number of periods with at least one deadline
+	// miss.
+	PeriodMisses int
+	// TotalMisses is the number of individual task deadline misses.
+	TotalMisses int
+	// TotalSkips is the number of skipped task executions.
+	TotalSkips int
+	// MaxLoad is the largest virtual time consumed inside one period.
+	MaxLoad time.Duration
+	// Tasks holds per-task aggregates keyed by task name.
+	Tasks map[string]*TaskStats
+	// VirtualElapsed is the total schedule time: Periods x PeriodDur
+	// (periods never start early, so leftover time is waited out).
+	VirtualElapsed time.Duration
+}
+
+// Task returns the aggregate for name, creating it if needed.
+func (s *Stats) Task(name string) *TaskStats {
+	if s.Tasks == nil {
+		s.Tasks = make(map[string]*TaskStats)
+	}
+	ts := s.Tasks[name]
+	if ts == nil {
+		ts = &TaskStats{}
+		s.Tasks[name] = ts
+	}
+	return ts
+}
+
+// MissRate returns the fraction of periods that missed a deadline.
+func (s *Stats) MissRate() float64 {
+	if s.Periods == 0 {
+		return 0
+	}
+	return float64(s.PeriodMisses) / float64(s.Periods)
+}
+
+// Tracker enforces the period deadline over a virtual clock.
+type Tracker struct {
+	// Period is the deadline budget; PeriodDur unless overridden.
+	Period time.Duration
+
+	stats    Stats
+	inPeriod bool
+	used     time.Duration
+	missed   bool
+}
+
+// NewTracker returns a Tracker with the given period length (0 means
+// the paper's half-second).
+func NewTracker(period time.Duration) *Tracker {
+	if period < 0 {
+		panic(fmt.Sprintf("sched: negative period %v", period))
+	}
+	if period == 0 {
+		period = PeriodDur
+	}
+	return &Tracker{Period: period}
+}
+
+// BeginPeriod opens a new period. It panics if the previous period was
+// not closed — the schedule is strictly sequential.
+func (t *Tracker) BeginPeriod() {
+	if t.inPeriod {
+		panic("sched: BeginPeriod inside an open period")
+	}
+	t.inPeriod = true
+	t.used = 0
+	t.missed = false
+}
+
+// Run executes the named task inside the current period unless the
+// budget is already exhausted (then the task is skipped, per Section
+// 3). It returns whether the task ran. f must return the task's
+// virtual duration.
+func (t *Tracker) Run(name string, f func() time.Duration) bool {
+	if !t.inPeriod {
+		panic("sched: Run outside a period")
+	}
+	ts := t.stats.Task(name)
+	if t.used >= t.Period {
+		ts.Skips++
+		t.stats.TotalSkips++
+		return false
+	}
+	d := f()
+	if d < 0 {
+		panic(fmt.Sprintf("sched: task %q reported negative duration %v", name, d))
+	}
+	ts.Runs++
+	ts.Total += d
+	if d > ts.Max {
+		ts.Max = d
+	}
+	t.used += d
+	if t.used > t.Period {
+		ts.Misses++
+		t.stats.TotalMisses++
+		t.missed = true
+	}
+	return true
+}
+
+// EndPeriod closes the period, accounting the deadline outcome and the
+// implicit wait for the remainder of the period.
+func (t *Tracker) EndPeriod() {
+	if !t.inPeriod {
+		panic("sched: EndPeriod without BeginPeriod")
+	}
+	t.inPeriod = false
+	t.stats.Periods++
+	if t.missed {
+		t.stats.PeriodMisses++
+	}
+	if t.used > t.stats.MaxLoad {
+		t.stats.MaxLoad = t.used
+	}
+	t.stats.VirtualElapsed += t.Period
+	if t.used > t.Period {
+		// An overrun pushes the schedule late; the paper's system
+		// re-synchronizes at the next period boundary, so the virtual
+		// clock keeps counting whole periods but the overrun is already
+		// recorded as a miss.
+		t.stats.VirtualElapsed += t.used - t.Period
+	}
+}
+
+// Stats returns the accumulated statistics.
+func (t *Tracker) Stats() *Stats { return &t.stats }

@@ -1,0 +1,195 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDefaults(t *testing.T) {
+	tr := NewTracker(0)
+	if tr.Period != PeriodDur {
+		t.Fatalf("default period %v, want %v", tr.Period, PeriodDur)
+	}
+	if PeriodDur != 500*time.Millisecond || PeriodsPerMajorCycle != 16 {
+		t.Fatal("paper constants wrong")
+	}
+}
+
+func TestNegativePeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative period did not panic")
+		}
+	}()
+	NewTracker(-1)
+}
+
+func TestTaskWithinBudget(t *testing.T) {
+	tr := NewTracker(0)
+	tr.BeginPeriod()
+	ran := tr.Run("t1", func() time.Duration { return 100 * time.Millisecond })
+	tr.EndPeriod()
+	if !ran {
+		t.Fatal("task within budget did not run")
+	}
+	st := tr.Stats()
+	if st.Periods != 1 || st.PeriodMisses != 0 || st.TotalMisses != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	ts := st.Task("t1")
+	if ts.Runs != 1 || ts.Misses != 0 || ts.Total != 100*time.Millisecond {
+		t.Fatalf("task stats = %+v", ts)
+	}
+}
+
+func TestDeadlineMiss(t *testing.T) {
+	tr := NewTracker(0)
+	tr.BeginPeriod()
+	tr.Run("t1", func() time.Duration { return 600 * time.Millisecond })
+	tr.EndPeriod()
+	st := tr.Stats()
+	if st.PeriodMisses != 1 || st.TotalMisses != 1 {
+		t.Fatalf("miss not recorded: %+v", st)
+	}
+	if st.Task("t1").Misses != 1 {
+		t.Fatal("task miss not recorded")
+	}
+}
+
+func TestOverrunSkipsRemainingTasks(t *testing.T) {
+	// Section 3: a task cannot start if earlier tasks consumed the
+	// period; it must be skipped so the next period starts on time.
+	tr := NewTracker(0)
+	tr.BeginPeriod()
+	tr.Run("t1", func() time.Duration { return 700 * time.Millisecond })
+	ran := tr.Run("t23", func() time.Duration {
+		t.Error("skipped task body executed")
+		return 0
+	})
+	tr.EndPeriod()
+	if ran {
+		t.Fatal("task ran in an exhausted period")
+	}
+	st := tr.Stats()
+	if st.TotalSkips != 1 || st.Task("t23").Skips != 1 {
+		t.Fatalf("skip not recorded: %+v", st)
+	}
+}
+
+func TestTwoTasksSumToMiss(t *testing.T) {
+	// Each task fits alone but together they overrun: the second task
+	// takes the miss.
+	tr := NewTracker(0)
+	tr.BeginPeriod()
+	tr.Run("t1", func() time.Duration { return 300 * time.Millisecond })
+	tr.Run("t23", func() time.Duration { return 300 * time.Millisecond })
+	tr.EndPeriod()
+	st := tr.Stats()
+	if st.Task("t1").Misses != 0 || st.Task("t23").Misses != 1 {
+		t.Fatalf("wrong task charged with the miss: %+v", st.Tasks)
+	}
+	if st.MaxLoad != 600*time.Millisecond {
+		t.Fatalf("MaxLoad = %v", st.MaxLoad)
+	}
+}
+
+func TestExactDeadlineIsNotMiss(t *testing.T) {
+	tr := NewTracker(0)
+	tr.BeginPeriod()
+	tr.Run("t1", func() time.Duration { return 500 * time.Millisecond })
+	tr.EndPeriod()
+	if tr.Stats().TotalMisses != 0 {
+		t.Fatal("finishing exactly at the deadline must not be a miss")
+	}
+	// But the budget is now exhausted: a following task is skipped.
+	tr.BeginPeriod()
+	tr.Run("a", func() time.Duration { return 500 * time.Millisecond })
+	if tr.Run("b", func() time.Duration { return 0 }) {
+		t.Fatal("task ran with zero remaining budget")
+	}
+	tr.EndPeriod()
+}
+
+func TestVirtualElapsedIncludesWaits(t *testing.T) {
+	// Periods never start early: a fast period still advances the clock
+	// by a full period.
+	tr := NewTracker(0)
+	for i := 0; i < 4; i++ {
+		tr.BeginPeriod()
+		tr.Run("t1", func() time.Duration { return time.Millisecond })
+		tr.EndPeriod()
+	}
+	if got := tr.Stats().VirtualElapsed; got != 2*time.Second {
+		t.Fatalf("VirtualElapsed = %v, want 2s", got)
+	}
+}
+
+func TestVirtualElapsedExtendsOnOverrun(t *testing.T) {
+	tr := NewTracker(0)
+	tr.BeginPeriod()
+	tr.Run("t1", func() time.Duration { return 800 * time.Millisecond })
+	tr.EndPeriod()
+	if got := tr.Stats().VirtualElapsed; got != 800*time.Millisecond {
+		t.Fatalf("VirtualElapsed = %v, want 800ms", got)
+	}
+}
+
+func TestMeanAndMissRate(t *testing.T) {
+	tr := NewTracker(0)
+	durations := []time.Duration{100 * time.Millisecond, 300 * time.Millisecond, 600 * time.Millisecond}
+	for _, d := range durations {
+		tr.BeginPeriod()
+		d := d
+		tr.Run("t1", func() time.Duration { return d })
+		tr.EndPeriod()
+	}
+	st := tr.Stats()
+	ts := st.Task("t1")
+	if ts.Mean() != 1000*time.Millisecond/3 {
+		t.Fatalf("Mean = %v", ts.Mean())
+	}
+	if ts.Max != 600*time.Millisecond {
+		t.Fatalf("Max = %v", ts.Max)
+	}
+	if got := st.MissRate(); got < 0.33 || got > 0.34 {
+		t.Fatalf("MissRate = %v, want 1/3", got)
+	}
+}
+
+func TestEmptyStats(t *testing.T) {
+	var ts TaskStats
+	if ts.Mean() != 0 {
+		t.Fatal("Mean of empty task stats")
+	}
+	var st Stats
+	if st.MissRate() != 0 {
+		t.Fatal("MissRate of empty stats")
+	}
+}
+
+func TestProtocolPanics(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("Run outside period", func() {
+		NewTracker(0).Run("x", func() time.Duration { return 0 })
+	})
+	assertPanics("EndPeriod without Begin", func() {
+		NewTracker(0).EndPeriod()
+	})
+	assertPanics("double BeginPeriod", func() {
+		tr := NewTracker(0)
+		tr.BeginPeriod()
+		tr.BeginPeriod()
+	})
+	assertPanics("negative duration", func() {
+		tr := NewTracker(0)
+		tr.BeginPeriod()
+		tr.Run("x", func() time.Duration { return -1 })
+	})
+}

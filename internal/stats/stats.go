@@ -1,0 +1,100 @@
+// Package stats provides the small set of summary statistics the
+// experiment harness reports: mean, standard deviation, extrema and
+// percentiles over timing samples.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary describes one sample set.
+type Summary struct {
+	N             int
+	Mean, Std     float64
+	Min, Max      float64
+	P50, P95, P99 float64
+}
+
+// Summarize computes a Summary; an empty input yields the zero value.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	s.N = len(xs)
+	if s.N == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min = sorted[0]
+	s.Max = sorted[s.N-1]
+	s.P50 = Percentile(sorted, 50)
+	s.P95 = Percentile(sorted, 95)
+	s.P99 = Percentile(sorted, 99)
+
+	sum := 0.0
+	for _, v := range xs {
+		sum += v
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		ss := 0.0
+		for _, v := range xs {
+			d := v - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+// Percentile returns the p-th percentile (0-100) of sorted data using
+// linear interpolation between closest ranks. It panics on empty input
+// or p outside [0, 100].
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: Percentile of empty data")
+	}
+	if p < 0 || p > 100 {
+		panic("stats: percentile out of [0,100]")
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range xs {
+		sum += v
+	}
+	return sum / float64(len(xs))
+}
+
+// MaxDeviation returns the largest absolute difference between any
+// sample and the first sample — the determinism check of the T-DET
+// table (0 means every run took exactly the same time).
+func MaxDeviation(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	ref := xs[0]
+	max := 0.0
+	for _, v := range xs {
+		if d := math.Abs(v - ref); d > max {
+			max = d
+		}
+	}
+	return max
+}

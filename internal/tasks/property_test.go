@@ -1,0 +1,170 @@
+package tasks
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/airspace"
+	"repro/internal/radar"
+	"repro/internal/rng"
+)
+
+// Property: conflict detection is symmetric — if track sees a conflict
+// window against trial, trial sees the identical window against track
+// (the relative position and velocity both negate, leaving |d + dv t|
+// unchanged). This is what lets every thread mark only its own aircraft
+// in the parallel kernels.
+func TestPairConflictSymmetry(t *testing.T) {
+	r := rng.New(123)
+	for i := 0; i < 5000; i++ {
+		ax, ay := r.Range(-100, 100), r.Range(-100, 100)
+		avx, avy := r.Range(-0.08, 0.08), r.Range(-0.08, 0.08)
+		b := &airspace.Aircraft{ID: 1, X: r.Range(-100, 100), Y: r.Range(-100, 100),
+			DX: r.Range(-0.08, 0.08), DY: r.Range(-0.08, 0.08), Alt: 10000}
+		a := &airspace.Aircraft{ID: 0, X: ax, Y: ay, DX: avx, DY: avy, Alt: 10000}
+
+		tmin1, tmax1, ok1 := PairConflict(ax, ay, avx, avy, b)
+		tmin2, tmax2, ok2 := PairConflict(b.X, b.Y, b.DX, b.DY, a)
+		if ok1 != ok2 {
+			t.Fatalf("case %d: asymmetric detection: %v vs %v", i, ok1, ok2)
+		}
+		if ok1 && (math.Abs(tmin1-tmin2) > 1e-9 || math.Abs(tmax1-tmax2) > 1e-9) {
+			t.Fatalf("case %d: windows differ: (%v,%v) vs (%v,%v)", i, tmin1, tmax1, tmin2, tmax2)
+		}
+	}
+}
+
+// Property: the conflict window shrinks (or vanishes) as the separation
+// requirement tightens — monotonicity in the error band.
+func TestConflictWindowMonotoneInSeparation(t *testing.T) {
+	r := rng.New(321)
+	for i := 0; i < 2000; i++ {
+		tx, ty := r.Range(-50, 50), r.Range(-50, 50)
+		tvx, tvy := r.Range(-0.08, 0.08), r.Range(-0.08, 0.08)
+		trial := &airspace.Aircraft{X: r.Range(-50, 50), Y: r.Range(-50, 50),
+			DX: r.Range(-0.08, 0.08), DY: r.Range(-0.08, 0.08), Alt: 10000}
+		tmin, tmax, ok := PairConflict(tx, ty, tvx, tvy, trial)
+		if !ok {
+			continue
+		}
+		// A conflict under the real 3 nm band must also be one under a
+		// hypothetical wider band; we verify via the brute-force oracle
+		// at the window midpoint.
+		mid := (tmin + tmax) / 2
+		sepX := math.Abs((trial.X + trial.DX*mid) - (tx + tvx*mid))
+		sepY := math.Abs((trial.Y + trial.DY*mid) - (ty + tvy*mid))
+		if sepX >= airspace.SepTotal+1e-9 || sepY >= airspace.SepTotal+1e-9 {
+			t.Fatalf("case %d: window midpoint %v not actually in conflict (sep %v, %v)",
+				i, mid, sepX, sepY)
+		}
+	}
+}
+
+// Property: Correlate is a pure function of its inputs — cloned inputs
+// give bitwise-identical worlds and stats.
+func TestCorrelateDeterministic(t *testing.T) {
+	base := airspace.NewWorld(800, rng.New(11))
+	frame := radar.Generate(base, radar.DefaultNoise, rng.New(12))
+	w1, f1 := base.Clone(), frame.Clone()
+	w2, f2 := base.Clone(), frame.Clone()
+	st1 := Correlate(w1, f1)
+	st2 := Correlate(w2, f2)
+	if st1 != st2 {
+		t.Fatalf("stats differ: %+v vs %+v", st1, st2)
+	}
+	for i := range w1.Aircraft {
+		if w1.Aircraft[i] != w2.Aircraft[i] {
+			t.Fatalf("aircraft %d differs", i)
+		}
+	}
+}
+
+// Property: after Correlate, the frame and world are consistent — a
+// radar claiming aircraft k implies aircraft k is in the MatchOne
+// state, and no two radars claim the same aircraft.
+func TestCorrelateMatchConsistency(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		w := airspace.NewWorld(300, rng.New(seed))
+		f := radar.Generate(w, radar.DefaultNoise, rng.New(seed+1))
+		Correlate(w, f)
+		claimed := map[int32]bool{}
+		for _, rep := range f.Reports {
+			if rep.MatchWith < 0 {
+				continue
+			}
+			if claimed[rep.MatchWith] {
+				t.Logf("aircraft %d claimed twice", rep.MatchWith)
+				return false
+			}
+			claimed[rep.MatchWith] = true
+			if w.Aircraft[rep.MatchWith].RMatch != airspace.MatchOne {
+				t.Logf("aircraft %d claimed but RMatch=%d", rep.MatchWith, w.Aircraft[rep.MatchWith].RMatch)
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the number of committed radar positions equals the number
+// of aircraft in the MatchOne state.
+func TestCorrelateMatchedCountAgrees(t *testing.T) {
+	w := airspace.NewWorld(1000, rng.New(77))
+	f := radar.Generate(w, radar.DefaultNoise, rng.New(78))
+	st := Correlate(w, f)
+	matchOne := 0
+	for _, a := range w.Aircraft {
+		if a.RMatch == airspace.MatchOne {
+			matchOne++
+		}
+	}
+	if matchOne != st.Matched {
+		t.Fatalf("MatchOne aircraft %d != stats.Matched %d", matchOne, st.Matched)
+	}
+}
+
+// Property: resolution only ever changes DX/DY (headings) and the
+// conflict bookkeeping — never positions, altitudes, or IDs.
+func TestDetectResolveTouchesOnlyCourses(t *testing.T) {
+	w := airspace.NewWorld(400, rng.New(99))
+	before := w.Clone()
+	DetectResolve(w)
+	for i := range w.Aircraft {
+		a, b := &w.Aircraft[i], &before.Aircraft[i]
+		if a.X != b.X || a.Y != b.Y || a.Alt != b.Alt || a.ID != b.ID {
+			t.Fatalf("aircraft %d identity/position/altitude changed", i)
+		}
+	}
+}
+
+// Property: a world where every aircraft flies the identical velocity
+// can never produce a conflict window narrower than forever — either
+// pairs are within the band now (conflict at t=0) or never.
+func TestParallelTrafficConflictsOnlyAtZero(t *testing.T) {
+	r := rng.New(55)
+	w := &airspace.World{Aircraft: make([]airspace.Aircraft, 100)}
+	for i := range w.Aircraft {
+		a := &w.Aircraft[i]
+		a.ID = int32(i)
+		a.X = r.Range(-100, 100)
+		a.Y = r.Range(-100, 100)
+		a.DX, a.DY = 0.03, 0.01
+		a.Alt = 10000
+		a.ResetConflict()
+	}
+	for i := range w.Aircraft {
+		track := &w.Aircraft[i]
+		for p := range w.Aircraft {
+			if p == i {
+				continue
+			}
+			tmin, _, ok := PairConflict(track.X, track.Y, track.DX, track.DY, &w.Aircraft[p])
+			if ok && tmin != 0 {
+				t.Fatalf("parallel pair (%d,%d) conflicts at t=%v, want 0", i, p, tmin)
+			}
+		}
+	}
+}

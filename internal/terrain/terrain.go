@@ -1,0 +1,204 @@
+// Package terrain implements the terrain-avoidance ATM task — the
+// airspace-deconfliction problem of Thompson et al. [11] that the paper
+// contrasts with its aircraft-to-aircraft work, and part of the "all
+// basic ATM tasks" future work of Section 7.2 (it is Task "terrain
+// avoidance" in the Yuan/Baker task set [12, 13]).
+//
+// Since no terrain database ships with the repository, Generate
+// synthesizes a deterministic elevation grid from Gaussian hills; the
+// avoidance task projects each aircraft's track ahead, samples the
+// terrain under it, and commands a climb when the required clearance
+// is violated.
+package terrain
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/airspace"
+	"repro/internal/cuda"
+	"repro/internal/rng"
+)
+
+// DefaultClearanceFt is the required height over terrain, following the
+// standard minimum obstacle clearance of ~1000 ft.
+const DefaultClearanceFt = 1000.0
+
+// DefaultHorizonPeriods is how far ahead the track is checked: 3
+// minutes of flight in half-second periods.
+const DefaultHorizonPeriods = 360.0
+
+// SampleStridePeriods is the along-track sampling interval. At the
+// maximum speed of 600 knots an aircraft covers 1/12 nm per period, so
+// a 12-period stride samples the terrain about once per nautical mile.
+const SampleStridePeriods = 12.0
+
+// Grid is an elevation model over the airfield.
+type Grid struct {
+	// CellNM is the grid pitch in nautical miles.
+	CellNM float64
+	// Cols, Rows span the whole field.
+	Cols, Rows int
+	// Elev holds elevations in feet, row-major.
+	Elev []float64
+}
+
+// Generate builds a synthetic terrain of smooth Gaussian hills over the
+// 256 x 256 nm field: hills random hills with peak elevations up to
+// maxElevFt. The result is deterministic in r.
+func Generate(cellNM float64, hills int, maxElevFt float64, r *rng.Rand) *Grid {
+	if cellNM <= 0 || hills < 0 || maxElevFt < 0 {
+		panic(fmt.Sprintf("terrain: bad parameters cell=%v hills=%d max=%v", cellNM, hills, maxElevFt))
+	}
+	side := int(math.Ceil(2 * airspace.FieldHalf / cellNM))
+	g := &Grid{CellNM: cellNM, Cols: side, Rows: side, Elev: make([]float64, side*side)}
+
+	type hill struct{ cx, cy, h, sigma float64 }
+	hs := make([]hill, hills)
+	for i := range hs {
+		hs[i] = hill{
+			cx:    r.Range(-airspace.FieldHalf, airspace.FieldHalf),
+			cy:    r.Range(-airspace.FieldHalf, airspace.FieldHalf),
+			h:     r.Range(0.2, 1) * maxElevFt,
+			sigma: r.Range(4, 20), // nm
+		}
+	}
+	for row := 0; row < side; row++ {
+		for col := 0; col < side; col++ {
+			x := -airspace.FieldHalf + (float64(col)+0.5)*cellNM
+			y := -airspace.FieldHalf + (float64(row)+0.5)*cellNM
+			e := 0.0
+			for _, h := range hs {
+				dx, dy := x-h.cx, y-h.cy
+				e += h.h * math.Exp(-(dx*dx+dy*dy)/(2*h.sigma*h.sigma))
+			}
+			g.Elev[row*side+col] = e
+		}
+	}
+	return g
+}
+
+// ElevationAt returns the bilinearly interpolated elevation at (x, y)
+// in nautical-mile field coordinates; points outside the grid are at
+// sea level.
+func (g *Grid) ElevationAt(x, y float64) float64 {
+	fx := (x+airspace.FieldHalf)/g.CellNM - 0.5
+	fy := (y+airspace.FieldHalf)/g.CellNM - 0.5
+	col := int(math.Floor(fx))
+	row := int(math.Floor(fy))
+	tx := fx - float64(col)
+	ty := fy - float64(row)
+	e00 := g.at(col, row)
+	e10 := g.at(col+1, row)
+	e01 := g.at(col, row+1)
+	e11 := g.at(col+1, row+1)
+	return e00*(1-tx)*(1-ty) + e10*tx*(1-ty) + e01*(1-tx)*ty + e11*tx*ty
+}
+
+func (g *Grid) at(col, row int) float64 {
+	if col < 0 || row < 0 || col >= g.Cols || row >= g.Rows {
+		return 0
+	}
+	return g.Elev[row*g.Cols+col]
+}
+
+// MaxElevation returns the highest cell in the grid.
+func (g *Grid) MaxElevation() float64 {
+	max := 0.0
+	for _, e := range g.Elev {
+		if e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+// AvoidStats reports one terrain-avoidance pass.
+type AvoidStats struct {
+	// Violations is the number of aircraft whose projected track dips
+	// below the required clearance within the horizon.
+	Violations int
+	// Climbs is the number of aircraft whose altitude was raised.
+	Climbs int
+	// Samples counts terrain lookups (the task's dominant cost).
+	Samples int
+}
+
+// requiredAltitude returns the minimum safe altitude for aircraft a
+// over its projected track, and whether its current altitude violates
+// it.
+func requiredAltitude(a *airspace.Aircraft, g *Grid, horizon, clearance float64) (float64, bool, int) {
+	need := 0.0
+	samples := 0
+	for t := 0.0; t <= horizon; t += SampleStridePeriods {
+		x := a.X + a.DX*t
+		y := a.Y + a.DY*t
+		if !airspace.InField(x, y) {
+			break // tracks leaving the field re-enter over the far edge at sea level
+		}
+		samples++
+		if e := g.ElevationAt(x, y) + clearance; e > need {
+			need = e
+		}
+	}
+	return need, a.Alt < need, samples
+}
+
+// Avoid runs terrain avoidance sequentially (the reference
+// implementation): any aircraft whose track violates clearance within
+// the horizon is climbed to the required altitude.
+func Avoid(w *airspace.World, g *Grid, horizon, clearance float64) AvoidStats {
+	var st AvoidStats
+	for i := range w.Aircraft {
+		a := &w.Aircraft[i]
+		need, violated, samples := requiredAltitude(a, g, horizon, clearance)
+		st.Samples += samples
+		if violated {
+			st.Violations++
+			a.Alt = need
+			st.Climbs++
+		}
+	}
+	return st
+}
+
+// opsPerSample approximates the instruction cost of one bilinear
+// terrain lookup plus the projection arithmetic.
+const opsPerSample = 24
+
+// AvoidCUDA runs terrain avoidance as a CUDA kernel on the given
+// engine: one thread per aircraft, each sampling the (device-resident)
+// terrain grid along its own track. Results are identical to Avoid;
+// the modeled time additionally accounts the one-time grid upload.
+func AvoidCUDA(eng *cuda.Engine, w *airspace.World, g *Grid, horizon, clearance float64) (AvoidStats, cuda.KernelStats) {
+	var st AvoidStats
+	dev := eng.Device()
+	// Grid upload (8 bytes per cell).
+	transfer := dev.TransferTime(len(g.Elev) * 8)
+	violations := make([]int32, w.N())
+	needAlt := make([]float64, w.N())
+	samples := make([]int32, w.N())
+	ac := w.Aircraft
+	ks := dev.Launch("terrainAvoid", w.N(), func(t *cuda.Thread) {
+		a := &ac[t.ID]
+		need, violated, n := requiredAltitude(a, g, horizon, clearance)
+		samples[t.ID] = int32(n)
+		t.Ops(n * opsPerSample)
+		t.Mem(64)
+		if violated {
+			violations[t.ID] = 1
+			needAlt[t.ID] = need
+		}
+	})
+	// Commit on the host side of the launch (ID-indexed, race-free).
+	for i := range ac {
+		st.Samples += int(samples[i])
+		if violations[i] == 1 {
+			st.Violations++
+			ac[i].Alt = needAlt[i]
+			st.Climbs++
+		}
+	}
+	ks.Time += transfer
+	return st, ks
+}

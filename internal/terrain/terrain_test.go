@@ -1,0 +1,166 @@
+package terrain
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/airspace"
+	"repro/internal/cuda"
+	"repro/internal/rng"
+)
+
+func testGrid() *Grid {
+	return Generate(4, 30, 12000, rng.New(1))
+}
+
+func TestGenerateDimensions(t *testing.T) {
+	g := testGrid()
+	if g.Cols != 64 || g.Rows != 64 {
+		t.Fatalf("grid %dx%d, want 64x64 for 4 nm cells over 256 nm", g.Cols, g.Rows)
+	}
+	if len(g.Elev) != 64*64 {
+		t.Fatalf("elev len %d", len(g.Elev))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(4, 30, 12000, rng.New(7))
+	b := Generate(4, 30, 12000, rng.New(7))
+	for i := range a.Elev {
+		if a.Elev[i] != b.Elev[i] {
+			t.Fatalf("cell %d differs", i)
+		}
+	}
+}
+
+func TestGenerateElevationBounds(t *testing.T) {
+	g := testGrid()
+	max := g.MaxElevation()
+	if max <= 0 {
+		t.Fatal("flat terrain generated")
+	}
+	// Hills can stack, but not absurdly: bound at a few times maxElev.
+	if max > 5*12000 {
+		t.Fatalf("max elevation %v implausible", max)
+	}
+	for i, e := range g.Elev {
+		if e < 0 {
+			t.Fatalf("cell %d below sea level: %v", i, e)
+		}
+	}
+}
+
+func TestGeneratePanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad parameters did not panic")
+		}
+	}()
+	Generate(0, 1, 1, rng.New(1))
+}
+
+func TestElevationInterpolation(t *testing.T) {
+	g := &Grid{CellNM: 4, Cols: 64, Rows: 64, Elev: make([]float64, 64*64)}
+	// One raised cell; its center must read back exactly, and points
+	// farther away must read lower.
+	g.Elev[32*64+32] = 1000
+	cx := -airspace.FieldHalf + (32+0.5)*4
+	cy := -airspace.FieldHalf + (32+0.5)*4
+	if got := g.ElevationAt(cx, cy); math.Abs(got-1000) > 1e-9 {
+		t.Fatalf("center reads %v", got)
+	}
+	if got := g.ElevationAt(cx+2, cy); got >= 1000 || got <= 0 {
+		t.Fatalf("half-cell offset reads %v, want between 0 and 1000", got)
+	}
+	if got := g.ElevationAt(cx+8, cy+8); got != 0 {
+		t.Fatalf("two cells away reads %v, want 0", got)
+	}
+}
+
+func TestElevationOutsideFieldIsSeaLevel(t *testing.T) {
+	g := testGrid()
+	if got := g.ElevationAt(10*airspace.FieldHalf, 0); got != 0 {
+		t.Fatalf("far outside reads %v", got)
+	}
+}
+
+func TestAvoidClimbsIntoClearance(t *testing.T) {
+	g := testGrid()
+	// An aircraft flying straight at low altitude over the whole field:
+	// certain to cross a hill.
+	w := &airspace.World{Aircraft: []airspace.Aircraft{{
+		ID: 0, X: -100, Y: 0, DX: 600 / airspace.PeriodsPerHour, DY: 0, Alt: 200,
+	}}}
+	st := Avoid(w, g, 10*DefaultHorizonPeriods, DefaultClearanceFt)
+	if st.Violations != 1 || st.Climbs != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	a := &w.Aircraft[0]
+	// The commanded altitude must clear every sampled point.
+	_, violated, _ := requiredAltitude(a, g, 10*DefaultHorizonPeriods, DefaultClearanceFt)
+	if violated {
+		t.Fatalf("still violating after climb to %v", a.Alt)
+	}
+}
+
+func TestAvoidLeavesHighTrafficAlone(t *testing.T) {
+	g := testGrid()
+	w := &airspace.World{Aircraft: []airspace.Aircraft{{
+		ID: 0, X: 0, Y: 0, DX: 0.05, DY: 0, Alt: 39000,
+	}}}
+	before := w.Aircraft[0].Alt
+	st := Avoid(w, g, DefaultHorizonPeriods, DefaultClearanceFt)
+	if st.Violations != 0 || w.Aircraft[0].Alt != before {
+		t.Fatalf("high-altitude aircraft disturbed: %+v alt=%v", st, w.Aircraft[0].Alt)
+	}
+}
+
+func TestAvoidCUDAMatchesReference(t *testing.T) {
+	g := testGrid()
+	base := airspace.NewWorld(500, rng.New(3))
+	// Push everyone low so the task has work.
+	for i := range base.Aircraft {
+		base.Aircraft[i].Alt = 500 + float64(i%10)*200
+	}
+	refW := base.Clone()
+	refStats := Avoid(refW, g, DefaultHorizonPeriods, DefaultClearanceFt)
+
+	devW := base.Clone()
+	eng := cuda.NewEngine(cuda.TitanXPascal)
+	devStats, ks := AvoidCUDA(eng, devW, g, DefaultHorizonPeriods, DefaultClearanceFt)
+
+	if refStats != devStats {
+		t.Fatalf("stats differ: ref %+v dev %+v", refStats, devStats)
+	}
+	for i := range refW.Aircraft {
+		if refW.Aircraft[i].Alt != devW.Aircraft[i].Alt {
+			t.Fatalf("aircraft %d altitude differs", i)
+		}
+	}
+	if ks.Time <= 0 || ks.TotalOps == 0 {
+		t.Fatalf("kernel stats empty: %+v", ks)
+	}
+}
+
+func TestAvoidCUDADeterministicTime(t *testing.T) {
+	g := testGrid()
+	base := airspace.NewWorld(300, rng.New(5))
+	eng := cuda.NewEngine(cuda.GTX880M)
+	_, first := AvoidCUDA(eng, base.Clone(), g, DefaultHorizonPeriods, DefaultClearanceFt)
+	for i := 0; i < 3; i++ {
+		_, again := AvoidCUDA(eng, base.Clone(), g, DefaultHorizonPeriods, DefaultClearanceFt)
+		if again.Time != first.Time {
+			t.Fatalf("run %d time %v != %v", i, again.Time, first.Time)
+		}
+	}
+}
+
+func TestAvoidHorizonLimitsWork(t *testing.T) {
+	g := testGrid()
+	w := airspace.NewWorld(200, rng.New(9))
+	short := Avoid(w.Clone(), g, 60, DefaultClearanceFt)
+	long := Avoid(w.Clone(), g, 600, DefaultClearanceFt)
+	if long.Samples <= short.Samples {
+		t.Fatalf("longer horizon did not sample more: %d vs %d", long.Samples, short.Samples)
+	}
+}

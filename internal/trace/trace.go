@@ -1,0 +1,202 @@
+// Package trace holds the timing-series records the experiment harness
+// produces — one labelled series per platform, points over aircraft
+// counts — and their CSV round-trip, so every figure of the paper can
+// be regenerated, saved, re-read and re-fit.
+package trace
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Point is one measurement: X is the sweep variable (aircraft count),
+// Y the measured value (seconds, misses, ...).
+type Point struct {
+	X, Y float64
+}
+
+// Series is one labelled curve.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// XS returns the X values of the series.
+func (s *Series) XS() []float64 {
+	xs := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		xs[i] = p.X
+	}
+	return xs
+}
+
+// YS returns the Y values of the series.
+func (s *Series) YS() []float64 {
+	ys := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		ys[i] = p.Y
+	}
+	return ys
+}
+
+// Dataset is one figure or table worth of series.
+type Dataset struct {
+	// ID is the machine-readable experiment id (e.g. "fig4").
+	ID string
+	// Title, XLabel, YLabel describe the plot.
+	Title, XLabel, YLabel string
+	Series                []Series
+}
+
+// Add appends a point to the named series, creating it as needed.
+func (d *Dataset) Add(label string, x, y float64) {
+	for i := range d.Series {
+		if d.Series[i].Label == label {
+			d.Series[i].Points = append(d.Series[i].Points, Point{x, y})
+			return
+		}
+	}
+	d.Series = append(d.Series, Series{Label: label, Points: []Point{{x, y}}})
+}
+
+// Get returns the series with the given label, or nil.
+func (d *Dataset) Get(label string) *Series {
+	for i := range d.Series {
+		if d.Series[i].Label == label {
+			return &d.Series[i]
+		}
+	}
+	return nil
+}
+
+// WriteCSV writes the dataset in long form:
+//
+//	# id,title,xlabel,ylabel header comment row
+//	series,x,y
+//	<label>,<x>,<y>
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s | %s | %s | %s\n", d.ID, d.Title, d.XLabel, d.YLabel); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", "x", "y"}); err != nil {
+		return err
+	}
+	for _, s := range d.Series {
+		for _, p := range s.Points {
+			rec := []string{
+				s.Label,
+				strconv.FormatFloat(p.X, 'g', -1, 64),
+				strconv.FormatFloat(p.Y, 'g', -1, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset written by WriteCSV. The leading comment
+// row is optional.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	br := newCommentSkipper(r)
+	d := &Dataset{}
+	if br.comment != "" {
+		// Full header: "# id | title | xlabel | ylabel"
+		if parts := splitHeader(br.comment); len(parts) == 4 {
+			d.ID, d.Title, d.XLabel, d.YLabel = parts[0], parts[1], parts[2], parts[3]
+		}
+	}
+	cr := csv.NewReader(br)
+	cr.FieldsPerRecord = 3
+	first := true
+	for {
+		rec, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		if first {
+			first = false
+			if rec[0] == "series" {
+				continue // header row
+			}
+		}
+		x, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad x %q: %w", rec[1], err)
+		}
+		y, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad y %q: %w", rec[2], err)
+		}
+		d.Add(rec[0], x, y)
+	}
+	return d, nil
+}
+
+// splitHeader splits "# a | b | c | d" into its four fields.
+func splitHeader(line string) []string {
+	if len(line) < 2 {
+		return nil
+	}
+	body := line[2:]
+	var parts []string
+	start := 0
+	for i := 0; i+2 < len(body); i++ {
+		if body[i] == ' ' && body[i+1] == '|' && body[i+2] == ' ' {
+			parts = append(parts, body[start:i])
+			start = i + 3
+			i += 2
+		}
+	}
+	parts = append(parts, body[start:])
+	return parts
+}
+
+// commentSkipper captures one leading '#' line and serves the rest.
+type commentSkipper struct {
+	r       io.Reader
+	comment string
+	buf     []byte
+	started bool
+}
+
+func newCommentSkipper(r io.Reader) *commentSkipper {
+	cs := &commentSkipper{r: r}
+	// Read ahead enough to capture the first line.
+	head := make([]byte, 4096)
+	n, _ := io.ReadFull(r, head)
+	head = head[:n]
+	if len(head) > 0 && head[0] == '#' {
+		for i, b := range head {
+			if b == '\n' {
+				cs.comment = string(head[:i])
+				cs.buf = head[i+1:]
+				return cs
+			}
+		}
+		// A comment with no newline: the whole input was the comment.
+		cs.comment = string(head)
+		cs.buf = nil
+		return cs
+	}
+	cs.buf = head
+	return cs
+}
+
+func (cs *commentSkipper) Read(p []byte) (int, error) {
+	if len(cs.buf) > 0 {
+		n := copy(p, cs.buf)
+		cs.buf = cs.buf[n:]
+		return n, nil
+	}
+	return cs.r.Read(p)
+}

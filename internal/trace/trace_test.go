@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() *Dataset {
+	d := &Dataset{ID: "fig4", Title: "Task 1 timings", XLabel: "aircraft", YLabel: "seconds"}
+	d.Add("Titan X", 1000, 0.001)
+	d.Add("Titan X", 2000, 0.002)
+	d.Add("Xeon", 1000, 0.05)
+	d.Add("Xeon", 2000, 0.21)
+	return d
+}
+
+func TestAddCreatesAndAppends(t *testing.T) {
+	d := sample()
+	if len(d.Series) != 2 {
+		t.Fatalf("series count = %d", len(d.Series))
+	}
+	s := d.Get("Titan X")
+	if s == nil || len(s.Points) != 2 {
+		t.Fatalf("Titan X series = %+v", s)
+	}
+	if d.Get("nope") != nil {
+		t.Fatal("Get of unknown label not nil")
+	}
+}
+
+func TestXSYS(t *testing.T) {
+	s := sample().Get("Xeon")
+	xs, ys := s.XS(), s.YS()
+	if xs[0] != 1000 || xs[1] != 2000 || ys[0] != 0.05 || ys[1] != 0.21 {
+		t.Fatalf("XS=%v YS=%v", xs, ys)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := sample()
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != d.ID || got.Title != d.Title || got.XLabel != d.XLabel || got.YLabel != d.YLabel {
+		t.Fatalf("metadata lost: %+v", got)
+	}
+	if len(got.Series) != len(d.Series) {
+		t.Fatalf("series count %d != %d", len(got.Series), len(d.Series))
+	}
+	for i, s := range d.Series {
+		g := got.Series[i]
+		if g.Label != s.Label || len(g.Points) != len(s.Points) {
+			t.Fatalf("series %d mismatch: %+v vs %+v", i, g, s)
+		}
+		for j := range s.Points {
+			if g.Points[j] != s.Points[j] {
+				t.Fatalf("point %d/%d: %+v vs %+v", i, j, g.Points[j], s.Points[j])
+			}
+		}
+	}
+}
+
+func TestReadCSVWithoutComment(t *testing.T) {
+	in := "series,x,y\nA,1,2\nA,3,4\n"
+	d, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Series) != 1 || len(d.Series[0].Points) != 2 {
+		t.Fatalf("parsed = %+v", d)
+	}
+}
+
+func TestReadCSVBadNumbers(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("series,x,y\nA,zzz,1\n")); err == nil {
+		t.Fatal("bad x accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("series,x,y\nA,1,zzz\n")); err == nil {
+		t.Fatal("bad y accepted")
+	}
+}
+
+func TestReadCSVEmpty(t *testing.T) {
+	d, err := ReadCSV(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Series) != 0 {
+		t.Fatalf("empty input produced series: %+v", d)
+	}
+}
+
+func TestCSVLabelsWithCommas(t *testing.T) {
+	d := &Dataset{ID: "x", Title: "t", XLabel: "x", YLabel: "y"}
+	d.Add("Titan X (Pascal), fused", 1, 2)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Series[0].Label != "Titan X (Pascal), fused" {
+		t.Fatalf("label mangled: %q", got.Series[0].Label)
+	}
+}

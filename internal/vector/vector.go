@@ -1,0 +1,524 @@
+// Package vector models the commodity wide-vector processor of the
+// paper's Section 7.2 future work: "implement the basic ATM tasks ...
+// in these commodity processors (such as Intel's Xeon Phi) that provide
+// efficient, vector-based parallel computation" [8, 9].
+//
+// The machine is a many-core CPU whose cores each execute W-lane SIMD
+// instructions. The ATM tasks are written here in explicitly
+// lane-blocked form — the aircraft database is scanned eight records at
+// a time through mask registers, exactly as a vectorizing port of the
+// CUDA kernels would be — and every vector instruction is counted. The
+// cost model charges the per-core critical path of vector instructions
+// at the profile's issue rate, plus a barrier per parallel phase. No
+// OS-jitter term is modeled: the package answers the paper's question
+// "could wide SIMD units give the deterministic, SIMD-like behaviour
+// the GPUs showed?" for the idealized case where the vector units are
+// driven without scheduling noise. In reality a Xeon Phi would sit
+// between the GPU and the Xeon models.
+package vector
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/airspace"
+	"repro/internal/geom"
+	"repro/internal/radar"
+	"repro/internal/tasks"
+)
+
+// Lanes is the vector width in float64 lanes (AVX-512: 8 doubles).
+const Lanes = 8
+
+// Profile describes one wide-vector machine.
+type Profile struct {
+	// Name of the machine.
+	Name string
+	// Cores is the number of physical cores driving vector units.
+	Cores int
+	// ClockHz is the core clock.
+	ClockHz float64
+	// IssueRate is sustained vector instructions per cycle per core.
+	IssueRate float64
+	// BarrierCost is charged once per parallel phase.
+	BarrierCost time.Duration
+}
+
+// XeonPhi7210 is a Knights Landing part: 64 cores at 1.3 GHz with dual
+// AVX-512 units (modeled as one sustained vector instruction per cycle
+// after memory stalls).
+var XeonPhi7210 = Profile{
+	Name:        "Xeon Phi 7210 (AVX-512)",
+	Cores:       64,
+	ClockHz:     1.3e9,
+	IssueRate:   1.0,
+	BarrierCost: 20 * time.Microsecond,
+}
+
+// AVX2Workstation is a conventional 8-core desktop with 4-lane doubles,
+// for the "increasingly wide vector units on commodity processors"
+// comparison at the small end.
+var AVX2Workstation = Profile{
+	Name:        "8-core AVX2 workstation",
+	Cores:       8,
+	ClockHz:     3.6e9,
+	IssueRate:   1.0,
+	BarrierCost: 5 * time.Microsecond,
+}
+
+// Machine executes the ATM tasks in lane-blocked SIMD form.
+type Machine struct {
+	prof Profile
+}
+
+// New returns a machine for the profile.
+func New(p Profile) *Machine {
+	if p.Cores <= 0 || p.ClockHz <= 0 || p.IssueRate <= 0 {
+		panic(fmt.Sprintf("vector: bad profile %+v", p))
+	}
+	return &Machine{prof: p}
+}
+
+// Name returns the machine name.
+func (m *Machine) Name() string { return m.prof.Name }
+
+// Deterministic reports true for the idealized vector model (see the
+// package comment for the caveat).
+func (m *Machine) Deterministic() bool { return true }
+
+// block is one W-lane vector register of doubles.
+type block [Lanes]float64
+
+// mask is one W-lane predicate register.
+type mask [Lanes]bool
+
+// none reports whether no lane is set.
+func (k *mask) none() bool {
+	for _, b := range k {
+		if b {
+			return false
+		}
+	}
+	return true
+}
+
+// count returns the number of set lanes.
+func (k *mask) count() int {
+	c := 0
+	for _, b := range k {
+		if b {
+			c++
+		}
+	}
+	return c
+}
+
+// lanes is a helper that loads a strided field into a vector register;
+// tail lanes beyond n are disabled in the returned mask.
+func loadField(dst *block, valid *mask, src []float64, base, n int) {
+	for l := 0; l < Lanes; l++ {
+		if base+l < n {
+			dst[l] = src[base+l]
+			valid[l] = true
+		} else {
+			dst[l] = 0
+			valid[l] = false
+		}
+	}
+}
+
+// soa is the structure-of-arrays mirror of the aircraft database that
+// vector code operates on (vector units need contiguous fields).
+type soa struct {
+	n                 int
+	x, y, dx, dy, alt []float64
+	expX, expY        []float64
+	rmatch            []int32
+}
+
+func loadSOA(w *airspace.World) *soa {
+	n := w.N()
+	s := &soa{
+		n: n,
+		x: make([]float64, n), y: make([]float64, n),
+		dx: make([]float64, n), dy: make([]float64, n),
+		alt:  make([]float64, n),
+		expX: make([]float64, n), expY: make([]float64, n),
+		rmatch: make([]int32, n),
+	}
+	for i := range w.Aircraft {
+		a := &w.Aircraft[i]
+		s.x[i], s.y[i] = a.X, a.Y
+		s.dx[i], s.dy[i] = a.DX, a.DY
+		s.alt[i] = a.Alt
+	}
+	return s
+}
+
+// tally accumulates per-core vector-instruction counts.
+type tally struct {
+	vecInstr []uint64
+	phases   int
+}
+
+func (t *tally) max() uint64 {
+	var m uint64
+	for _, v := range t.vecInstr {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// parallel splits [0, n) across the cores.
+func (m *Machine) parallel(t *tally, n int, body func(core, lo, hi int)) {
+	t.phases++
+	var wg sync.WaitGroup
+	for c := 0; c < m.prof.Cores; c++ {
+		lo := c * n / m.prof.Cores
+		hi := (c + 1) * n / m.prof.Cores
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(core, lo, hi int) {
+			defer wg.Done()
+			body(core, lo, hi)
+		}(c, lo, hi)
+	}
+	wg.Wait()
+}
+
+// taskTime converts the tally into modeled time.
+func (m *Machine) taskTime(t *tally) time.Duration {
+	secs := float64(t.max()) / (m.prof.IssueRate * m.prof.ClockHz)
+	return time.Duration(secs*float64(time.Second)) +
+		time.Duration(t.phases)*m.prof.BarrierCost
+}
+
+// Vector-instruction charges per lane-block of work. A bounding-box
+// test on 8 records is ~6 vector instructions (2 subs, 4 compares +
+// mask ands); the Batcher window evaluation ~20 (4 divisions dominate).
+const (
+	viExpected = 3
+	viBoxCheck = 6
+	viClaim    = 2
+	viPair     = 20
+	viCommit   = 3
+)
+
+// Track runs Task 1 with radars partitioned across cores and the
+// aircraft database scanned in 8-lane blocks. Matching uses the same
+// barrier-separated census/claim/arbitrate/finalize scheme as the CUDA
+// kernel: each phase reads only state frozen at the previous barrier,
+// which makes both the outcome and the per-core instruction tally —
+// and therefore the modeled time — a pure function of the workload.
+func (m *Machine) Track(w *airspace.World, f *radar.Frame) (tasks.CorrelateStats, time.Duration) {
+	var st tasks.CorrelateStats
+	s := loadSOA(w)
+	t := &tally{vecInstr: make([]uint64, m.prof.Cores)}
+	reps := f.Reports
+	n := s.n
+
+	// Expected positions: pure vector adds over the whole database.
+	m.parallel(t, n, func(core, lo, hi int) {
+		var vi uint64
+		for base := lo; base < hi; base += Lanes {
+			end := base + Lanes
+			if end > hi {
+				end = hi
+			}
+			for i := base; i < end; i++ {
+				s.expX[i] = s.x[i] + s.dx[i]
+				s.expY[i] = s.y[i] + s.dy[i]
+				s.rmatch[i] = 0
+			}
+			vi += viExpected
+		}
+		t.vecInstr[core] += vi
+	})
+	f.Reset()
+
+	acClaims := make([]int32, n)
+	radarHits := make([]int32, len(reps))
+	radarCand := make([]int32, len(reps))
+
+	boxHalf := tasks.InitialBoxHalf
+	for pass := 0; pass < tasks.BoxPasses; pass++ {
+		pending := 0
+		for j := range reps {
+			if reps[j].MatchWith == radar.Unmatched {
+				pending++
+			}
+		}
+		if pass < tasks.BoxPasses {
+			st.PassRadars[pass] = pending
+		}
+		if pending == 0 {
+			break
+		}
+		var comparisons, discarded, withdrawn uint64
+
+		// Census: every still-unmatched radar scans the database in
+		// lane blocks. Match state is frozen for the whole phase.
+		m.parallel(t, len(reps), func(core, lo, hi int) {
+			var vi, comps uint64
+			for j := lo; j < hi; j++ {
+				rep := &reps[j]
+				radarHits[j] = 0
+				radarCand[j] = -1
+				if rep.MatchWith != radar.Unmatched {
+					continue
+				}
+				hits := int32(0)
+				cand := int32(-1)
+				for base := 0; base < n; base += Lanes {
+					var ex, ey block
+					var valid mask
+					loadField(&ex, &valid, s.expX, base, n)
+					loadField(&ey, &valid, s.expY, base, n)
+					vi += viBoxCheck
+					comps += uint64(valid.count())
+					for l := 0; l < Lanes; l++ {
+						if !valid[l] {
+							continue
+						}
+						i := base + l
+						if s.rmatch[i] != 0 {
+							continue // matched or withdrawn
+						}
+						if rep.RX > ex[l]-boxHalf && rep.RX < ex[l]+boxHalf &&
+							rep.RY > ey[l]-boxHalf && rep.RY < ey[l]+boxHalf {
+							hits++
+							cand = int32(i)
+						}
+					}
+					if hits > 1 {
+						break
+					}
+				}
+				radarHits[j] = hits
+				radarCand[j] = cand
+			}
+			t.vecInstr[core] += vi
+			atomic.AddUint64(&comparisons, comps)
+		})
+
+		// Claim: ambiguous radars are discarded; unique candidates are
+		// claimed with a commutative counter.
+		m.parallel(t, len(reps), func(core, lo, hi int) {
+			var vi uint64
+			for j := lo; j < hi; j++ {
+				rep := &reps[j]
+				if rep.MatchWith != radar.Unmatched {
+					continue
+				}
+				vi += viClaim
+				switch {
+				case radarHits[j] >= 2:
+					rep.MatchWith = radar.Discarded
+					atomic.AddUint64(&discarded, 1)
+				case radarHits[j] == 1:
+					atomic.AddInt32(&acClaims[radarCand[j]], 1)
+				}
+			}
+			t.vecInstr[core] += vi
+		})
+
+		// Arbitrate: contested aircraft are withdrawn.
+		m.parallel(t, n, func(core, lo, hi int) {
+			var vi uint64
+			for i := lo; i < hi; i++ {
+				if i%Lanes == 0 {
+					vi += viClaim
+				}
+				if acClaims[i] >= 2 && s.rmatch[i] == 0 {
+					s.rmatch[i] = -1
+					atomic.AddUint64(&withdrawn, 1)
+				}
+			}
+			t.vecInstr[core] += vi
+		})
+
+		// Finalize: surviving unique claims become matches; clear the
+		// claim counters for the next pass.
+		m.parallel(t, len(reps), func(core, lo, hi int) {
+			var vi uint64
+			for j := lo; j < hi; j++ {
+				rep := &reps[j]
+				if rep.MatchWith != radar.Unmatched || radarHits[j] != 1 {
+					continue
+				}
+				vi += viClaim
+				cand := radarCand[j]
+				if acClaims[cand] == 1 && s.rmatch[cand] == 0 {
+					s.rmatch[cand] = 1
+					rep.MatchWith = cand
+				}
+			}
+			t.vecInstr[core] += vi
+		})
+		m.parallel(t, n, func(core, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				acClaims[i] = 0
+			}
+			t.vecInstr[core] += uint64((hi - lo + Lanes - 1) / Lanes)
+		})
+
+		st.Comparisons += int(comparisons)
+		st.DiscardedRadars += int(discarded)
+		st.WithdrawnAircraft += int(withdrawn)
+		boxHalf *= 2
+	}
+
+	// Commit.
+	m.parallel(t, n, func(core, lo, hi int) {
+		var vi uint64
+		for i := lo; i < hi; i++ {
+			a := &w.Aircraft[i]
+			a.X, a.Y = s.expX[i], s.expY[i]
+			a.RMatch = int8(s.rmatch[i])
+			if i%Lanes == 0 {
+				vi += viCommit
+			}
+		}
+		t.vecInstr[core] += vi
+	})
+	var matched uint64
+	m.parallel(t, len(reps), func(core, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			rep := &reps[j]
+			if rep.MatchWith >= 0 && s.rmatch[rep.MatchWith] == 1 {
+				a := &w.Aircraft[rep.MatchWith]
+				a.X, a.Y = rep.RX, rep.RY
+				atomic.AddUint64(&matched, 1)
+			}
+		}
+		t.vecInstr[core] += uint64((hi - lo + Lanes - 1) / Lanes * viCommit)
+	})
+	st.Matched = int(matched)
+	for j := range reps {
+		if reps[j].MatchWith == radar.Unmatched {
+			st.UnmatchedRadars++
+		}
+	}
+	m.parallel(t, n, func(core, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			airspace.Wrap(&w.Aircraft[i])
+		}
+		t.vecInstr[core] += uint64((hi - lo + Lanes - 1) / Lanes * viCommit)
+	})
+
+	return st, m.taskTime(t)
+}
+
+// DetectResolve runs Tasks 2-3: each core owns a slice of track
+// aircraft; the inner trial scan evaluates the Batcher window for eight
+// trial aircraft at a time against a pre-kernel snapshot (the same
+// snapshot discipline as the CUDA kernel).
+func (m *Machine) DetectResolve(w *airspace.World) (tasks.DetectStats, time.Duration) {
+	s := loadSOA(w)
+	t := &tally{vecInstr: make([]uint64, m.prof.Cores)}
+	n := s.n
+	newDX := make([]float64, n)
+	newDY := make([]float64, n)
+	resolved := make([]bool, n)
+	copy(newDX, s.dx)
+	copy(newDY, s.dy)
+
+	var conflicts, rotations, resolvedCount, unresolvedCount, pairChecks int64
+
+	// scan evaluates one candidate course for track i in lane blocks.
+	scan := func(core int, i int, vx, vy float64) (earliest float64, with int32, critical bool) {
+		earliest = airspace.SafeTime
+		with = airspace.NoConflict
+		var vi, checks uint64
+		for base := 0; base < n; base += Lanes {
+			var tx, ty, tdx, tdy, talt block
+			var valid mask
+			loadField(&tx, &valid, s.x, base, n)
+			loadField(&ty, &valid, s.y, base, n)
+			loadField(&tdx, &valid, s.dx, base, n)
+			loadField(&tdy, &valid, s.dy, base, n)
+			loadField(&talt, &valid, s.alt, base, n)
+			vi += viPair
+			for l := 0; l < Lanes; l++ {
+				p := base + l
+				if !valid[l] || p == i || math.Abs(talt[l]-s.alt[i]) >= airspace.AltBandFeet {
+					continue
+				}
+				checks++
+				trial := airspace.Aircraft{X: tx[l], Y: ty[l], DX: tdx[l], DY: tdy[l]}
+				tmin, tmax, ok := tasks.PairConflict(s.x[i], s.y[i], vx, vy, &trial)
+				if ok && tmin < tmax && tmin < earliest {
+					earliest = tmin
+					with = int32(p)
+				}
+			}
+		}
+		t.vecInstr[core] += vi
+		atomic.AddInt64(&pairChecks, int64(checks))
+		return earliest, with, earliest < airspace.CriticalTime
+	}
+
+	m.parallel(t, n, func(core, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a := &w.Aircraft[i]
+			a.ResetConflict()
+			tmin, with, critical := scan(core, i, s.dx[i], s.dy[i])
+			if !critical {
+				continue
+			}
+			atomic.AddInt64(&conflicts, 1)
+			a.Col = true
+			a.ColWith = with
+			a.TimeTill = tmin
+			base := geom.Vec2{X: s.dx[i], Y: s.dy[i]}
+			done := false
+			for _, deg := range tasks.RotationSchedule() {
+				atomic.AddInt64(&rotations, 1)
+				v := base.Rotate(deg)
+				a.BatX, a.BatY = v.X, v.Y
+				tmin, with, critical = scan(core, i, v.X, v.Y)
+				if !critical {
+					newDX[i], newDY[i] = v.X, v.Y
+					resolved[i] = true
+					atomic.AddInt64(&resolvedCount, 1)
+					done = true
+					break
+				}
+				a.ColWith = with
+				if tmin < a.TimeTill {
+					a.TimeTill = tmin
+				}
+			}
+			if !done {
+				atomic.AddInt64(&unresolvedCount, 1)
+			}
+		}
+	})
+
+	m.parallel(t, n, func(core, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if resolved[i] {
+				a := &w.Aircraft[i]
+				a.DX, a.DY = newDX[i], newDY[i]
+				a.ResetConflict()
+			}
+		}
+		t.vecInstr[core] += uint64((hi - lo + Lanes - 1) / Lanes * viCommit)
+	})
+
+	st := tasks.DetectStats{
+		Conflicts:  int(conflicts),
+		Rotations:  int(rotations),
+		Resolved:   int(resolvedCount),
+		Unresolved: int(unresolvedCount),
+		PairChecks: int(pairChecks),
+	}
+	return st, m.taskTime(t)
+}

@@ -1,0 +1,183 @@
+package vector
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/airspace"
+	"repro/internal/radar"
+	"repro/internal/rng"
+	"repro/internal/tasks"
+)
+
+func gridWorld(n int) *airspace.World {
+	w := &airspace.World{Aircraft: make([]airspace.Aircraft, n)}
+	side := int(math.Ceil(math.Sqrt(float64(n))))
+	for i := range w.Aircraft {
+		a := &w.Aircraft[i]
+		a.ID = int32(i)
+		a.X = float64(i%side)*6 - airspace.SetupHalf
+		a.Y = float64(i/side)*6 - airspace.SetupHalf
+		a.DX = 0.02
+		a.DY = 0.01
+		a.Alt = 10000 + float64(i%4)*3000
+		a.ResetConflict()
+	}
+	return w
+}
+
+func TestNewPanicsOnBadProfile(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad profile did not panic")
+		}
+	}()
+	New(Profile{})
+}
+
+func TestMaskHelpers(t *testing.T) {
+	var k mask
+	if !k.none() || k.count() != 0 {
+		t.Fatal("zero mask misreported")
+	}
+	k[3] = true
+	k[7] = true
+	if k.none() || k.count() != 2 {
+		t.Fatalf("mask count = %d", k.count())
+	}
+}
+
+func TestLoadFieldTailLanes(t *testing.T) {
+	src := []float64{1, 2, 3}
+	var b block
+	var valid mask
+	loadField(&b, &valid, src, 0, len(src))
+	if !valid[0] || !valid[2] || valid[3] {
+		t.Fatalf("tail lanes wrong: %+v", valid)
+	}
+	if b[1] != 2 || b[3] != 0 {
+		t.Fatalf("block = %+v", b)
+	}
+}
+
+func TestTrackMatchesReferenceOnCleanTraffic(t *testing.T) {
+	w := gridWorld(400)
+	f := radar.Generate(w, 0.2, rng.New(1))
+	refW, refF := w.Clone(), f.Clone()
+	refStats := tasks.Correlate(refW, refF)
+
+	m := New(XeonPhi7210)
+	st, d := m.Track(w, f)
+	if st.Matched != refStats.Matched {
+		t.Fatalf("matched %d, reference %d", st.Matched, refStats.Matched)
+	}
+	if d <= 0 {
+		t.Fatal("no modeled time")
+	}
+	for i := range w.Aircraft {
+		if w.Aircraft[i].X != refW.Aircraft[i].X || w.Aircraft[i].Y != refW.Aircraft[i].Y {
+			t.Fatalf("aircraft %d position differs from reference", i)
+		}
+	}
+}
+
+func TestTrackHighMatchRateOnRandomTraffic(t *testing.T) {
+	w := airspace.NewWorld(2000, rng.New(7))
+	f := radar.Generate(w, radar.DefaultNoise, rng.New(8))
+	st, _ := New(XeonPhi7210).Track(w, f)
+	if st.Matched < w.N()*95/100 {
+		t.Fatalf("only %d of %d matched", st.Matched, w.N())
+	}
+}
+
+func TestTrackTimeDeterministic(t *testing.T) {
+	base := airspace.NewWorld(1000, rng.New(9))
+	frame := radar.Generate(base, radar.DefaultNoise, rng.New(10))
+	m := New(XeonPhi7210)
+	_, first := m.Track(base.Clone(), frame.Clone())
+	for i := 0; i < 3; i++ {
+		_, again := m.Track(base.Clone(), frame.Clone())
+		if again != first {
+			t.Fatalf("run %d time %v != %v", i, again, first)
+		}
+	}
+	if !m.Deterministic() {
+		t.Fatal("vector model must report deterministic timing")
+	}
+}
+
+func TestDetectResolveInvariants(t *testing.T) {
+	w := airspace.NewWorld(600, rng.New(21))
+	speeds := make([]float64, w.N())
+	for i, a := range w.Aircraft {
+		speeds[i] = a.SpeedKnots()
+	}
+	st, d := New(XeonPhi7210).DetectResolve(w)
+	if d <= 0 {
+		t.Fatal("no modeled time")
+	}
+	if st.Resolved+st.Unresolved > st.Conflicts {
+		t.Fatalf("inconsistent stats: %+v", st)
+	}
+	for i, a := range w.Aircraft {
+		if math.Abs(a.SpeedKnots()-speeds[i]) > 1e-6 {
+			t.Fatalf("aircraft %d speed changed", i)
+		}
+	}
+}
+
+func TestDetectResolveHeadOn(t *testing.T) {
+	w := gridWorld(2)
+	a, b := &w.Aircraft[0], &w.Aircraft[1]
+	a.X, a.Y, a.DX, a.DY, a.Alt = 0, 0, 0.05, 0, 10000
+	b.X, b.Y, b.DX, b.DY, b.Alt = 30, 0, -0.05, 0, 10000
+	a.ResetConflict()
+	b.ResetConflict()
+	m := New(XeonPhi7210)
+	for cycle := 0; cycle < 3; cycle++ {
+		m.DetectResolve(w)
+		if check := tasks.Detect(w.Clone()); check.Conflicts == 0 {
+			return
+		}
+	}
+	t.Fatal("head-on conflict not quiesced within 3 cycles")
+}
+
+func TestPhiFasterThanAVX2AtScale(t *testing.T) {
+	// 64 cores x 8 lanes must beat 8 cores at the same workload.
+	base := airspace.NewWorld(4000, rng.New(13))
+	frame := radar.Generate(base, radar.DefaultNoise, rng.New(14))
+	_, phi := New(XeonPhi7210).Track(base.Clone(), frame.Clone())
+	_, avx := New(AVX2Workstation).Track(base.Clone(), frame.Clone())
+	if phi >= avx {
+		t.Fatalf("Xeon Phi (%v) not faster than the AVX2 workstation (%v)", phi, avx)
+	}
+}
+
+func TestNearLinearScaling(t *testing.T) {
+	// The Section 7.2 hypothesis: wide SIMD gives GPU-like near-linear
+	// growth over the measured domain.
+	m := New(XeonPhi7210)
+	timeFor := func(n int) float64 {
+		w := airspace.NewWorld(n, rng.New(11))
+		f := radar.Generate(w, radar.DefaultNoise, rng.New(12))
+		_, d := m.Track(w, f)
+		return d.Seconds()
+	}
+	t4, t8 := timeFor(4000), timeFor(8000)
+	if t8/t4 > 3.5 {
+		t.Fatalf("scaling ratio %.2f for 2x aircraft — not SIMD-like", t8/t4)
+	}
+}
+
+func TestEmptyWorld(t *testing.T) {
+	m := New(XeonPhi7210)
+	st, _ := m.Track(&airspace.World{}, &radar.Frame{})
+	if st.Matched != 0 {
+		t.Fatal("empty world matched")
+	}
+	dst, _ := m.DetectResolve(&airspace.World{})
+	if dst.Conflicts != 0 {
+		t.Fatal("empty world conflicted")
+	}
+}

@@ -1,0 +1,94 @@
+// Package viz renders a plan view of the simulated airfield as ASCII —
+// a tiny stand-in for the controller display the real system drives.
+// Aircraft density maps to glyph shade; aircraft with a pending
+// conflict render as '!' so a conflict storm is visible at a glance.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/airspace"
+)
+
+// Options controls the rendering.
+type Options struct {
+	// Width and Height of the character grid (default 64 x 32).
+	Width, Height int
+	// ShowGrid draws a coarse range grid.
+	ShowGrid bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width <= 0 {
+		o.Width = 64
+	}
+	if o.Height <= 0 {
+		o.Height = 32
+	}
+	return o
+}
+
+// densityGlyphs shade increasing aircraft counts per cell.
+var densityGlyphs = []byte{' ', '.', ':', '+', '*', '#', '@'}
+
+// Render writes the plan view of the world to w.
+func Render(out io.Writer, w *airspace.World, opts Options) error {
+	opts = opts.withDefaults()
+	counts := make([]int, opts.Width*opts.Height)
+	conflict := make([]bool, opts.Width*opts.Height)
+
+	cell := func(x, y float64) (int, bool) {
+		cx := int((x + airspace.FieldHalf) / (2 * airspace.FieldHalf) * float64(opts.Width))
+		cy := int((y + airspace.FieldHalf) / (2 * airspace.FieldHalf) * float64(opts.Height))
+		if cx < 0 || cy < 0 || cx >= opts.Width || cy >= opts.Height {
+			return 0, false
+		}
+		// Row 0 is the top of the screen = +Y edge of the field.
+		return (opts.Height-1-cy)*opts.Width + cx, true
+	}
+
+	conflicts := 0
+	for i := range w.Aircraft {
+		a := &w.Aircraft[i]
+		idx, ok := cell(a.X, a.Y)
+		if !ok {
+			continue
+		}
+		counts[idx]++
+		if a.Col {
+			conflict[idx] = true
+			conflicts++
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "+%s+\n", strings.Repeat("-", opts.Width))
+	for row := 0; row < opts.Height; row++ {
+		b.WriteByte('|')
+		for col := 0; col < opts.Width; col++ {
+			idx := row*opts.Width + col
+			switch {
+			case conflict[idx]:
+				b.WriteByte('!')
+			case counts[idx] > 0:
+				g := counts[idx]
+				if g >= len(densityGlyphs) {
+					g = len(densityGlyphs) - 1
+				}
+				b.WriteByte(densityGlyphs[g])
+			case opts.ShowGrid && (row%8 == 0 || col%16 == 0):
+				b.WriteByte('\'')
+			default:
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteString("|\n")
+	}
+	fmt.Fprintf(&b, "+%s+\n", strings.Repeat("-", opts.Width))
+	fmt.Fprintf(&b, "%d aircraft over %.0fx%.0f nm; %d in conflict ('!'), density . : + * # @\n",
+		w.N(), 2*airspace.FieldHalf, 2*airspace.FieldHalf, conflicts)
+	_, err := io.WriteString(out, b.String())
+	return err
+}

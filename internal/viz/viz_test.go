@@ -1,0 +1,96 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/airspace"
+	"repro/internal/rng"
+)
+
+func TestRenderBasics(t *testing.T) {
+	w := airspace.NewWorld(500, rng.New(1))
+	var buf bytes.Buffer
+	if err := Render(&buf, w, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Default 32 rows + 2 border rows + 1 caption.
+	if len(lines) != 35 {
+		t.Fatalf("rendered %d lines", len(lines))
+	}
+	if !strings.Contains(out, "500 aircraft") {
+		t.Fatalf("caption missing:\n%s", lines[len(lines)-1])
+	}
+	// Some density glyph must appear.
+	if !strings.ContainsAny(out, ".:+*#@") {
+		t.Fatal("no aircraft rendered")
+	}
+}
+
+func TestRenderConflictGlyph(t *testing.T) {
+	w := &airspace.World{Aircraft: []airspace.Aircraft{
+		{ID: 0, X: 0, Y: 0, Col: true},
+		{ID: 1, X: 50, Y: 50},
+	}}
+	var buf bytes.Buffer
+	if err := Render(&buf, w, Options{Width: 32, Height: 16}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "!") {
+		t.Fatal("conflicting aircraft not marked")
+	}
+	if !strings.Contains(buf.String(), "1 in conflict") {
+		t.Fatal("conflict count missing")
+	}
+}
+
+func TestRenderOrientation(t *testing.T) {
+	// An aircraft at the +Y edge must appear on the first interior row.
+	w := &airspace.World{Aircraft: []airspace.Aircraft{{ID: 0, X: 0, Y: airspace.FieldHalf - 1}}}
+	var buf bytes.Buffer
+	if err := Render(&buf, w, Options{Width: 16, Height: 8}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(buf.String(), "\n")
+	if !strings.Contains(lines[1], ".") {
+		t.Fatalf("top-edge aircraft not on first row:\n%s", buf.String())
+	}
+}
+
+func TestRenderEmptyWorld(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Render(&buf, &airspace.World{}, Options{Width: 8, Height: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0 aircraft") {
+		t.Fatal("empty caption wrong")
+	}
+}
+
+func TestRenderDensityShades(t *testing.T) {
+	// Pile many aircraft into one cell: the densest glyph appears.
+	w := &airspace.World{Aircraft: make([]airspace.Aircraft, 20)}
+	for i := range w.Aircraft {
+		w.Aircraft[i] = airspace.Aircraft{ID: int32(i), X: 1, Y: 1}
+	}
+	var buf bytes.Buffer
+	if err := Render(&buf, w, Options{Width: 8, Height: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "@") {
+		t.Fatalf("dense cell not shaded:\n%s", buf.String())
+	}
+}
+
+func TestRenderGridOption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Render(&buf, &airspace.World{}, Options{Width: 32, Height: 16, ShowGrid: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "'") {
+		t.Fatal("grid not drawn")
+	}
+}
