@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/airspace"
 	"repro/internal/ap"
+	"repro/internal/broadphase"
 	"repro/internal/core"
 	"repro/internal/cuda"
 	"repro/internal/experiments"
@@ -298,6 +299,38 @@ func BenchmarkVector_Task23_XeonPhi(b *testing.B) {
 		m.DetectResolve(wc)
 	}
 }
+
+// Broad-phase pruning — one reference Task 2 detection pass per pair
+// source (T-BP / results/broadphase.csv). pairChecks/op reports the
+// exact pair-evaluation count alongside the wall time, so a single run
+// shows both wins. Brute is quadratic and therefore only benchmarked to
+// 10k aircraft; at 100k one all-pairs pass costs ~10^10 pair visits,
+// minutes of wall time that would measure nothing the 10k point does
+// not already show.
+func benchDetectWith(b *testing.B, source string, n int) {
+	b.Helper()
+	w, _ := benchWorld(n)
+	src := broadphase.MustNew(source)
+	var checks int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		wc := w.Clone()
+		b.StartTimer()
+		st := tasks.DetectWith(wc, src)
+		checks = st.PairChecks
+	}
+	b.ReportMetric(float64(checks), "pairChecks/op")
+}
+
+func BenchmarkBroadphase_Brute_1000(b *testing.B)   { benchDetectWith(b, broadphase.BruteName, 1000) }
+func BenchmarkBroadphase_Brute_10000(b *testing.B)  { benchDetectWith(b, broadphase.BruteName, 10000) }
+func BenchmarkBroadphase_Grid_1000(b *testing.B)    { benchDetectWith(b, broadphase.GridName, 1000) }
+func BenchmarkBroadphase_Grid_10000(b *testing.B)   { benchDetectWith(b, broadphase.GridName, 10000) }
+func BenchmarkBroadphase_Grid_100000(b *testing.B)  { benchDetectWith(b, broadphase.GridName, 100000) }
+func BenchmarkBroadphase_Sweep_1000(b *testing.B)   { benchDetectWith(b, broadphase.SweepName, 1000) }
+func BenchmarkBroadphase_Sweep_10000(b *testing.B)  { benchDetectWith(b, broadphase.SweepName, 10000) }
+func BenchmarkBroadphase_Sweep_100000(b *testing.B) { benchDetectWith(b, broadphase.SweepName, 100000) }
 
 // Extension — radar-network report generation (multi-site coverage,
 // cones of silence, dropouts).

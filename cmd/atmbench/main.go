@@ -26,7 +26,7 @@ import (
 func main() {
 	var (
 		figNum  = flag.Int("fig", 0, "regenerate one figure (4-9); 0 = all")
-		table   = flag.String("table", "", "regenerate one table (deadlines, determinism, kernelsplit, boxpasses, normalized, vector, radarnet, capacity)")
+		table   = flag.String("table", "", "regenerate one table (deadlines, determinism, kernelsplit, boxpasses, normalized, vector, radarnet, broadphase, capacity)")
 		quick   = flag.Bool("quick", false, "trimmed sweeps for a fast smoke run")
 		outDir  = flag.String("out", "results", "directory for CSV output")
 		cycles  = flag.Int("cycles", 0, "major cycles per measurement (0 = default)")
@@ -111,6 +111,7 @@ func run(cfg experiments.Config, figNum int, table, outDir string, chart bool) e
 		"normalized":  {"normalized", func() error { d, err := experiments.NormalizedTable(cfg); return emit(d, err, emitDataset) }},
 		"vector":      {"vector", func() error { d, err := experiments.VectorTable(cfg); return emit(d, err, emitDataset) }},
 		"radarnet":    {"radarnet", func() error { d, err := experiments.RadarNetTable(cfg); return emit(d, err, emitDataset) }},
+		"broadphase":  {"broadphase", func() error { d, err := experiments.BroadphaseTable(cfg); return emit(d, err, emitDataset) }},
 		"capacity":    {"capacity", func() error { d, err := experiments.CapacityTable(cfg); return emit(d, err, emitDataset) }},
 	}
 
@@ -124,7 +125,7 @@ func run(cfg experiments.Config, figNum int, table, outDir string, chart bool) e
 	case table != "":
 		j, ok := tableJobs[table]
 		if !ok {
-			return fmt.Errorf("no table %q (have deadlines, determinism, kernelsplit, boxpasses, normalized, vector, radarnet, capacity)", table)
+			return fmt.Errorf("no table %q (have deadlines, determinism, kernelsplit, boxpasses, normalized, vector, radarnet, broadphase, capacity)", table)
 		}
 		return j.run()
 	}
@@ -153,6 +154,7 @@ func run(cfg experiments.Config, figNum int, table, outDir string, chart bool) e
 		{"Table boxpasses", tableJobs["boxpasses"].run},
 		{"Table vector", tableJobs["vector"].run},
 		{"Table radarnet", tableJobs["radarnet"].run},
+		{"Table broadphase", tableJobs["broadphase"].run},
 	} {
 		fmt.Printf("\n=== %s ===\n", art.name)
 		if err := art.run(); err != nil {

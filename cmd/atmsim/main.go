@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/broadphase"
 	"repro/internal/core"
 	"repro/internal/platform"
 	"repro/internal/replay"
@@ -28,22 +29,24 @@ func main() {
 	var (
 		platformName = flag.String("platform", platform.TitanXPascal,
 			"platform to simulate ("+strings.Join(append(platform.Names(), platform.ExtensionNames()...), ", ")+")")
-		n       = flag.Int("n", 4000, "number of aircraft")
-		cycles  = flag.Int("cycles", 2, "number of 8-second major cycles")
-		seed    = flag.Uint64("seed", 2018, "random seed (flights, radar noise, MIMD jitter)")
-		noise   = flag.Float64("noise", 0, "radar noise amplitude in nm (0 = default 0.25)")
+		n          = flag.Int("n", 4000, "number of aircraft")
+		cycles     = flag.Int("cycles", 2, "number of 8-second major cycles")
+		seed       = flag.Uint64("seed", 2018, "random seed (flights, radar noise, MIMD jitter)")
+		noise      = flag.Float64("noise", 0, "radar noise amplitude in nm (0 = default 0.25)")
+		pairSource = flag.String("pairsource", "",
+			"broad-phase pair source for collision detection ("+strings.Join(broadphase.Names(), ", ")+"; empty = all-pairs)")
 		verbose = flag.Bool("v", false, "print per-period detail")
 		watch   = flag.Bool("watch", false, "render an ASCII plan view of the airfield after each major cycle")
 		record  = flag.String("record", "", "record the run as JSON lines to this file")
 	)
 	flag.Parse()
-	if err := run(*platformName, *n, *cycles, *seed, *noise, *verbose, *watch, *record); err != nil {
+	if err := run(*platformName, *n, *cycles, *seed, *noise, *pairSource, *verbose, *watch, *record); err != nil {
 		fmt.Fprintln(os.Stderr, "atmsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(platformName string, n, cycles int, seed uint64, noise float64, verbose, watch bool, record string) error {
+func run(platformName string, n, cycles int, seed uint64, noise float64, pairSource string, verbose, watch bool, record string) error {
 	if n <= 0 {
 		return fmt.Errorf("need a positive aircraft count, got %d", n)
 	}
@@ -54,7 +57,12 @@ func run(platformName string, n, cycles int, seed uint64, noise float64, verbose
 	if err != nil {
 		return err
 	}
-	sys := core.NewSystem(p, core.Config{N: n, Seed: seed, Noise: noise})
+	if pairSource != "" {
+		if _, err := broadphase.New(pairSource); err != nil {
+			return err
+		}
+	}
+	sys := core.NewSystem(p, core.Config{N: n, Seed: seed, Noise: noise, PairSource: pairSource})
 	if record != "" {
 		f, err := os.Create(record)
 		if err != nil {
@@ -67,6 +75,9 @@ func run(platformName string, n, cycles int, seed uint64, noise float64, verbose
 	}
 
 	fmt.Printf("platform : %s (deterministic: %v)\n", p.Name(), p.Deterministic())
+	if pairSource != "" {
+		fmt.Printf("pruning  : broad-phase pair source %q\n", pairSource)
+	}
 	fmt.Printf("aircraft : %d   major cycles: %d   period: %v\n\n", n, cycles, sched.PeriodDur)
 
 	start := time.Now()

@@ -105,6 +105,9 @@ type Machine struct {
 	mask []bool
 	// scratch is a reusable per-PE temporary register (one wide word).
 	scratch []float64
+	// candMask is a per-PE candidate flag used by the opt-in broadphase
+	// variant of the detection program.
+	candMask []bool
 }
 
 // NewMachine returns a machine sized for n records.

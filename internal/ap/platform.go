@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/airspace"
+	"repro/internal/broadphase"
 	"repro/internal/radar"
 )
 
@@ -11,10 +12,17 @@ import (
 // platform interface.
 type Platform struct {
 	prof Profile
+	src  broadphase.PairSource
 }
 
 // NewPlatform returns a scheduler-facing platform for the profile.
 func NewPlatform(p Profile) *Platform { return &Platform{prof: p} }
+
+// SetPairSource installs a broadphase pair source for the detection
+// program (nil keeps the full associative scan). On a true AP this only
+// trims the PairChecks account, not the wide-operation time — see
+// apScan.
+func (p *Platform) SetPairSource(src broadphase.PairSource) { p.src = src }
 
 // Name returns the machine name.
 func (p *Platform) Name() string { return p.prof.Name }
@@ -35,6 +43,6 @@ func (p *Platform) Track(w *airspace.World, f *radar.Frame) time.Duration {
 // modeled time.
 func (p *Platform) DetectResolve(w *airspace.World) time.Duration {
 	m := NewMachine(p.prof, w.N())
-	DetectResolveProgram(m, w)
+	DetectResolveProgramWith(m, w, p.src)
 	return m.Time()
 }

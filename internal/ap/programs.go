@@ -2,6 +2,7 @@ package ap
 
 import (
 	"repro/internal/airspace"
+	"repro/internal/broadphase"
 	"repro/internal/geom"
 	"repro/internal/radar"
 	"repro/internal/tasks"
@@ -159,7 +160,18 @@ func TrackProgram(m *Machine, w *airspace.World, f *radar.Frame) tasks.Correlate
 // constant-time min-reduction over the critical responders. Semantics
 // match tasks.scan exactly (min over strict improvements, lowest index
 // wins ties).
-func apScan(m *Machine, w *airspace.World, idx int, vx, vy float64, st *tasks.DetectStats) (earliest float64, with int32, critical bool) {
+//
+// When a broadphase source is supplied, the control unit scatters the
+// candidate flags into PE memory before the search and the responder
+// mask is additionally narrowed to candidates. An associative search is
+// constant-time over all PEs regardless of the mask, so pruning does
+// not shorten the wide operations — it trims PairChecks (and the
+// control-unit work those would imply on other machines), which is the
+// honest statement of what a broad phase buys a true associative
+// processor: nothing on the wide path. Exactness is unaffected: pairs
+// outside a candidate set have tmin >= SafeTime and could never survive
+// the criticality mask anyway.
+func apScan(m *Machine, w *airspace.World, idx int, vx, vy float64, st *tasks.DetectStats, src broadphase.PairSource) (earliest float64, with int32, critical bool) {
 	ac := w.Aircraft
 	track := &ac[idx]
 	m.Broadcast(5) // x, y, vx, vy, alt
@@ -171,9 +183,30 @@ func apScan(m *Machine, w *airspace.World, idx int, vx, vy float64, st *tasks.De
 	}
 	tm := m.scratch
 
+	var cand []int32
+	if src != nil {
+		cand = src.Candidates(w, track)
+		if len(m.candMask) < len(ac) {
+			m.candMask = make([]bool, len(ac))
+		}
+		for _, p := range cand {
+			m.candMask[p] = true
+		}
+		// Control-unit scatter of the candidate flags into PE memory.
+		m.Scalar(len(cand))
+	}
+
 	m.Search(2, func(p int) bool {
+		if src != nil && !m.candMask[p] {
+			return false
+		}
 		return p != idx && tasks.AltOverlap(track, &ac[p])
 	})
+	if src != nil {
+		for _, p := range cand {
+			m.candMask[p] = false
+		}
+	}
 	checks := 0
 	for _, r := range m.Mask() {
 		if r {
@@ -214,14 +247,28 @@ func apScan(m *Machine, w *airspace.World, idx int, vx, vy float64, st *tasks.De
 // Control flow is identical to the sequential reference, so results
 // agree bit-for-bit on any traffic.
 func DetectResolveProgram(m *Machine, w *airspace.World) tasks.DetectStats {
+	return DetectResolveProgramWith(m, w, nil)
+}
+
+// DetectResolveProgramWith is DetectResolveProgram with an optional
+// broadphase pair source (nil keeps the paper's full associative scan).
+// The in-place course commits of the sequential control flow are safe
+// under pruning because the broadphase envelopes depend only on speed,
+// which rotation preserves (see package broadphase).
+func DetectResolveProgramWith(m *Machine, w *airspace.World, src broadphase.PairSource) tasks.DetectStats {
 	var st tasks.DetectStats
 	m.LoadDatabase(databaseFields)
+	if src != nil {
+		src.Prepare(w)
+		// Control-unit index build over the database.
+		m.Scalar(w.N())
+	}
 	ac := w.Aircraft
 	for i := range ac {
 		track := &ac[i]
 		track.ResetConflict()
 		m.Scalar(4)
-		tmin, with, critical := apScan(m, w, i, track.DX, track.DY, &st)
+		tmin, with, critical := apScan(m, w, i, track.DX, track.DY, &st, src)
 		if !critical {
 			continue
 		}
@@ -235,7 +282,7 @@ func DetectResolveProgram(m *Machine, w *airspace.World) tasks.DetectStats {
 			m.Scalar(8) // rotate on the control unit
 			v := base.Rotate(deg)
 			track.BatX, track.BatY = v.X, v.Y
-			tmin, with, critical = apScan(m, w, i, v.X, v.Y, &st)
+			tmin, with, critical = apScan(m, w, i, v.X, v.Y, &st, src)
 			if !critical {
 				track.DX, track.DY = v.X, v.Y
 				track.ResetConflict()

@@ -1,0 +1,192 @@
+package broadphase
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+
+	"repro/internal/airspace"
+)
+
+// Grid cell-size bounds for the automatic derivation: below MinCellNM
+// the per-query cell walk dominates, above MaxCellNM a cell holds most
+// of the field and pruning degenerates toward brute force.
+const (
+	MinCellNM     = 8.0
+	MaxCellNM     = 64.0
+	DefaultCellNM = 32.0
+)
+
+// Grid is a uniform hash grid over the 256×256 nm field treated as a
+// torus: cell coordinates are folded modulo the grid dimensions, so an
+// envelope spilling past one field edge lands in the cells on the
+// opposite side. Because the conflict equations are purely linear (the
+// (x, y) → (−x, −y) re-entry rule is applied by Task 1, never inside
+// detection), the folding is a hashing choice, not a geometric claim:
+// it can only merge far-apart cells into one bucket, which adds
+// candidates and never loses one.
+//
+// Each aircraft is inserted into every cell its reach envelope touches;
+// a query walks the cells touched by the track's own envelope. Two
+// overlapping envelopes share at least one cell, so the candidate set
+// covers every pair the exactness argument requires.
+type Grid struct {
+	// cellNM, when positive, fixes the cell size; otherwise Prepare
+	// derives it from the mean envelope width of the current world.
+	cellNM float64
+
+	cell  float64
+	nx    int
+	cells [][]int32
+	n     int
+
+	scratch sync.Pool // *gridScratch, for concurrent queries
+}
+
+// gridScratch accumulates one query's candidate set as a bitmap: a set
+// bit per candidate index gives deduplication for free and a
+// trailing-zeros walk emits the indices already in ascending order, so
+// no per-query comparison sort is needed (one sort per track dominated
+// detection wall time at 10k+ aircraft).
+type gridScratch struct {
+	words []uint64
+	out   []int32
+}
+
+// NewGrid returns a grid source that derives its cell size from the
+// traffic on every Prepare.
+func NewGrid() *Grid { return &Grid{} }
+
+// NewGridCell returns a grid source with a fixed cell size in nautical
+// miles. It panics if cellNM is not positive.
+func NewGridCell(cellNM float64) *Grid {
+	if cellNM <= 0 {
+		panic("broadphase: grid cell size must be positive")
+	}
+	return &Grid{cellNM: cellNM}
+}
+
+// Name returns "grid".
+func (g *Grid) Name() string { return GridName }
+
+// CellNM returns the cell size chosen by the last Prepare.
+func (g *Grid) CellNM() float64 { return g.cell }
+
+// Prepare bins every aircraft's reach envelope into the grid.
+func (g *Grid) Prepare(w *airspace.World) {
+	n := w.N()
+	g.n = n
+
+	cell := g.cellNM
+	if cell <= 0 {
+		// Derive from the mean envelope width: a cell that roughly
+		// matches the typical envelope keeps both the cells-per-insert
+		// and the cells-per-query walk small.
+		if n == 0 {
+			cell = DefaultCellNM
+		} else {
+			sum := 0.0
+			for i := range w.Aircraft {
+				sum += 2 * Reach(&w.Aircraft[i])
+			}
+			cell = math.Min(MaxCellNM, math.Max(MinCellNM, sum/float64(n)))
+		}
+	}
+	g.cell = cell
+	g.nx = int(math.Ceil(2 * airspace.FieldHalf / cell))
+	if g.nx < 1 {
+		g.nx = 1
+	}
+
+	want := g.nx * g.nx
+	if len(g.cells) != want {
+		g.cells = make([][]int32, want)
+	} else {
+		for i := range g.cells {
+			g.cells[i] = g.cells[i][:0]
+		}
+	}
+	for i := range w.Aircraft {
+		a := &w.Aircraft[i]
+		r := Reach(a)
+		cx0, cxn := g.cellSpan(a.X-r, a.X+r)
+		cy0, cyn := g.cellSpan(a.Y-r, a.Y+r)
+		for yi := 0; yi < cyn; yi++ {
+			row := g.fold(cy0+yi) * g.nx
+			for xi := 0; xi < cxn; xi++ {
+				c := row + g.fold(cx0+xi)
+				g.cells[c] = append(g.cells[c], int32(i))
+			}
+		}
+	}
+}
+
+// cellSpan returns the first (unfolded) cell coordinate covering lo and
+// the number of cells to walk, clamped to the grid width so a fully
+// wrapped span visits each cell exactly once.
+func (g *Grid) cellSpan(lo, hi float64) (c0, count int) {
+	c0 = int(math.Floor((lo + airspace.FieldHalf) / g.cell))
+	c1 := int(math.Floor((hi + airspace.FieldHalf) / g.cell))
+	count = c1 - c0 + 1
+	if count > g.nx {
+		count = g.nx
+	}
+	return c0, count
+}
+
+// fold maps an unfolded cell coordinate onto the torus.
+func (g *Grid) fold(c int) int {
+	c %= g.nx
+	if c < 0 {
+		c += g.nx
+	}
+	return c
+}
+
+// Candidates walks the cells the track's envelope touches and returns
+// the deduplicated, ascending union of their occupants. Safe for
+// concurrent use after Prepare.
+func (g *Grid) Candidates(w *airspace.World, track *airspace.Aircraft) []int32 {
+	if g.n == 0 {
+		return nil
+	}
+	r := Reach(track)
+	cx0, cxn := g.cellSpan(track.X-r, track.X+r)
+	cy0, cyn := g.cellSpan(track.Y-r, track.Y+r)
+
+	sc, _ := g.scratch.Get().(*gridScratch)
+	if sc == nil {
+		sc = &gridScratch{}
+	}
+	nw := (g.n + 63) / 64
+	if len(sc.words) < nw {
+		sc.words = make([]uint64, nw)
+	}
+	words := sc.words
+	for yi := 0; yi < cyn; yi++ {
+		row := g.fold(cy0+yi) * g.nx
+		for xi := 0; xi < cxn; xi++ {
+			for _, id := range g.cells[row+g.fold(cx0+xi)] {
+				words[id>>6] |= 1 << (uint(id) & 63)
+			}
+		}
+	}
+	out := sc.out[:0]
+	for wi := 0; wi < nw; wi++ {
+		word := words[wi]
+		if word == 0 {
+			continue
+		}
+		words[wi] = 0
+		base := int32(wi) << 6
+		for word != 0 {
+			out = append(out, base+int32(bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
+	}
+	res := make([]int32, len(out))
+	copy(res, out)
+	sc.out = out
+	g.scratch.Put(sc)
+	return res
+}

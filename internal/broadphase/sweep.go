@@ -1,0 +1,132 @@
+package broadphase
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+
+	"repro/internal/airspace"
+)
+
+// Sweep is sort-based sweep-and-prune on the per-axis reach intervals
+// (Marzolla & D'Angelo's sort-based matching, specialized to per-track
+// queries). Prepare sorts the aircraft by the low edge of their x-axis
+// envelope; a query binary-searches the run of aircraft whose x
+// interval can overlap the track's and filters that run by the actual
+// x and y interval tests. The window [lo − maxWidth, hi] is sound
+// because no stored interval is wider than maxWidth: anything starting
+// earlier has necessarily ended before the query interval begins.
+type Sweep struct {
+	n int
+	// order holds aircraft indices sorted by ascending envelope low-x;
+	// sortedLo mirrors the low-x values in the same order for binary
+	// search.
+	order    []int32
+	sortedLo []float64
+	// Envelope edges indexed by aircraft index.
+	lox, hix, loy, hiy []float64
+	// maxW is the widest x envelope in the world.
+	maxW float64
+
+	scratch sync.Pool // *sweepScratch, for concurrent queries
+}
+
+// sweepScratch accumulates one query's candidates as a bitmap, exactly
+// as gridScratch does: the sweep window yields hits in low-x order, and
+// the trailing-zeros walk re-emits them in the ascending index order
+// the scan's tie-break requires without a per-query comparison sort.
+type sweepScratch struct {
+	words []uint64
+	out   []int32
+}
+
+// NewSweep returns a sweep-and-prune source.
+func NewSweep() *Sweep { return &Sweep{} }
+
+// Name returns "sweep".
+func (s *Sweep) Name() string { return SweepName }
+
+// Prepare computes every aircraft's reach envelope and sorts the x
+// intervals.
+func (s *Sweep) Prepare(w *airspace.World) {
+	n := w.N()
+	s.n = n
+	if cap(s.order) < n {
+		s.order = make([]int32, n)
+		s.sortedLo = make([]float64, n)
+		s.lox = make([]float64, n)
+		s.hix = make([]float64, n)
+		s.loy = make([]float64, n)
+		s.hiy = make([]float64, n)
+	}
+	s.order = s.order[:n]
+	s.sortedLo = s.sortedLo[:n]
+	s.lox, s.hix = s.lox[:n], s.hix[:n]
+	s.loy, s.hiy = s.loy[:n], s.hiy[:n]
+
+	s.maxW = 0
+	for i := range w.Aircraft {
+		a := &w.Aircraft[i]
+		r := Reach(a)
+		s.lox[i], s.hix[i] = a.X-r, a.X+r
+		s.loy[i], s.hiy[i] = a.Y-r, a.Y+r
+		if 2*r > s.maxW {
+			s.maxW = 2 * r
+		}
+		s.order[i] = int32(i)
+	}
+	sort.Slice(s.order, func(a, b int) bool { return s.lox[s.order[a]] < s.lox[s.order[b]] })
+	for k, id := range s.order {
+		s.sortedLo[k] = s.lox[id]
+	}
+}
+
+// Candidates returns the aircraft whose envelopes overlap the track's
+// on both axes, ascending. Safe for concurrent use after Prepare.
+func (s *Sweep) Candidates(w *airspace.World, track *airspace.Aircraft) []int32 {
+	if s.n == 0 {
+		return nil
+	}
+	i := int(track.ID)
+	qloX, qhiX := s.lox[i], s.hix[i]
+	qloY, qhiY := s.loy[i], s.hiy[i]
+
+	sc, _ := s.scratch.Get().(*sweepScratch)
+	if sc == nil {
+		sc = &sweepScratch{}
+	}
+	nw := (s.n + 63) / 64
+	if len(sc.words) < nw {
+		sc.words = make([]uint64, nw)
+	}
+	words := sc.words
+	start := sort.SearchFloat64s(s.sortedLo, qloX-s.maxW)
+	for k := start; k < s.n && s.sortedLo[k] <= qhiX; k++ {
+		j := s.order[k]
+		if s.hix[j] < qloX {
+			continue
+		}
+		if s.loy[j] > qhiY || s.hiy[j] < qloY {
+			continue
+		}
+		words[j>>6] |= 1 << (uint(j) & 63)
+	}
+	out := sc.out[:0]
+	for wi := 0; wi < nw; wi++ {
+		word := words[wi]
+		if word == 0 {
+			continue
+		}
+		words[wi] = 0
+		base := int32(wi) << 6
+		for word != 0 {
+			out = append(out, base+int32(bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
+	}
+	res := make([]int32, len(out))
+	copy(res, out)
+	sc.out = out
+	s.scratch.Put(sc)
+	return res
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/airspace"
+	"repro/internal/broadphase"
 	"repro/internal/platform"
 	"repro/internal/radar"
 	"repro/internal/replay"
@@ -38,6 +39,11 @@ type Config struct {
 	// PeriodDur overrides the half-second period (tests only); 0 means
 	// the paper's 500 ms.
 	PeriodDur time.Duration
+	// PairSource selects a broadphase pair source ("brute", "grid",
+	// "sweep") for platforms that support pruned Tasks 2-3 scans; the
+	// empty string keeps the paper's all-pairs kernels. Unknown names
+	// panic.
+	PairSource string
 }
 
 func (c Config) noise() float64 {
@@ -69,6 +75,7 @@ func NewSystem(p platform.Platform, cfg Config) *System {
 	if cfg.N < 0 {
 		panic(fmt.Sprintf("core: negative aircraft count %d", cfg.N))
 	}
+	applyPairSource(p, cfg)
 	root := rng.New(cfg.Seed)
 	setupRng := root.Split()
 	radarRng := root.Split()
@@ -84,6 +91,7 @@ func NewSystem(p platform.Platform, cfg Config) *System {
 // NewSystemWithWorld binds the platform to an externally constructed
 // traffic scenario instead of random flight setup. cfg.N is ignored.
 func NewSystemWithWorld(p platform.Platform, w *airspace.World, cfg Config) *System {
+	applyPairSource(p, cfg)
 	root := rng.New(cfg.Seed)
 	root.Split() // keep the stream layout of NewSystem
 	radarRng := root.Split()
@@ -94,6 +102,25 @@ func NewSystemWithWorld(p platform.Platform, w *airspace.World, cfg Config) *Sys
 		radarRng: radarRng,
 		tracker:  sched.NewTracker(cfg.PeriodDur),
 	}
+}
+
+// applyPairSource wires the configured broadphase source into the
+// platform. Requesting a source on a platform that cannot use one is a
+// configuration error and panics, as silently ignoring it would skew
+// measured op counts.
+func applyPairSource(p platform.Platform, cfg Config) {
+	if cfg.PairSource == "" {
+		return
+	}
+	src, err := broadphase.New(cfg.PairSource)
+	if err != nil {
+		panic(fmt.Sprintf("core: %v", err))
+	}
+	ps, ok := p.(platform.PairSourced)
+	if !ok {
+		panic(fmt.Sprintf("core: platform %s does not support pair sources", p.Name()))
+	}
+	ps.SetPairSource(src)
 }
 
 // RunPeriod executes one half-second period: radar generation (host

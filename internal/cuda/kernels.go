@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/airspace"
+	"repro/internal/broadphase"
 	"repro/internal/geom"
 	"repro/internal/radar"
 	"repro/internal/tasks"
@@ -26,6 +27,9 @@ const (
 	opsPairCheck = 40 // Equations 1-6 for one pair (4 div, 8 mul/add, compares)
 	opsRotate    = 14 // velocity rotation (sin/cos amortized, 4 mul/add)
 	opsSnapshot  = 6  // building the velocity snapshot entry
+	// opsIndexBuild is the per-aircraft charge of the opt-in broadphase
+	// index build (envelope computation plus cell/interval insertion).
+	opsIndexBuild = 12
 )
 
 // Record sizes used for the transfer model, matching the paper's
@@ -56,6 +60,10 @@ type deviceState struct {
 	newDX, newDY                          []float64
 	resolved                              []int32
 
+	// src, when set, prunes the pair scan to its candidate sets; the
+	// all-pairs kernel of the paper is the src == nil path.
+	src broadphase.PairSource
+
 	// Aggregate task counters (atomic).
 	conflicts, rotations, resolvedCount, unresolvedCount, pairChecks int64
 }
@@ -85,6 +93,7 @@ type TrackResult struct {
 // drone struct in global memory across the whole run.
 type Engine struct {
 	dev *Device
+	src broadphase.PairSource
 }
 
 // NewEngine returns an ATM kernel engine on the given device profile.
@@ -95,6 +104,12 @@ func (e *Engine) Device() *Device { return e.dev }
 
 // Name returns the device name.
 func (e *Engine) Name() string { return e.dev.Profile.Name }
+
+// SetPairSource installs an opt-in broadphase pair source for the
+// collision kernels (nil restores the paper's all-pairs scan). The
+// modeled op counts then reflect the pruned pair enumeration plus an
+// index-build kernel per invocation.
+func (e *Engine) SetPairSource(src broadphase.PairSource) { e.src = src }
 
 // TrackDrone performs Task 1: it uploads the period's radar frame,
 // computes expected positions, runs the multi-pass bounding-box
@@ -356,6 +371,16 @@ func (e *Engine) prepareDetect(w *airspace.World, res *DetectResult) *deviceStat
 		t.Ops(opsSnapshot)
 		t.Mem(aircraftRecordBytes)
 	}))
+	if e.src != nil {
+		// Host-side index build over the committed snapshot, modeled as
+		// one launch of per-aircraft insertion work.
+		e.src.Prepare(w)
+		s.src = e.src
+		res.add(e.dev.Launch("broadphase", n, func(t *Thread) {
+			t.Ops(opsIndexBuild)
+			t.Mem(16)
+		}))
+	}
 	return s
 }
 
@@ -364,11 +389,12 @@ func (e *Engine) prepareDetect(w *airspace.World, res *DetectResult) *deviceStat
 func (s *deviceState) scanSnapshot(t *Thread, i int, vx, vy float64) (earliest float64, with int32, critical bool) {
 	earliest = airspace.SafeTime
 	with = airspace.NoConflict
-	n := len(s.snapX)
 	checks := 0
-	for p := 0; p < n; p++ {
+	visited := 0
+	scanOne := func(p int) {
+		visited++
 		if p == i || math.Abs(s.snapAlt[p]-s.snapAlt[i]) >= airspace.AltBandFeet {
-			continue
+			return
 		}
 		checks++
 		trial := airspace.Aircraft{X: s.snapX[p], Y: s.snapY[p], DX: s.snapDX[p], DY: s.snapDY[p]}
@@ -378,7 +404,16 @@ func (s *deviceState) scanSnapshot(t *Thread, i int, vx, vy float64) (earliest f
 			with = int32(p)
 		}
 	}
-	t.Ops(checks*opsPairCheck + (n - checks)) // skipped pairs still cost the filter compare
+	if s.src == nil {
+		for p := 0; p < len(s.snapX); p++ {
+			scanOne(p)
+		}
+	} else {
+		for _, p := range s.src.Candidates(s.w, &s.w.Aircraft[i]) {
+			scanOne(int(p))
+		}
+	}
+	t.Ops(checks*opsPairCheck + (visited - checks)) // skipped pairs still cost the filter compare
 	atomic.AddInt64(&s.pairChecks, int64(checks))
 	return earliest, with, earliest < airspace.CriticalTime
 }

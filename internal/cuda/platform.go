@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/airspace"
+	"repro/internal/broadphase"
 	"repro/internal/radar"
 )
 
@@ -21,6 +22,10 @@ func NewPlatform(p Profile) *Platform {
 
 // Engine exposes the underlying kernel engine.
 func (p *Platform) Engine() *Engine { return p.eng }
+
+// SetPairSource installs a broadphase pair source on the engine (nil
+// restores the paper's all-pairs kernels).
+func (p *Platform) SetPairSource(src broadphase.PairSource) { p.eng.SetPairSource(src) }
 
 // Name returns the device name.
 func (p *Platform) Name() string { return p.eng.Name() }

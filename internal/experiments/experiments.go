@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/airspace"
+	"repro/internal/broadphase"
 	"repro/internal/core"
 	"repro/internal/cuda"
 	"repro/internal/fit"
@@ -414,6 +415,46 @@ func RadarNetTable(cfg Config) (*trace.Dataset, error) {
 		x := dropout * 100
 		d.Add("fraction radar-tracked", x, float64(matchedTotal)/float64(n*periods))
 		d.Add("mean position error (nm)", x, errSum/float64(n))
+	}
+	return d, nil
+}
+
+// BroadphaseTable — the broad-phase pruning sweep: for each pair
+// source, the number of pair evaluations (DetectStats.PairChecks) and
+// the host wall time of one Task 2 detection pass over a fresh world at
+// each aircraft count. Brute is swept over the all-platform Ns only —
+// its quadratic pair count is the curve the pruned sources are measured
+// against; grid and sweep extend to 100k aircraft, the scale the
+// ROADMAP's "as fast as the hardware allows" goal targets.
+//
+// Wall times are host measurements (this is a host-algorithm
+// comparison, not a platform model) and so vary run to run; the pair
+// counts are exact and reproducible.
+func BroadphaseTable(cfg Config) (*trace.Dataset, error) {
+	d := &trace.Dataset{
+		ID:     "broadphase",
+		Title:  "Broad-phase pruning: pair evaluations and detection wall time per source",
+		XLabel: "aircraft",
+		YLabel: "value",
+	}
+	extended := []int{32000, 100000}
+	if cfg.Quick {
+		extended = nil
+	}
+	for _, name := range broadphase.Names() {
+		ns := cfg.AllPlatformNs()
+		if name != broadphase.BruteName {
+			ns = append(append([]int{}, ns...), extended...)
+		}
+		for _, n := range ns {
+			w := airspace.NewWorld(n, rng.New(cfg.Seed))
+			src := broadphase.MustNew(name)
+			start := time.Now()
+			st := tasks.DetectWith(w, src)
+			wall := time.Since(start)
+			d.Add("pairs:"+name, float64(n), float64(st.PairChecks))
+			d.Add("ms:"+name, float64(n), wall.Seconds()*1000)
+		}
 	}
 	return d, nil
 }

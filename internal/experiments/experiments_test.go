@@ -327,3 +327,41 @@ func TestCapacityTable(t *testing.T) {
 		t.Fatalf("series = %d", len(d.Series))
 	}
 }
+
+func TestBroadphaseTable(t *testing.T) {
+	d, err := BroadphaseTable(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ID != "broadphase" {
+		t.Fatalf("dataset id %q", d.ID)
+	}
+	brute := d.Get("pairs:brute")
+	if brute == nil {
+		t.Fatalf("missing brute series: %+v", d.Series)
+	}
+	ns := quick.AllPlatformNs()
+	if len(brute.Points) != len(ns) {
+		t.Fatalf("brute has %d points, want %d", len(brute.Points), len(ns))
+	}
+	// The pruned sources must evaluate strictly fewer pairs than brute
+	// at every sweep point, and every source must report a wall time.
+	for _, name := range []string{"grid", "sweep"} {
+		pruned := d.Get("pairs:" + name)
+		if pruned == nil {
+			t.Fatalf("missing series pairs:%s", name)
+		}
+		for i := range brute.Points {
+			if pruned.Points[i].X != brute.Points[i].X {
+				t.Fatalf("%s: sweep mismatch at %d: %+v vs %+v", name, i, pruned.Points[i], brute.Points[i])
+			}
+			if pruned.Points[i].Y >= brute.Points[i].Y {
+				t.Errorf("%s evaluates %v pairs at n=%v, brute %v — no pruning",
+					name, pruned.Points[i].Y, pruned.Points[i].X, brute.Points[i].Y)
+			}
+		}
+		if ms := d.Get("ms:" + name); ms == nil || len(ms.Points) != len(pruned.Points) {
+			t.Fatalf("ms:%s series malformed", name)
+		}
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/airspace"
+	"repro/internal/broadphase"
 	"repro/internal/geom"
 	"repro/internal/radar"
 	"repro/internal/rng"
@@ -87,6 +88,7 @@ var Xeon16 = Profile{
 type Machine struct {
 	prof   Profile
 	jitter *rng.Rand
+	src    broadphase.PairSource
 }
 
 // New returns a machine with the given profile; seed fixes the jitter
@@ -100,6 +102,12 @@ func New(p Profile, seed uint64) *Machine {
 
 // Name returns the machine name.
 func (m *Machine) Name() string { return m.prof.Name }
+
+// SetPairSource installs a broadphase pair source for the Tasks 2-3
+// scan (nil restores the all-pairs scan). A shared-memory multicore is
+// the natural home for pruning: the index lives in the same shared
+// memory the workers already scan.
+func (m *Machine) SetPairSource(src broadphase.PairSource) { m.src = src }
 
 // Deterministic reports false: MIMD timing varies run to run, which is
 // the paper's core argument against it for hard real-time systems.
@@ -182,6 +190,9 @@ const (
 	opsWrap      = 6
 	opsPairCheck = 40
 	opsRotate    = 14
+	// opsIndexBuild is charged per aircraft when a broadphase pair
+	// source builds its index (envelope computation plus insertion).
+	opsIndexBuild = 12
 )
 
 // lockStripes spreads per-aircraft locks to keep the real contention
@@ -386,22 +397,44 @@ func (m *Machine) DetectResolve(w *airspace.World) (tasks.DetectStats, time.Dura
 		tally.ops[core] += ops
 	})
 
+	// Broadphase index build: single-threaded host-side preparation,
+	// charged as one extra phase of per-aircraft work. The snapshot is
+	// already committed, and courses only rotate (same speed) during
+	// resolution, so the index stays valid for the whole task.
+	if m.src != nil {
+		m.src.Prepare(w)
+		phases++
+		m.parallel(n, func(core, lo, hi int) {
+			tally.ops[core] += uint64(hi-lo) * opsIndexBuild
+		})
+	}
+
 	var conflicts, rotations, resolvedCount, unresolvedCount, pairChecks uint64
+	scanOne := func(i, p int, vx, vy float64, checks *uint64, ops *uint64,
+		earliest *float64, with *int32) {
+		if p == i || math.Abs(snapAlt[p]-snapAlt[i]) >= airspace.AltBandFeet {
+			*ops++
+			return
+		}
+		*checks++
+		trial := airspace.Aircraft{X: snapX[p], Y: snapY[p], DX: snapDX[p], DY: snapDY[p]}
+		tmin, tmax, ok := tasks.PairConflict(snapX[i], snapY[i], vx, vy, &trial)
+		if ok && tmin < tmax && tmin < *earliest {
+			*earliest = tmin
+			*with = int32(p)
+		}
+	}
 	scan := func(i int, vx, vy float64, ops *uint64) (earliest float64, with int32, critical bool) {
 		earliest = airspace.SafeTime
 		with = airspace.NoConflict
 		checks := uint64(0)
-		for p := 0; p < n; p++ {
-			if p == i || math.Abs(snapAlt[p]-snapAlt[i]) >= airspace.AltBandFeet {
-				*ops++
-				continue
+		if m.src == nil {
+			for p := 0; p < n; p++ {
+				scanOne(i, p, vx, vy, &checks, ops, &earliest, &with)
 			}
-			checks++
-			trial := airspace.Aircraft{X: snapX[p], Y: snapY[p], DX: snapDX[p], DY: snapDY[p]}
-			tmin, tmax, ok := tasks.PairConflict(snapX[i], snapY[i], vx, vy, &trial)
-			if ok && tmin < tmax && tmin < earliest {
-				earliest = tmin
-				with = int32(p)
+		} else {
+			for _, p := range m.src.Candidates(w, &ac[i]) {
+				scanOne(i, int(p), vx, vy, &checks, ops, &earliest, &with)
 			}
 		}
 		*ops += checks * opsPairCheck

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/airspace"
+	"repro/internal/broadphase"
 	"repro/internal/radar"
 )
 
@@ -20,6 +21,10 @@ func NewPlatform(p Profile, seed uint64) *Platform {
 
 // Machine exposes the underlying multicore machine.
 func (p *Platform) Machine() *Machine { return p.m }
+
+// SetPairSource installs a broadphase pair source on the machine (nil
+// restores the all-pairs scan).
+func (p *Platform) SetPairSource(src broadphase.PairSource) { p.m.SetPairSource(src) }
 
 // Name returns the machine name.
 func (p *Platform) Name() string { return p.m.Name() }

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/airspace"
 	"repro/internal/ap"
+	"repro/internal/broadphase"
 	"repro/internal/cuda"
 	"repro/internal/mimd"
 	"repro/internal/radar"
@@ -34,12 +35,24 @@ type Platform interface {
 	DetectResolve(w *airspace.World) time.Duration
 }
 
-// Compile-time interface checks for the three backends.
+// PairSourced is implemented by platforms whose Tasks 2-3 scan can be
+// driven by a broadphase pair source instead of the paper's all-pairs
+// kernel. Passing nil restores the all-pairs behaviour.
+type PairSourced interface {
+	SetPairSource(src broadphase.PairSource)
+}
+
+// Compile-time interface checks for the four backends.
 var (
 	_ Platform = (*cuda.Platform)(nil)
 	_ Platform = (*ap.Platform)(nil)
 	_ Platform = (*mimd.Platform)(nil)
 	_ Platform = (*vector.Platform)(nil)
+
+	_ PairSourced = (*cuda.Platform)(nil)
+	_ PairSourced = (*ap.Platform)(nil)
+	_ PairSourced = (*mimd.Platform)(nil)
+	_ PairSourced = (*vector.Platform)(nil)
 )
 
 // Registry keys for the six machines of the paper's evaluation.

@@ -1,6 +1,7 @@
 package radarnet
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/airspace"
@@ -58,6 +59,70 @@ func TestSiteCoverage(t *testing.T) {
 	}
 	if !s.InCone(1, 1) || s.InCone(10, 10) {
 		t.Fatal("InCone wrong")
+	}
+}
+
+// TestSiteBoundarySemantics pins the open/closed choices at the two
+// radii: the cone of silence is closed (a target exactly ConeNM away is
+// blind to the site) and the detection range is closed (a target
+// exactly RangeNM away is covered). Targets sit on the x-axis so the
+// distances are floating-point exact.
+func TestSiteBoundarySemantics(t *testing.T) {
+	s := Site{X: 0, Y: 0, RangeNM: 50, ConeNM: 3}
+
+	// Exactly at the cone radius: inside the cone, not covered.
+	if s.Covers(s.ConeNM, 0) {
+		t.Fatal("target exactly at ConeNM covered — cone must be closed")
+	}
+	if !s.InCone(s.ConeNM, 0) {
+		t.Fatal("target exactly at ConeNM not InCone — cone must be closed")
+	}
+	// Just beyond the cone radius: covered, out of the cone.
+	past := math.Nextafter(s.ConeNM, s.RangeNM)
+	if !s.Covers(past, 0) || s.InCone(past, 0) {
+		t.Fatal("target just past ConeNM must be covered and out of the cone")
+	}
+	// Exactly at the range radius: still covered.
+	if !s.Covers(s.RangeNM, 0) {
+		t.Fatal("target exactly at RangeNM not covered — range must be closed")
+	}
+	// Just beyond the range radius: not covered, not in the cone.
+	beyond := math.Nextafter(s.RangeNM, 2*s.RangeNM)
+	if s.Covers(beyond, 0) || s.InCone(beyond, 0) {
+		t.Fatal("target just past RangeNM must be invisible")
+	}
+}
+
+// TestGenerateBoundaryClassification drives Generate with stationary
+// aircraft placed exactly on a lone site's radii: the ConeNM aircraft
+// must be counted cone-blind, the RangeNM aircraft must be reported,
+// and one step past the range must be out of range.
+func TestGenerateBoundaryClassification(t *testing.T) {
+	n := &Network{Sites: []Site{{ID: 0, X: 0, Y: 0, RangeNM: 50, ConeNM: 3}}}
+	w := &airspace.World{Aircraft: []airspace.Aircraft{
+		{ID: 0, X: 3, Y: 0, Alt: 10000},                       // exactly at ConeNM
+		{ID: 1, X: 50, Y: 0, Alt: 10000},                      // exactly at RangeNM
+		{ID: 2, X: math.Nextafter(50, 100), Y: 0, Alt: 10000}, // one ulp past range
+		{ID: 3, X: math.Nextafter(3, 50), Y: 0, Alt: 10000},   // one ulp past cone
+	}}
+	_, st := n.Generate(w, rng.New(11))
+	want := Stats{Reported: 2, OutOfRange: 1, ConeBlind: 1, MeanCoverage: 0.5}
+	if st != want {
+		t.Fatalf("stats = %+v, want %+v", st, want)
+	}
+}
+
+// TestCoverageAtBoundary: a point exactly at a lone site's cone radius
+// is the true blind case — zero covering sites, in a cone.
+func TestCoverageAtBoundary(t *testing.T) {
+	n := &Network{Sites: []Site{{ID: 0, X: 0, Y: 0, RangeNM: 50, ConeNM: 3}}}
+	covering, blind := n.CoverageAt(3, 0)
+	if covering != 0 || !blind {
+		t.Fatalf("at cone radius: covering=%d blind=%v, want 0/true", covering, blind)
+	}
+	covering, blind = n.CoverageAt(50, 0)
+	if covering != 1 || blind {
+		t.Fatalf("at range radius: covering=%d blind=%v, want 1/false", covering, blind)
 	}
 }
 

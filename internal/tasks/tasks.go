@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"repro/internal/airspace"
+	"repro/internal/broadphase"
 	"repro/internal/geom"
 	"repro/internal/radar"
 )
@@ -248,27 +249,41 @@ type DetectStats struct {
 }
 
 // scan evaluates one candidate heading (vx, vy) for the track aircraft
-// against every other aircraft and returns the earliest critical
-// conflict, if any. It is the inner loop of Algorithm 2.
-func scan(w *airspace.World, track *airspace.Aircraft, vx, vy float64, st *DetectStats) (earliest float64, with int32, critical bool) {
+// against every other aircraft — or, when a broadphase source is
+// supplied, against its candidate set — and returns the earliest
+// critical conflict, if any. It is the inner loop of Algorithm 2.
+// Candidate sets are ascending-ordered supersets of the pairs that can
+// matter (see package broadphase), so both paths return identical
+// results, tie-breaks included.
+func scan(w *airspace.World, track *airspace.Aircraft, vx, vy float64, st *DetectStats, src broadphase.PairSource) (earliest float64, with int32, critical bool) {
 	earliest = airspace.SafeTime
 	with = airspace.NoConflict
-	for p := range w.Aircraft {
-		trial := &w.Aircraft[p]
-		if trial.ID == track.ID || !AltOverlap(track, trial) {
-			continue
+	if src == nil {
+		for p := range w.Aircraft {
+			scanPair(track, &w.Aircraft[p], vx, vy, st, &earliest, &with)
 		}
-		st.PairChecks++
-		tmin, tmax, ok := PairConflict(track.X, track.Y, vx, vy, trial)
-		if !ok || tmin >= tmax {
-			continue
-		}
-		if tmin < earliest {
-			earliest = tmin
-			with = trial.ID
+	} else {
+		for _, p := range src.Candidates(w, track) {
+			scanPair(track, &w.Aircraft[p], vx, vy, st, &earliest, &with)
 		}
 	}
 	return earliest, with, earliest < airspace.CriticalTime
+}
+
+// scanPair folds one trial aircraft into the running scan minimum.
+func scanPair(track, trial *airspace.Aircraft, vx, vy float64, st *DetectStats, earliest *float64, with *int32) {
+	if trial.ID == track.ID || !AltOverlap(track, trial) {
+		return
+	}
+	st.PairChecks++
+	tmin, tmax, ok := PairConflict(track.X, track.Y, vx, vy, trial)
+	if !ok || tmin >= tmax {
+		return
+	}
+	if tmin < *earliest {
+		*earliest = tmin
+		*with = trial.ID
+	}
 }
 
 // DetectResolve runs Tasks 2 and 3 for every aircraft, mirroring the
@@ -280,9 +295,20 @@ func scan(w *airspace.World, track *airspace.Aircraft, vx, vy float64, st *Detec
 // collision flags set (the paper resolves such leftovers by altitude
 // changes, outside these tasks).
 func DetectResolve(w *airspace.World) DetectStats {
+	return DetectResolveWith(w, nil)
+}
+
+// DetectResolveWith is DetectResolve with an optional broadphase pair
+// source pruning the pair enumeration (nil means the all-pairs scan).
+// Because every source's candidate sets are exact supersets, the result
+// is identical for any source.
+func DetectResolveWith(w *airspace.World, src broadphase.PairSource) DetectStats {
+	if src != nil {
+		src.Prepare(w)
+	}
 	var st DetectStats
 	for i := range w.Aircraft {
-		resolveOne(w, &w.Aircraft[i], &st)
+		resolveOne(w, &w.Aircraft[i], &st, src)
 	}
 	return st
 }
@@ -291,11 +317,20 @@ func DetectResolve(w *airspace.World) DetectStats {
 // ablation. It marks Col/TimeTill/ColWith on each aircraft with a
 // critical conflict.
 func Detect(w *airspace.World) DetectStats {
+	return DetectWith(w, nil)
+}
+
+// DetectWith is Detect with an optional broadphase pair source (nil
+// means the all-pairs scan).
+func DetectWith(w *airspace.World, src broadphase.PairSource) DetectStats {
+	if src != nil {
+		src.Prepare(w)
+	}
 	var st DetectStats
 	for i := range w.Aircraft {
 		track := &w.Aircraft[i]
 		track.ResetConflict()
-		tmin, with, critical := scan(w, track, track.DX, track.DY, &st)
+		tmin, with, critical := scan(w, track, track.DX, track.DY, &st, src)
 		if critical {
 			st.Conflicts++
 			MarkConflict(w, track, with, tmin)
@@ -305,9 +340,9 @@ func Detect(w *airspace.World) DetectStats {
 }
 
 // resolveOne is Algorithm 2 for a single track aircraft.
-func resolveOne(w *airspace.World, track *airspace.Aircraft, st *DetectStats) {
+func resolveOne(w *airspace.World, track *airspace.Aircraft, st *DetectStats, src broadphase.PairSource) {
 	track.ResetConflict()
-	tmin, with, critical := scan(w, track, track.DX, track.DY, st)
+	tmin, with, critical := scan(w, track, track.DX, track.DY, st, src)
 	if !critical {
 		return
 	}
@@ -319,7 +354,7 @@ func resolveOne(w *airspace.World, track *airspace.Aircraft, st *DetectStats) {
 		st.Rotations++
 		v := base.Rotate(deg)
 		track.BatX, track.BatY = v.X, v.Y
-		tmin, with, critical = scan(w, track, v.X, v.Y, st)
+		tmin, with, critical = scan(w, track, v.X, v.Y, st, src)
 		if !critical {
 			// Conflict-free trial path: give the aircraft the new path
 			// and reset the collision variables (Algorithm 2, line 12).

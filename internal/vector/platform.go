@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/airspace"
+	"repro/internal/broadphase"
 	"repro/internal/radar"
 )
 
@@ -17,6 +18,10 @@ func NewPlatform(p Profile) *Platform { return &Platform{m: New(p)} }
 
 // Machine exposes the underlying machine.
 func (p *Platform) Machine() *Machine { return p.m }
+
+// SetPairSource installs a broadphase pair source on the machine (nil
+// restores the all-pairs lane sweep).
+func (p *Platform) SetPairSource(src broadphase.PairSource) { p.m.SetPairSource(src) }
 
 // Name returns the machine name.
 func (p *Platform) Name() string { return p.m.Name() }

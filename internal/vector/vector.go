@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/airspace"
+	"repro/internal/broadphase"
 	"repro/internal/geom"
 	"repro/internal/radar"
 	"repro/internal/tasks"
@@ -72,6 +73,7 @@ var AVX2Workstation = Profile{
 // Machine executes the ATM tasks in lane-blocked SIMD form.
 type Machine struct {
 	prof Profile
+	src  broadphase.PairSource
 }
 
 // New returns a machine for the profile.
@@ -84,6 +86,11 @@ func New(p Profile) *Machine {
 
 // Name returns the machine name.
 func (m *Machine) Name() string { return m.prof.Name }
+
+// SetPairSource installs a broadphase pair source for the Tasks 2-3
+// scan (nil restores the all-pairs lane sweep). Pruned scans walk the
+// candidate list through gather loads instead of contiguous blocks.
+func (m *Machine) SetPairSource(src broadphase.PairSource) { m.src = src }
 
 // Deterministic reports true for the idealized vector model (see the
 // package comment for the caveat).
@@ -209,6 +216,12 @@ const (
 	viClaim    = 2
 	viPair     = 20
 	viCommit   = 3
+	// viGather is the extra charge when a pair block is assembled with
+	// gather loads from a candidate index list instead of contiguous
+	// vector loads.
+	viGather = 4
+	// viIndex is the per-block charge of the broadphase index build.
+	viIndex = 4
 )
 
 // Track runs Task 1 with radars partitioned across cores and the
@@ -430,33 +443,68 @@ func (m *Machine) DetectResolve(w *airspace.World) (tasks.DetectStats, time.Dura
 	copy(newDX, s.dx)
 	copy(newDY, s.dy)
 
+	// Broadphase index build, charged as one lane-blocked phase.
+	if m.src != nil {
+		m.src.Prepare(w)
+		m.parallel(t, n, func(core, lo, hi int) {
+			t.vecInstr[core] += uint64((hi-lo+Lanes-1)/Lanes) * viIndex
+		})
+	}
+
 	var conflicts, rotations, resolvedCount, unresolvedCount, pairChecks int64
 
-	// scan evaluates one candidate course for track i in lane blocks.
+	// scanLane folds one trial record into the running minimum.
+	scanLane := func(i, p int, tx, ty, tdx, tdy, talt float64, vx, vy float64,
+		checks *uint64, earliest *float64, with *int32) {
+		if p == i || math.Abs(talt-s.alt[i]) >= airspace.AltBandFeet {
+			return
+		}
+		*checks++
+		trial := airspace.Aircraft{X: tx, Y: ty, DX: tdx, DY: tdy}
+		tmin, tmax, ok := tasks.PairConflict(s.x[i], s.y[i], vx, vy, &trial)
+		if ok && tmin < tmax && tmin < *earliest {
+			*earliest = tmin
+			*with = int32(p)
+		}
+	}
+
+	// scan evaluates one candidate course for track i in lane blocks:
+	// contiguous loads over the whole database, or gather loads over the
+	// broadphase candidate list.
 	scan := func(core int, i int, vx, vy float64) (earliest float64, with int32, critical bool) {
 		earliest = airspace.SafeTime
 		with = airspace.NoConflict
 		var vi, checks uint64
-		for base := 0; base < n; base += Lanes {
-			var tx, ty, tdx, tdy, talt block
-			var valid mask
-			loadField(&tx, &valid, s.x, base, n)
-			loadField(&ty, &valid, s.y, base, n)
-			loadField(&tdx, &valid, s.dx, base, n)
-			loadField(&tdy, &valid, s.dy, base, n)
-			loadField(&talt, &valid, s.alt, base, n)
-			vi += viPair
-			for l := 0; l < Lanes; l++ {
-				p := base + l
-				if !valid[l] || p == i || math.Abs(talt[l]-s.alt[i]) >= airspace.AltBandFeet {
-					continue
+		if m.src == nil {
+			for base := 0; base < n; base += Lanes {
+				var tx, ty, tdx, tdy, talt block
+				var valid mask
+				loadField(&tx, &valid, s.x, base, n)
+				loadField(&ty, &valid, s.y, base, n)
+				loadField(&tdx, &valid, s.dx, base, n)
+				loadField(&tdy, &valid, s.dy, base, n)
+				loadField(&talt, &valid, s.alt, base, n)
+				vi += viPair
+				for l := 0; l < Lanes; l++ {
+					if !valid[l] {
+						continue
+					}
+					scanLane(i, base+l, tx[l], ty[l], tdx[l], tdy[l], talt[l], vx, vy,
+						&checks, &earliest, &with)
 				}
-				checks++
-				trial := airspace.Aircraft{X: tx[l], Y: ty[l], DX: tdx[l], DY: tdy[l]}
-				tmin, tmax, ok := tasks.PairConflict(s.x[i], s.y[i], vx, vy, &trial)
-				if ok && tmin < tmax && tmin < earliest {
-					earliest = tmin
-					with = int32(p)
+			}
+		} else {
+			cand := m.src.Candidates(w, &w.Aircraft[i])
+			for base := 0; base < len(cand); base += Lanes {
+				end := base + Lanes
+				if end > len(cand) {
+					end = len(cand)
+				}
+				vi += viPair + viGather
+				for _, p32 := range cand[base:end] {
+					p := int(p32)
+					scanLane(i, p, s.x[p], s.y[p], s.dx[p], s.dy[p], s.alt[p], vx, vy,
+						&checks, &earliest, &with)
 				}
 			}
 		}
