@@ -7,9 +7,16 @@
 // Benchmark time here is host wall time for executing the simulators;
 // the modeled device durations the figures report are deterministic
 // outputs, not measurements, so -benchtime does not change the figures.
+//
+// Every benchmark reports allocations: the simulators are expected to
+// run allocation-free in steady state, so allocs/op regressions are
+// treated as performance bugs. Per-iteration world/frame restores use
+// CloneInto on pooled buffers so the harness itself does not allocate
+// either.
 package repro
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/airspace"
@@ -18,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cuda"
 	"repro/internal/experiments"
+	"repro/internal/parexec"
 	"repro/internal/platform"
 	"repro/internal/radar"
 	"repro/internal/radarnet"
@@ -41,12 +49,15 @@ func benchWorld(n int) (*airspace.World, *radar.Frame) {
 // benchTrack benchmarks one Task 1 invocation on the named platform.
 func benchTrack(b *testing.B, name string, n int) {
 	b.Helper()
+	b.ReportAllocs()
 	p := platform.MustNew(name, 1)
 	w, f := benchWorld(n)
+	wc, fc := &airspace.World{}, &radar.Frame{}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		wc, fc := w.Clone(), f.Clone()
+		w.CloneInto(wc)
+		f.CloneInto(fc)
 		b.StartTimer()
 		p.Track(wc, fc)
 	}
@@ -55,12 +66,14 @@ func benchTrack(b *testing.B, name string, n int) {
 // benchDetect benchmarks one Tasks 2+3 invocation on the named platform.
 func benchDetect(b *testing.B, name string, n int) {
 	b.Helper()
+	b.ReportAllocs()
 	p := platform.MustNew(name, 1)
 	w, _ := benchWorld(n)
+	wc := &airspace.World{}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		wc := w.Clone()
+		w.CloneInto(wc)
 		b.StartTimer()
 		p.DetectResolve(wc)
 	}
@@ -102,6 +115,7 @@ func BenchmarkFig7_Task23_TitanXPascal_8000(b *testing.B) {
 
 // Figures 8 and 9 — the measure-and-curve-fit pipelines.
 func BenchmarkFig8_FitPipeline(b *testing.B) {
+	b.ReportAllocs()
 	cfg := experiments.Config{Seed: 2018, Quick: true}
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig8(cfg); err != nil {
@@ -111,6 +125,7 @@ func BenchmarkFig8_FitPipeline(b *testing.B) {
 }
 
 func BenchmarkFig9_FitPipeline(b *testing.B) {
+	b.ReportAllocs()
 	cfg := experiments.Config{Seed: 2018, Quick: true}
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig9(cfg); err != nil {
@@ -122,6 +137,7 @@ func BenchmarkFig9_FitPipeline(b *testing.B) {
 // Table T-DL — a full deadline-accounted major cycle (16 periods of
 // Task 1 plus the fused Tasks 2+3) on the two extreme platforms.
 func BenchmarkDeadlines_MajorCycle_TitanX(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		p := platform.MustNew(platform.TitanXPascal, 1)
 		sys := core.NewSystem(p, core.Config{N: 2000, Seed: 2018})
@@ -130,6 +146,7 @@ func BenchmarkDeadlines_MajorCycle_TitanX(b *testing.B) {
 }
 
 func BenchmarkDeadlines_MajorCycle_Xeon16(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		p := platform.MustNew(platform.Xeon16, 1)
 		sys := core.NewSystem(p, core.Config{N: 2000, Seed: 2018})
@@ -139,12 +156,15 @@ func BenchmarkDeadlines_MajorCycle_Xeon16(b *testing.B) {
 
 // Table T-DET — repeated identical runs (the determinism check).
 func BenchmarkDeterminism_RepeatRun(b *testing.B) {
+	b.ReportAllocs()
 	p := platform.MustNew(platform.TitanXPascal, 1)
 	w, f := benchWorld(2000)
+	wc, fc := &airspace.World{}, &radar.Frame{}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		wc, fc := w.Clone(), f.Clone()
+		w.CloneInto(wc)
+		f.CloneInto(fc)
 		b.StartTimer()
 		p.Track(wc, fc)
 	}
@@ -152,24 +172,28 @@ func BenchmarkDeterminism_RepeatRun(b *testing.B) {
 
 // Table A-KRN — fused versus split Tasks 2+3 kernels.
 func BenchmarkKernelSplit_Fused(b *testing.B) {
+	b.ReportAllocs()
 	eng := cuda.NewEngine(cuda.GeForce9800GT)
 	w, _ := benchWorld(2000)
+	wc := &airspace.World{}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		wc := w.Clone()
+		w.CloneInto(wc)
 		b.StartTimer()
 		eng.CheckCollisionPath(wc)
 	}
 }
 
 func BenchmarkKernelSplit_Split(b *testing.B) {
+	b.ReportAllocs()
 	eng := cuda.NewEngine(cuda.GeForce9800GT)
 	w, _ := benchWorld(2000)
+	wc := &airspace.World{}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		wc := w.Clone()
+		w.CloneInto(wc)
 		b.StartTimer()
 		eng.DetectOnly(wc)
 		eng.ResolveOnly(wc)
@@ -179,13 +203,16 @@ func BenchmarkKernelSplit_Split(b *testing.B) {
 // Table A-BOX — correlation pass-count ablation.
 func benchBoxPasses(b *testing.B, passes int) {
 	b.Helper()
+	b.ReportAllocs()
 	root := rng.New(2018)
 	w := airspace.NewWorld(2000, root.Split())
 	f := radar.Generate(w, 0.8, root.Split())
+	wc, fc := &airspace.World{}, &radar.Frame{}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		wc, fc := w.Clone(), f.Clone()
+		w.CloneInto(wc)
+		f.CloneInto(fc)
 		b.StartTimer()
 		tasks.CorrelateN(wc, fc, passes)
 	}
@@ -197,51 +224,114 @@ func BenchmarkBoxPasses_3(b *testing.B) { benchBoxPasses(b, 3) }
 
 // Reference implementations, for calibrating the simulators' host cost.
 func BenchmarkReference_Task1(b *testing.B) {
+	b.ReportAllocs()
 	w, f := benchWorld(benchN)
+	wc, fc := &airspace.World{}, &radar.Frame{}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		wc, fc := w.Clone(), f.Clone()
+		w.CloneInto(wc)
+		f.CloneInto(fc)
 		b.StartTimer()
 		tasks.Correlate(wc, fc)
 	}
 }
 
 func BenchmarkReference_Task23(b *testing.B) {
+	b.ReportAllocs()
 	w, _ := benchWorld(benchN)
+	wc := &airspace.World{}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		wc := w.Clone()
+		w.CloneInto(wc)
 		b.StartTimer()
 		tasks.DetectResolve(wc)
 	}
 }
 
-// Extension — the terrain-avoidance task (related work [11], Section
-// 7.2 future work) on the reference path and the CUDA engine.
-func BenchmarkTerrain_Reference(b *testing.B) {
-	root := rng.New(2018)
-	g := terrain.Generate(4, 40, 14000, root.Split())
-	w := airspace.NewWorld(benchN, root.Split())
+// Host-parallel execution (internal/parexec) — the same reference tasks
+// driven through the explicit-pool entry points at one worker versus
+// every host core, at the mid-sweep and full-capacity points. Results
+// are bit-identical at any worker count (see
+// internal/platform/workers_test.go); only host wall time and the
+// fixed per-dispatch bookkeeping differ.
+func benchParExecTask1(b *testing.B, n, workers int) {
+	b.Helper()
+	b.ReportAllocs()
+	pool := parexec.NewPool(workers)
+	w, f := benchWorld(n)
+	wc, fc := &airspace.World{}, &radar.Frame{}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		wc := w.Clone()
+		w.CloneInto(wc)
+		f.CloneInto(fc)
+		b.StartTimer()
+		tasks.CorrelateExec(wc, fc, pool)
+	}
+}
+
+func benchParExecTask23(b *testing.B, n, workers int) {
+	b.Helper()
+	b.ReportAllocs()
+	pool := parexec.NewPool(workers)
+	w, _ := benchWorld(n)
+	wc := &airspace.World{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		w.CloneInto(wc)
+		b.StartTimer()
+		tasks.DetectResolveExec(wc, nil, pool)
+	}
+}
+
+func BenchmarkParExec_Task1_4000_Serial(b *testing.B) { benchParExecTask1(b, 4000, 1) }
+func BenchmarkParExec_Task1_4000_AllCores(b *testing.B) {
+	benchParExecTask1(b, 4000, runtime.NumCPU())
+}
+func BenchmarkParExec_Task1_16000_Serial(b *testing.B) { benchParExecTask1(b, 16000, 1) }
+func BenchmarkParExec_Task1_16000_AllCores(b *testing.B) {
+	benchParExecTask1(b, 16000, runtime.NumCPU())
+}
+func BenchmarkParExec_Task23_4000_Serial(b *testing.B) { benchParExecTask23(b, 4000, 1) }
+func BenchmarkParExec_Task23_4000_AllCores(b *testing.B) {
+	benchParExecTask23(b, 4000, runtime.NumCPU())
+}
+func BenchmarkParExec_Task23_16000_Serial(b *testing.B) { benchParExecTask23(b, 16000, 1) }
+func BenchmarkParExec_Task23_16000_AllCores(b *testing.B) {
+	benchParExecTask23(b, 16000, runtime.NumCPU())
+}
+
+// Extension — the terrain-avoidance task (related work [11], Section
+// 7.2 future work) on the reference path and the CUDA engine.
+func BenchmarkTerrain_Reference(b *testing.B) {
+	b.ReportAllocs()
+	root := rng.New(2018)
+	g := terrain.Generate(4, 40, 14000, root.Split())
+	w := airspace.NewWorld(benchN, root.Split())
+	wc := &airspace.World{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		w.CloneInto(wc)
 		b.StartTimer()
 		terrain.Avoid(wc, g, terrain.DefaultHorizonPeriods, terrain.DefaultClearanceFt)
 	}
 }
 
 func BenchmarkTerrain_CUDA(b *testing.B) {
+	b.ReportAllocs()
 	root := rng.New(2018)
 	g := terrain.Generate(4, 40, 14000, root.Split())
 	w := airspace.NewWorld(benchN, root.Split())
 	eng := cuda.NewEngine(cuda.TitanXPascal)
+	wc := &airspace.World{}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		wc := w.Clone()
+		w.CloneInto(wc)
 		b.StartTimer()
 		terrain.AvoidCUDA(eng, wc, g, terrain.DefaultHorizonPeriods, terrain.DefaultClearanceFt)
 	}
@@ -250,25 +340,29 @@ func BenchmarkTerrain_CUDA(b *testing.B) {
 // Extension — the conflict-priority display list: Batcher's bitonic
 // network on the CUDA engine vs the AP's min-reduce/step idiom.
 func BenchmarkPriority_CUDABitonic(b *testing.B) {
+	b.ReportAllocs()
 	w, _ := benchWorld(benchN)
 	tasks.Detect(w)
 	eng := cuda.NewEngine(cuda.TitanXPascal)
+	wc := &airspace.World{}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		wc := w.Clone()
+		w.CloneInto(wc)
 		b.StartTimer()
 		eng.ConflictPriority(wc)
 	}
 }
 
 func BenchmarkPriority_APMinReduce(b *testing.B) {
+	b.ReportAllocs()
 	w, _ := benchWorld(benchN)
 	tasks.Detect(w)
+	wc := &airspace.World{}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		wc := w.Clone()
+		w.CloneInto(wc)
 		m := ap.NewMachine(ap.STARAN, wc.N())
 		b.StartTimer()
 		ap.PriorityProgram(m, wc)
@@ -277,24 +371,29 @@ func BenchmarkPriority_APMinReduce(b *testing.B) {
 
 // Extension — the wide-vector machines of Section 7.2.
 func BenchmarkVector_Task1_XeonPhi(b *testing.B) {
+	b.ReportAllocs()
 	m := vector.New(vector.XeonPhi7210)
 	w, f := benchWorld(benchN)
+	wc, fc := &airspace.World{}, &radar.Frame{}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		wc, fc := w.Clone(), f.Clone()
+		w.CloneInto(wc)
+		f.CloneInto(fc)
 		b.StartTimer()
 		m.Track(wc, fc)
 	}
 }
 
 func BenchmarkVector_Task23_XeonPhi(b *testing.B) {
+	b.ReportAllocs()
 	m := vector.New(vector.XeonPhi7210)
 	w, _ := benchWorld(benchN)
+	wc := &airspace.World{}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		wc := w.Clone()
+		w.CloneInto(wc)
 		b.StartTimer()
 		m.DetectResolve(wc)
 	}
@@ -309,13 +408,15 @@ func BenchmarkVector_Task23_XeonPhi(b *testing.B) {
 // not already show.
 func benchDetectWith(b *testing.B, source string, n int) {
 	b.Helper()
+	b.ReportAllocs()
 	w, _ := benchWorld(n)
 	src := broadphase.MustNew(source)
+	wc := &airspace.World{}
 	var checks int
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		wc := w.Clone()
+		w.CloneInto(wc)
 		b.StartTimer()
 		st := tasks.DetectWith(wc, src)
 		checks = st.PairChecks
@@ -335,6 +436,7 @@ func BenchmarkBroadphase_Sweep_100000(b *testing.B) { benchDetectWith(b, broadph
 // Extension — radar-network report generation (multi-site coverage,
 // cones of silence, dropouts).
 func BenchmarkRadarNet_Generate(b *testing.B) {
+	b.ReportAllocs()
 	net := radarnet.NewGrid(4, 4, 80, 2, 0.1, radar.DefaultNoise)
 	w, _ := benchWorld(benchN)
 	r := rng.New(5)

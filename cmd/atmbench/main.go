@@ -19,6 +19,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/experiments"
+	"repro/internal/parexec"
 	"repro/internal/report"
 	"repro/internal/trace"
 )
@@ -26,14 +27,17 @@ import (
 func main() {
 	var (
 		figNum  = flag.Int("fig", 0, "regenerate one figure (4-9); 0 = all")
-		table   = flag.String("table", "", "regenerate one table (deadlines, determinism, kernelsplit, boxpasses, normalized, vector, radarnet, broadphase, capacity)")
+		table   = flag.String("table", "", "regenerate one table (deadlines, determinism, kernelsplit, boxpasses, normalized, vector, radarnet, broadphase, hostperf, capacity)")
 		quick   = flag.Bool("quick", false, "trimmed sweeps for a fast smoke run")
 		outDir  = flag.String("out", "results", "directory for CSV output")
 		cycles  = flag.Int("cycles", 0, "major cycles per measurement (0 = default)")
 		seed    = flag.Uint64("seed", 2018, "random seed")
 		noChart = flag.Bool("nochart", false, "suppress ASCII charts")
+		workers = flag.Int("workers", 0,
+			"host worker goroutines for sweeps and task execution (0 = GOMAXPROCS); results are identical at any count")
 	)
 	flag.Parse()
+	parexec.SetDefaultWorkers(*workers)
 	cfg := experiments.Config{Cycles: *cycles, Seed: *seed, Quick: *quick}
 	if err := run(cfg, *figNum, *table, *outDir, !*noChart); err != nil {
 		fmt.Fprintln(os.Stderr, "atmbench:", err)
@@ -112,6 +116,7 @@ func run(cfg experiments.Config, figNum int, table, outDir string, chart bool) e
 		"vector":      {"vector", func() error { d, err := experiments.VectorTable(cfg); return emit(d, err, emitDataset) }},
 		"radarnet":    {"radarnet", func() error { d, err := experiments.RadarNetTable(cfg); return emit(d, err, emitDataset) }},
 		"broadphase":  {"broadphase", func() error { d, err := experiments.BroadphaseTable(cfg); return emit(d, err, emitDataset) }},
+		"hostperf":    {"hostperf", func() error { d, err := experiments.HostPerfTable(cfg); return emit(d, err, emitDataset) }},
 		"capacity":    {"capacity", func() error { d, err := experiments.CapacityTable(cfg); return emit(d, err, emitDataset) }},
 	}
 
@@ -125,7 +130,7 @@ func run(cfg experiments.Config, figNum int, table, outDir string, chart bool) e
 	case table != "":
 		j, ok := tableJobs[table]
 		if !ok {
-			return fmt.Errorf("no table %q (have deadlines, determinism, kernelsplit, boxpasses, normalized, vector, radarnet, broadphase, capacity)", table)
+			return fmt.Errorf("no table %q (have deadlines, determinism, kernelsplit, boxpasses, normalized, vector, radarnet, broadphase, hostperf, capacity)", table)
 		}
 		return j.run()
 	}

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/broadphase"
 	"repro/internal/core"
+	"repro/internal/parexec"
 	"repro/internal/platform"
 	"repro/internal/replay"
 	"repro/internal/sched"
@@ -38,8 +39,11 @@ func main() {
 		verbose = flag.Bool("v", false, "print per-period detail")
 		watch   = flag.Bool("watch", false, "render an ASCII plan view of the airfield after each major cycle")
 		record  = flag.String("record", "", "record the run as JSON lines to this file")
+		workers = flag.Int("workers", 0,
+			"host worker goroutines for task execution (0 = GOMAXPROCS); results are identical at any count")
 	)
 	flag.Parse()
+	parexec.SetDefaultWorkers(*workers)
 	if err := run(*platformName, *n, *cycles, *seed, *noise, *pairSource, *verbose, *watch, *record); err != nil {
 		fmt.Fprintln(os.Stderr, "atmsim:", err)
 		os.Exit(1)

@@ -167,6 +167,17 @@ func (w *World) Clone() *World {
 	return c
 }
 
+// CloneInto copies w into dst, reusing dst's aircraft array when it is
+// large enough — the allocation-free restore used by harnesses that
+// replay the same initial world many times.
+func (w *World) CloneInto(dst *World) {
+	if cap(dst.Aircraft) < len(w.Aircraft) {
+		dst.Aircraft = make([]Aircraft, len(w.Aircraft))
+	}
+	dst.Aircraft = dst.Aircraft[:len(w.Aircraft)]
+	copy(dst.Aircraft, w.Aircraft)
+}
+
 // SetupFlight initializes one aircraft following Section 4.1:
 // position components drawn in [0, SetupHalf] with random signs, speed
 // S in [SpeedMin, SpeedMax] knots, |dx| drawn in [SpeedMin, S] with

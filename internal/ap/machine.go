@@ -29,7 +29,15 @@ package ap
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/parexec"
 )
+
+// peGrain is the chunk size the host worker pool hands out when a wide
+// operation's element loop is fanned across workers. Reductions store
+// one partial per chunk and merge them in ascending chunk order, so
+// results are bit-for-bit identical at any worker count.
+const peGrain = 1024
 
 // Profile describes one associative machine for the cost model.
 type Profile struct {
@@ -95,11 +103,17 @@ func Profiles() []Profile { return []Profile{STARAN, ClearSpeedCSX600} }
 
 // Machine is one associative processor executing over a database of n
 // records. It is not safe for concurrent use: an AP has exactly one
-// control unit.
+// control unit. The control unit stays strictly sequential; only the
+// element loops of the wide operations (which on the modeled hardware
+// execute on every PE at once) are fanned across the host worker pool,
+// with per-chunk partials merged in fixed chunk order so the outcome —
+// and the cycle tally, which is charged before the loop runs — is
+// identical at any worker count.
 type Machine struct {
 	prof   Profile
 	n      int
 	cycles uint64
+	pool   *parexec.Pool
 
 	// mask is the current responder mask over the PE array.
 	mask []bool
@@ -108,6 +122,16 @@ type Machine struct {
 	// candMask is a per-PE candidate flag used by the opt-in broadphase
 	// variant of the detection program.
 	candMask []bool
+	// candBuf is the reusable candidate buffer for the broadphase
+	// control-unit scatter.
+	candBuf []int32
+	// matchedRadar is TrackProgram's per-aircraft paired-radar table.
+	matchedRadar []int32
+
+	// Per-chunk reduction partials.
+	partBest []float64
+	partArg  []int32
+	partCnt  []int32
 }
 
 // NewMachine returns a machine sized for n records.
@@ -120,6 +144,33 @@ func NewMachine(p Profile, n int) *Machine {
 
 // Profile returns the machine's profile.
 func (m *Machine) Profile() Profile { return m.prof }
+
+// SetWorkers pins the host worker count used to execute the wide
+// element loops (n <= 0 restores the process-default pool). Cycle
+// charges are issued by the sequential control unit before each loop,
+// so modeled time is unaffected.
+func (m *Machine) SetWorkers(n int) {
+	if n <= 0 {
+		m.pool = nil
+	} else {
+		m.pool = parexec.NewPool(n)
+	}
+}
+
+// chunks returns the number of grain-sized chunks covering the PE
+// array, growing the per-chunk partial arrays to match.
+func (m *Machine) chunks() int {
+	c := (m.n + peGrain - 1) / peGrain
+	if cap(m.partBest) < c {
+		m.partBest = make([]float64, c)
+		m.partArg = make([]int32, c)
+		m.partCnt = make([]int32, c)
+	}
+	m.partBest = m.partBest[:c]
+	m.partArg = m.partArg[:c]
+	m.partCnt = m.partCnt[:c]
+	return c
+}
 
 // N returns the database size the machine is configured for.
 func (m *Machine) N() int { return m.n }
@@ -163,31 +214,43 @@ func (m *Machine) Scalar(n int) {
 // ParallelOp executes f on every record index (a masked wide operation
 // touching every PE) and charges units arithmetic steps. The mask
 // discipline is left to f so that programs read like their AP assembly:
-// the hardware executes all PEs, masked ones simply don't store.
+// the hardware executes all PEs, masked ones simply don't store. Like
+// the PE array it models, f must be element-wise independent: it may
+// only read shared state and write state owned by record i.
 func (m *Machine) ParallelOp(units int, f func(i int)) {
 	m.chargeWide(units)
-	for i := 0; i < m.n; i++ {
-		f(i)
-	}
+	parexec.Resolve(m.pool).Run(m.n, peGrain, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			f(i)
+		}
+	})
 }
 
 // Search performs an associative search: it sets the responder mask to
-// pred over all records and charges units comparison steps.
+// pred over all records and charges units comparison steps. pred must
+// be element-wise independent (see ParallelOp).
 func (m *Machine) Search(units int, pred func(i int) bool) {
 	m.chargeWide(units)
-	for i := 0; i < m.n; i++ {
-		m.mask[i] = pred(i)
-	}
+	mask := m.mask
+	parexec.Resolve(m.pool).Run(m.n, peGrain, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			mask[i] = pred(i)
+		}
+	})
 }
 
-// MaskAnd narrows the responder mask with pred (one wide step).
+// MaskAnd narrows the responder mask with pred (one wide step). pred
+// must be element-wise independent (see ParallelOp).
 func (m *Machine) MaskAnd(pred func(i int) bool) {
 	m.chargeWide(1)
-	for i := 0; i < m.n; i++ {
-		if m.mask[i] {
-			m.mask[i] = pred(i)
+	mask := m.mask
+	parexec.Resolve(m.pool).Run(m.n, peGrain, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if mask[i] {
+				mask[i] = pred(i)
+			}
 		}
-	}
+	})
 }
 
 // Mask exposes the current responder mask (read-only use by programs).
@@ -209,11 +272,20 @@ func (m *Machine) AnyResponder() bool {
 // reduction in AP hardware).
 func (m *Machine) CountResponders() int {
 	m.cycles += uint64(m.prof.ReduceCycles) * uint64(m.Tiles())
-	c := 0
-	for i := 0; i < m.n; i++ {
-		if m.mask[i] {
-			c++
+	nc := m.chunks()
+	mask, cnt := m.mask, m.partCnt
+	parexec.Resolve(m.pool).Run(m.n, peGrain, func(_, lo, hi int) {
+		c := int32(0)
+		for i := lo; i < hi; i++ {
+			if mask[i] {
+				c++
+			}
 		}
+		cnt[lo/peGrain] = c
+	})
+	c := 0
+	for k := 0; k < nc; k++ {
+		c += int(cnt[k])
 	}
 	return c
 }
@@ -239,15 +311,28 @@ func (m *Machine) ClearResponder(i int) {
 
 // MinReduce returns the minimum of value(i) over responders and the
 // lowest index attaining it (constant-time min-reduction plus select).
-// It returns (def, -1) when there are no responders.
+// It returns (def, -1) when there are no responders. Per-chunk partial
+// minima are merged in ascending chunk order with a strict compare, so
+// the lowest-index tie-break of the serial loop is reproduced exactly.
 func (m *Machine) MinReduce(def float64, value func(i int) float64) (float64, int) {
 	m.cycles += uint64(m.prof.ReduceCycles+m.prof.SelectCycles) * uint64(m.Tiles())
-	best, arg := def, -1
-	for i := 0; i < m.n; i++ {
-		if m.mask[i] {
-			if v := value(i); v < best {
-				best, arg = v, i
+	nc := m.chunks()
+	mask, pb, pa := m.mask, m.partBest, m.partArg
+	parexec.Resolve(m.pool).Run(m.n, peGrain, func(_, lo, hi int) {
+		best, arg := def, int32(-1)
+		for i := lo; i < hi; i++ {
+			if mask[i] {
+				if v := value(i); v < best {
+					best, arg = v, int32(i)
+				}
 			}
+		}
+		pb[lo/peGrain], pa[lo/peGrain] = best, arg
+	})
+	best, arg := def, -1
+	for k := 0; k < nc; k++ {
+		if pa[k] >= 0 && pb[k] < best {
+			best, arg = pb[k], int(pa[k])
 		}
 	}
 	return best, arg
@@ -257,12 +342,23 @@ func (m *Machine) MinReduce(def float64, value func(i int) float64) (float64, in
 // lowest index attaining it. It returns (def, -1) with no responders.
 func (m *Machine) MaxReduce(def float64, value func(i int) float64) (float64, int) {
 	m.cycles += uint64(m.prof.ReduceCycles+m.prof.SelectCycles) * uint64(m.Tiles())
-	best, arg := def, -1
-	for i := 0; i < m.n; i++ {
-		if m.mask[i] {
-			if v := value(i); v > best {
-				best, arg = v, i
+	nc := m.chunks()
+	mask, pb, pa := m.mask, m.partBest, m.partArg
+	parexec.Resolve(m.pool).Run(m.n, peGrain, func(_, lo, hi int) {
+		best, arg := def, int32(-1)
+		for i := lo; i < hi; i++ {
+			if mask[i] {
+				if v := value(i); v > best {
+					best, arg = v, int32(i)
+				}
 			}
+		}
+		pb[lo/peGrain], pa[lo/peGrain] = best, arg
+	})
+	best, arg := def, -1
+	for k := 0; k < nc; k++ {
+		if pa[k] >= 0 && pb[k] > best {
+			best, arg = pb[k], int(pa[k])
 		}
 	}
 	return best, arg

@@ -9,14 +9,38 @@ import (
 )
 
 // Platform adapts an associative machine profile to the scheduler's
-// platform interface.
+// platform interface. It keeps one machine per database size so
+// steady-state periods reuse the machine's scratch instead of
+// reallocating it.
 type Platform struct {
-	prof Profile
-	src  broadphase.PairSource
+	prof    Profile
+	src     broadphase.PairSource
+	workers int
+	m       *Machine
 }
 
 // NewPlatform returns a scheduler-facing platform for the profile.
 func NewPlatform(p Profile) *Platform { return &Platform{prof: p} }
+
+// machine returns the reusable machine sized for n records with a
+// zeroed cycle counter.
+func (p *Platform) machine(n int) *Machine {
+	if p.m == nil || p.m.N() != n {
+		p.m = NewMachine(p.prof, n)
+		p.m.SetWorkers(p.workers)
+	}
+	p.m.ResetCycles()
+	return p.m
+}
+
+// SetWorkers pins the host worker count used to execute the wide
+// element loops (n <= 0 restores the process-default pool).
+func (p *Platform) SetWorkers(n int) {
+	p.workers = n
+	if p.m != nil {
+		p.m.SetWorkers(n)
+	}
+}
 
 // SetPairSource installs a broadphase pair source for the detection
 // program (nil keeps the full associative scan). On a true AP this only
@@ -34,7 +58,7 @@ func (p *Platform) Deterministic() bool { return true }
 
 // Track runs Task 1 as an AP program and returns the modeled time.
 func (p *Platform) Track(w *airspace.World, f *radar.Frame) time.Duration {
-	m := NewMachine(p.prof, w.N())
+	m := p.machine(w.N())
 	TrackProgram(m, w, f)
 	return m.Time()
 }
@@ -42,7 +66,7 @@ func (p *Platform) Track(w *airspace.World, f *radar.Frame) time.Duration {
 // DetectResolve runs Tasks 2-3 as an AP program and returns the
 // modeled time.
 func (p *Platform) DetectResolve(w *airspace.World) time.Duration {
-	m := NewMachine(p.prof, w.N())
+	m := p.machine(w.N())
 	DetectResolveProgramWith(m, w, p.src)
 	return m.Time()
 }

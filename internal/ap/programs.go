@@ -41,8 +41,12 @@ func TrackProgram(m *Machine, w *airspace.World, f *radar.Frame) tasks.Correlate
 	m.Scalar(f.N())
 
 	// matchedRadar[k] remembers which radar aircraft k is paired with,
-	// so a withdrawal can release that radar for a later pass.
-	matchedRadar := make([]int32, len(ac))
+	// so a withdrawal can release that radar for a later pass. It lives
+	// on the machine so steady-state invocations allocate nothing.
+	if cap(m.matchedRadar) < len(ac) {
+		m.matchedRadar = make([]int32, len(ac))
+	}
+	matchedRadar := m.matchedRadar[:len(ac)]
 	for i := range matchedRadar {
 		matchedRadar[i] = -1
 	}
@@ -185,7 +189,8 @@ func apScan(m *Machine, w *airspace.World, idx int, vx, vy float64, st *tasks.De
 
 	var cand []int32
 	if src != nil {
-		cand = src.Candidates(w, track)
+		cand = src.AppendCandidates(m.candBuf[:0], w, track)
+		m.candBuf = cand
 		if len(m.candMask) < len(ac) {
 			m.candMask = make([]bool, len(ac))
 		}

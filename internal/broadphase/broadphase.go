@@ -75,6 +75,11 @@ const slack = 1e-9
 //     goroutines (the platform executors scan in parallel).
 //   - Returned slices must be treated as read-only and are only valid
 //     until the next Prepare.
+//   - AppendCandidates appends the same candidate set to dst and
+//     returns the extended slice. It never retains dst and writes only
+//     through it, so a caller that keeps one buffer per worker
+//     goroutine performs zero allocations per query in steady state.
+//     Like Candidates, it is safe for concurrent use after Prepare.
 type PairSource interface {
 	// Name returns the registry name of the source.
 	Name() string
@@ -82,6 +87,9 @@ type PairSource interface {
 	Prepare(w *airspace.World)
 	// Candidates returns the candidate trial indices for track.
 	Candidates(w *airspace.World, track *airspace.Aircraft) []int32
+	// AppendCandidates appends the candidate trial indices for track to
+	// dst and returns the extended slice.
+	AppendCandidates(dst []int32, w *airspace.World, track *airspace.Aircraft) []int32
 }
 
 // Reach returns the per-axis half-width of the aircraft's critical-
@@ -155,4 +163,9 @@ func (b *Brute) Prepare(w *airspace.World) {
 // scan skips it). The returned slice is shared across calls.
 func (b *Brute) Candidates(w *airspace.World, track *airspace.Aircraft) []int32 {
 	return b.all
+}
+
+// AppendCandidates appends every aircraft index to dst.
+func (b *Brute) AppendCandidates(dst []int32, w *airspace.World, track *airspace.Aircraft) []int32 {
+	return append(dst, b.all...)
 }

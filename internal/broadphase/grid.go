@@ -50,7 +50,6 @@ type Grid struct {
 // detection wall time at 10k+ aircraft).
 type gridScratch struct {
 	words []uint64
-	out   []int32
 }
 
 // NewGrid returns a grid source that derives its cell size from the
@@ -147,8 +146,15 @@ func (g *Grid) fold(c int) int {
 // the deduplicated, ascending union of their occupants. Safe for
 // concurrent use after Prepare.
 func (g *Grid) Candidates(w *airspace.World, track *airspace.Aircraft) []int32 {
+	return g.AppendCandidates(nil, w, track)
+}
+
+// AppendCandidates is Candidates emitting into the caller's buffer: the
+// bitmap walk appends straight to dst, so a reused buffer makes the
+// query allocation-free. Safe for concurrent use after Prepare.
+func (g *Grid) AppendCandidates(dst []int32, w *airspace.World, track *airspace.Aircraft) []int32 {
 	if g.n == 0 {
-		return nil
+		return dst
 	}
 	r := Reach(track)
 	cx0, cxn := g.cellSpan(track.X-r, track.X+r)
@@ -171,7 +177,6 @@ func (g *Grid) Candidates(w *airspace.World, track *airspace.Aircraft) []int32 {
 			}
 		}
 	}
-	out := sc.out[:0]
 	for wi := 0; wi < nw; wi++ {
 		word := words[wi]
 		if word == 0 {
@@ -180,13 +185,10 @@ func (g *Grid) Candidates(w *airspace.World, track *airspace.Aircraft) []int32 {
 		words[wi] = 0
 		base := int32(wi) << 6
 		for word != 0 {
-			out = append(out, base+int32(bits.TrailingZeros64(word)))
+			dst = append(dst, base+int32(bits.TrailingZeros64(word)))
 			word &= word - 1
 		}
 	}
-	res := make([]int32, len(out))
-	copy(res, out)
-	sc.out = out
 	g.scratch.Put(sc)
-	return res
+	return dst
 }

@@ -28,8 +28,23 @@ type Sweep struct {
 	// maxW is the widest x envelope in the world.
 	maxW float64
 
+	// sorter is the reusable sort.Interface over order/lox: sort.Slice
+	// allocates its closure pair on every call, which made Prepare the
+	// only allocation left in a steady-state detection period.
+	sorter sweepOrder
+
 	scratch sync.Pool // *sweepScratch, for concurrent queries
 }
+
+// sweepOrder sorts aircraft indices by ascending envelope low-x.
+type sweepOrder struct {
+	order []int32
+	lox   []float64
+}
+
+func (o *sweepOrder) Len() int           { return len(o.order) }
+func (o *sweepOrder) Less(a, b int) bool { return o.lox[o.order[a]] < o.lox[o.order[b]] }
+func (o *sweepOrder) Swap(a, b int)      { o.order[a], o.order[b] = o.order[b], o.order[a] }
 
 // sweepScratch accumulates one query's candidates as a bitmap, exactly
 // as gridScratch does: the sweep window yields hits in low-x order, and
@@ -37,7 +52,6 @@ type Sweep struct {
 // the scan's tie-break requires without a per-query comparison sort.
 type sweepScratch struct {
 	words []uint64
-	out   []int32
 }
 
 // NewSweep returns a sweep-and-prune source.
@@ -75,7 +89,8 @@ func (s *Sweep) Prepare(w *airspace.World) {
 		}
 		s.order[i] = int32(i)
 	}
-	sort.Slice(s.order, func(a, b int) bool { return s.lox[s.order[a]] < s.lox[s.order[b]] })
+	s.sorter.order, s.sorter.lox = s.order, s.lox
+	sort.Sort(&s.sorter)
 	for k, id := range s.order {
 		s.sortedLo[k] = s.lox[id]
 	}
@@ -84,8 +99,15 @@ func (s *Sweep) Prepare(w *airspace.World) {
 // Candidates returns the aircraft whose envelopes overlap the track's
 // on both axes, ascending. Safe for concurrent use after Prepare.
 func (s *Sweep) Candidates(w *airspace.World, track *airspace.Aircraft) []int32 {
+	return s.AppendCandidates(nil, w, track)
+}
+
+// AppendCandidates is Candidates emitting into the caller's buffer: the
+// bitmap walk appends straight to dst, so a reused buffer makes the
+// query allocation-free. Safe for concurrent use after Prepare.
+func (s *Sweep) AppendCandidates(dst []int32, w *airspace.World, track *airspace.Aircraft) []int32 {
 	if s.n == 0 {
-		return nil
+		return dst
 	}
 	i := int(track.ID)
 	qloX, qhiX := s.lox[i], s.hix[i]
@@ -111,7 +133,6 @@ func (s *Sweep) Candidates(w *airspace.World, track *airspace.Aircraft) []int32 
 		}
 		words[j>>6] |= 1 << (uint(j) & 63)
 	}
-	out := sc.out[:0]
 	for wi := 0; wi < nw; wi++ {
 		word := words[wi]
 		if word == 0 {
@@ -120,13 +141,10 @@ func (s *Sweep) Candidates(w *airspace.World, track *airspace.Aircraft) []int32 
 		words[wi] = 0
 		base := int32(wi) << 6
 		for word != 0 {
-			out = append(out, base+int32(bits.TrailingZeros64(word)))
+			dst = append(dst, base+int32(bits.TrailingZeros64(word)))
 			word &= word - 1
 		}
 	}
-	res := make([]int32, len(out))
-	copy(res, out)
-	sc.out = out
 	s.scratch.Put(sc)
-	return res
+	return dst
 }

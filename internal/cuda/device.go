@@ -30,9 +30,9 @@ package cuda
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 	"time"
+
+	"repro/internal/parexec"
 )
 
 // ThreadsPerBlock is fixed at 96 threads per block, the configuration
@@ -132,6 +132,11 @@ type Thread struct {
 	Block int
 	// Lane is the thread index within the block.
 	Lane int
+	// Worker is the index of the host worker executing this thread's
+	// block, in [0, host worker count). It has no device meaning;
+	// kernels use it to index per-worker scratch (candidate buffers)
+	// without allocating or locking.
+	Worker int
 
 	ops uint64
 	mem uint64
@@ -212,12 +217,22 @@ func (d *Device) OccupancyFor(threads int) Occupancy {
 }
 
 // Device executes kernels under one profile. A Device is safe for
-// sequential reuse; Launch itself runs blocks on parallel goroutines.
+// sequential reuse; Launch itself runs blocks on the shared parexec
+// worker pool.
 type Device struct {
 	Profile Profile
-	// workers caps the host goroutines used to execute blocks; 0 means
-	// GOMAXPROCS.
-	workers int
+	// pool executes blocks; nil means the process-wide default pool.
+	pool *parexec.Pool
+	// accs are the per-worker launch accumulators, reused across
+	// launches so a launch allocates nothing in steady state.
+	accs []launchAcc
+}
+
+// launchAcc collects one host worker's share of a launch's work
+// account, padded so workers don't share a cache line.
+type launchAcc struct {
+	ops, mem, maxOps, slots, waste uint64
+	_                              [24]byte
 }
 
 // NewDevice returns an execution engine for the given profile.
@@ -226,8 +241,19 @@ func NewDevice(p Profile) *Device {
 }
 
 // SetWorkers overrides the number of host goroutines used to execute
-// blocks (useful in tests); n <= 0 restores the default.
-func (d *Device) SetWorkers(n int) { d.workers = n }
+// blocks (useful in tests); n <= 0 restores the default (the shared
+// process-wide pool). Host workers never affect the modeled time: every
+// launch reduction is a sum or a max.
+func (d *Device) SetWorkers(n int) {
+	if n <= 0 {
+		d.pool = nil
+	} else {
+		d.pool = parexec.NewPool(n)
+	}
+}
+
+// Workers returns the host worker count Launch will use.
+func (d *Device) Workers() int { return parexec.Resolve(d.pool).Workers() }
 
 // Blocks returns the grid size for the given number of threads.
 func Blocks(threads int) int {
@@ -247,76 +273,71 @@ func (d *Device) Launch(name string, threads int, kernel func(t *Thread)) Kernel
 	}
 	st := KernelStats{Name: name, Threads: threads, Blocks: Blocks(threads)}
 	if threads > 0 {
-		workers := d.workers
-		if workers <= 0 {
-			workers = runtime.GOMAXPROCS(0)
+		p := parexec.Resolve(d.pool)
+		nw := p.Workers()
+		if cap(d.accs) < nw {
+			d.accs = make([]launchAcc, nw)
 		}
-		if workers > st.Blocks {
-			workers = st.Blocks
+		accs := d.accs[:nw]
+		for i := range accs {
+			accs[i] = launchAcc{}
 		}
 
-		var mu sync.Mutex
-		var wg sync.WaitGroup
-		next := make(chan int, st.Blocks)
-		for b := 0; b < st.Blocks; b++ {
-			next <- b
-		}
-		close(next)
-
-		for wkr := 0; wkr < workers; wkr++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				var ops, mem, maxOps, slots, waste uint64
-				for b := range next {
-					// Per-warp divergence accounting: threads within a
-					// block run in lane order, so warps are contiguous
-					// 32-lane groups.
-					var warpMax, warpSum uint64
-					warpLanes := 0
-					flushWarp := func() {
-						if warpLanes > 0 {
-							s := uint64(warpLanes) * warpMax
-							slots += s
-							waste += s - warpSum
-							warpMax, warpSum, warpLanes = 0, 0, 0
-						}
+		// Blocks self-schedule over the pool one at a time (the block is
+		// the engine's unit of host concurrency, as on the device). Each
+		// worker folds its blocks into its own accumulator; the merge
+		// below is all sums and maxima, so the account — and with it the
+		// modeled time — is identical at any worker count.
+		p.Run(st.Blocks, 1, func(worker, lo, hi int) {
+			a := &accs[worker]
+			for b := lo; b < hi; b++ {
+				// Per-warp divergence accounting: threads within a
+				// block run in lane order, so warps are contiguous
+				// 32-lane groups.
+				var warpMax, warpSum uint64
+				warpLanes := 0
+				flushWarp := func() {
+					if warpLanes > 0 {
+						s := uint64(warpLanes) * warpMax
+						a.slots += s
+						a.waste += s - warpSum
+						warpMax, warpSum, warpLanes = 0, 0, 0
 					}
-					for lane := 0; lane < ThreadsPerBlock; lane++ {
-						id := b*ThreadsPerBlock + lane
-						if id >= threads {
-							break
-						}
-						if lane%WarpSize == 0 {
-							flushWarp()
-						}
-						th := Thread{ID: id, Block: b, Lane: lane}
-						kernel(&th)
-						ops += th.ops
-						mem += th.mem
-						if th.ops > maxOps {
-							maxOps = th.ops
-						}
-						warpSum += th.ops
-						if th.ops > warpMax {
-							warpMax = th.ops
-						}
-						warpLanes++
+				}
+				for lane := 0; lane < ThreadsPerBlock; lane++ {
+					id := b*ThreadsPerBlock + lane
+					if id >= threads {
+						break
 					}
-					flushWarp()
+					if lane%WarpSize == 0 {
+						flushWarp()
+					}
+					th := Thread{ID: id, Block: b, Lane: lane, Worker: worker}
+					kernel(&th)
+					a.ops += th.ops
+					a.mem += th.mem
+					if th.ops > a.maxOps {
+						a.maxOps = th.ops
+					}
+					warpSum += th.ops
+					if th.ops > warpMax {
+						warpMax = th.ops
+					}
+					warpLanes++
 				}
-				mu.Lock()
-				st.TotalOps += ops
-				st.MemBytes += mem
-				st.WarpSlots += slots
-				st.WarpWaste += waste
-				if maxOps > st.MaxThreadOps {
-					st.MaxThreadOps = maxOps
-				}
-				mu.Unlock()
-			}()
+				flushWarp()
+			}
+		})
+		for i := range accs {
+			a := &accs[i]
+			st.TotalOps += a.ops
+			st.MemBytes += a.mem
+			st.WarpSlots += a.slots
+			st.WarpWaste += a.waste
+			if a.maxOps > st.MaxThreadOps {
+				st.MaxThreadOps = a.maxOps
+			}
 		}
-		wg.Wait()
 	}
 
 	st.Time = d.kernelTime(&st)

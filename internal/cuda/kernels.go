@@ -64,19 +64,34 @@ type deviceState struct {
 	// all-pairs kernel of the paper is the src == nil path.
 	src broadphase.PairSource
 
+	// candBufs are per-host-worker candidate buffers for the pruned
+	// scan, indexed by Thread.Worker.
+	candBufs []candBuf
+
 	// Aggregate task counters (atomic).
 	conflicts, rotations, resolvedCount, unresolvedCount, pairChecks int64
 }
 
-func newDeviceState(w *airspace.World, f *radar.Frame) *deviceState {
-	n := w.N()
-	s := &deviceState{w: w, f: f}
-	s.acClaims = make([]int32, n)
-	if f != nil {
-		s.radarHits = make([]int32, f.N())
-		s.radarCand = make([]int32, f.N())
+// candBuf is one worker's candidate buffer, padded so neighbouring
+// workers' slice headers don't share a cache line.
+type candBuf struct {
+	cand []int32
+	_    [40]byte
+}
+
+// grow returns s resized for len(int32 slices) n, reusing capacity.
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
 	}
-	return s
+	return s[:n]
+}
+
+func growFloat64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
 }
 
 // TrackResult reports one TrackDrone invocation.
@@ -90,10 +105,29 @@ type TrackResult struct {
 
 // Engine binds a Device to the ATM kernels and owns the persistent
 // device-resident aircraft array, as the paper's program keeps the
-// drone struct in global memory across the whole run.
+// drone struct in global memory across the whole run. The device-state
+// arrays are engine-owned scratch reused across invocations (an Engine
+// is, like the paper's program, a sequential launch pipeline), so a
+// steady-state period performs no per-launch allocations.
 type Engine struct {
-	dev *Device
-	src broadphase.PairSource
+	dev   *Device
+	src   broadphase.PairSource
+	state deviceState
+}
+
+// resetState prepares the engine's reusable device state for a new
+// launch sequence against w (and f, for Task 1).
+func (e *Engine) resetState(w *airspace.World, f *radar.Frame) *deviceState {
+	s := &e.state
+	s.w, s.f = w, f
+	s.acClaims = growInt32(s.acClaims, w.N())
+	if f != nil {
+		s.radarHits = growInt32(s.radarHits, f.N())
+		s.radarCand = growInt32(s.radarCand, f.N())
+	}
+	s.src = nil
+	s.conflicts, s.rotations, s.resolvedCount, s.unresolvedCount, s.pairChecks = 0, 0, 0, 0, 0
+	return s
 }
 
 // NewEngine returns an ATM kernel engine on the given device profile.
@@ -110,6 +144,12 @@ func (e *Engine) Name() string { return e.dev.Profile.Name }
 // modeled op counts then reflect the pruned pair enumeration plus an
 // index-build kernel per invocation.
 func (e *Engine) SetPairSource(src broadphase.PairSource) { e.src = src }
+
+// SetWorkers pins the host worker count that executes kernel blocks
+// (n <= 0 restores the process-default pool). Modeled device time is a
+// commutative fold over per-thread charges and is identical at any
+// worker count.
+func (e *Engine) SetWorkers(n int) { e.dev.SetWorkers(n) }
 
 // TrackDrone performs Task 1: it uploads the period's radar frame,
 // computes expected positions, runs the multi-pass bounding-box
@@ -128,7 +168,7 @@ func (e *Engine) SetPairSource(src broadphase.PairSource) { e.src = src }
 // two radars is withdrawn — the same rules, arbitrated per pass instead
 // of per scan step.
 func (e *Engine) TrackDrone(w *airspace.World, f *radar.Frame) TrackResult {
-	s := newDeviceState(w, f)
+	s := e.resetState(w, f)
 	res := TrackResult{}
 	n := w.N()
 	r := f.N()
@@ -349,15 +389,18 @@ func (e *Engine) ResolveOnly(w *airspace.World) DetectResult {
 // prepareDetect snapshots committed courses into device arrays.
 func (e *Engine) prepareDetect(w *airspace.World, res *DetectResult) *deviceState {
 	n := w.N()
-	s := newDeviceState(w, nil)
-	s.snapX = make([]float64, n)
-	s.snapY = make([]float64, n)
-	s.snapDX = make([]float64, n)
-	s.snapDY = make([]float64, n)
-	s.snapAlt = make([]float64, n)
-	s.newDX = make([]float64, n)
-	s.newDY = make([]float64, n)
-	s.resolved = make([]int32, n)
+	s := e.resetState(w, nil)
+	s.snapX = growFloat64(s.snapX, n)
+	s.snapY = growFloat64(s.snapY, n)
+	s.snapDX = growFloat64(s.snapDX, n)
+	s.snapDY = growFloat64(s.snapDY, n)
+	s.snapAlt = growFloat64(s.snapAlt, n)
+	s.newDX = growFloat64(s.newDX, n)
+	s.newDY = growFloat64(s.newDY, n)
+	s.resolved = growInt32(s.resolved, n)
+	if nw := e.dev.Workers(); len(s.candBufs) < nw {
+		s.candBufs = append(s.candBufs[:cap(s.candBufs)], make([]candBuf, nw-cap(s.candBufs))...)
+	}
 	ac := w.Aircraft
 	res.add(e.dev.Launch("snapshot", n, func(t *Thread) {
 		a := &ac[t.ID]
@@ -368,6 +411,7 @@ func (e *Engine) prepareDetect(w *airspace.World, res *DetectResult) *deviceStat
 		s.snapAlt[t.ID] = a.Alt
 		s.newDX[t.ID] = a.DX
 		s.newDY[t.ID] = a.DY
+		s.resolved[t.ID] = 0
 		t.Ops(opsSnapshot)
 		t.Mem(aircraftRecordBytes)
 	}))
@@ -409,7 +453,9 @@ func (s *deviceState) scanSnapshot(t *Thread, i int, vx, vy float64) (earliest f
 			scanOne(p)
 		}
 	} else {
-		for _, p := range s.src.Candidates(s.w, &s.w.Aircraft[i]) {
+		buf := &s.candBufs[t.Worker]
+		buf.cand = s.src.AppendCandidates(buf.cand[:0], s.w, &s.w.Aircraft[i])
+		for _, p := range buf.cand {
 			scanOne(int(p))
 		}
 	}

@@ -27,6 +27,10 @@ func (p *Platform) Engine() *Engine { return p.eng }
 // restores the paper's all-pairs kernels).
 func (p *Platform) SetPairSource(src broadphase.PairSource) { p.eng.SetPairSource(src) }
 
+// SetWorkers pins the host worker count used to execute kernel blocks
+// (n <= 0 restores the process-default pool).
+func (p *Platform) SetWorkers(n int) { p.eng.SetWorkers(n) }
+
 // Name returns the device name.
 func (p *Platform) Name() string { return p.eng.Name() }
 

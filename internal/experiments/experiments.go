@@ -8,6 +8,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"time"
 
 	"repro/internal/airspace"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cuda"
 	"repro/internal/fit"
+	"repro/internal/parexec"
 	"repro/internal/platform"
 	"repro/internal/radar"
 	"repro/internal/radarnet"
@@ -80,18 +82,34 @@ type Sweep struct {
 	ByPlatform map[string]map[int]core.Measurement
 }
 
-// RunSweep measures every (platform, N) cell.
+// RunSweep measures every (platform, N) cell. Cells are fanned across
+// the process-default worker pool — each cell builds its own platform
+// and world from the fixed seed, so cells are independent and every
+// measurement is identical to a serial sweep (task-level Runs issued
+// inside a busy pool simply execute inline). Results are collected
+// per cell and folded into the maps serially in the original order.
 func RunSweep(platforms []string, ns []int, cfg Config) (*Sweep, error) {
 	s := &Sweep{Platforms: platforms, Ns: ns, ByPlatform: map[string]map[int]core.Measurement{}}
-	for _, name := range platforms {
-		s.ByPlatform[name] = map[int]core.Measurement{}
-		for _, n := range ns {
-			m, err := core.Measure(name, n, cfg.cycles(), cfg.Seed)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: sweep %s/%d: %w", name, n, err)
-			}
-			s.ByPlatform[name][n] = m
+	type cell struct {
+		m   core.Measurement
+		err error
+	}
+	cells := make([]cell, len(platforms)*len(ns))
+	parexec.Default().Run(len(cells), 1, func(_, lo, hi int) {
+		for k := lo; k < hi; k++ {
+			m, err := core.Measure(platforms[k/len(ns)], ns[k%len(ns)], cfg.cycles(), cfg.Seed)
+			cells[k] = cell{m, err}
 		}
+	})
+	for k, c := range cells {
+		name, n := platforms[k/len(ns)], ns[k%len(ns)]
+		if c.err != nil {
+			return nil, fmt.Errorf("experiments: sweep %s/%d: %w", name, n, c.err)
+		}
+		if s.ByPlatform[name] == nil {
+			s.ByPlatform[name] = map[int]core.Measurement{}
+		}
+		s.ByPlatform[name][n] = c.m
 	}
 	return s, nil
 }
@@ -454,6 +472,70 @@ func BroadphaseTable(cfg Config) (*trace.Dataset, error) {
 			wall := time.Since(start)
 			d.Add("pairs:"+name, float64(n), float64(st.PairChecks))
 			d.Add("ms:"+name, float64(n), wall.Seconds()*1000)
+		}
+	}
+	return d, nil
+}
+
+// HostPerfTable — the host-execution engine benchmark behind
+// results/hostperf.csv: for each task and aircraft count it reports
+// host wall time (ms) and heap allocations per invocation at one
+// worker and at NumCPU workers. Modeled device times are untouched by
+// the engine (see TestWorkersInvariance); this table records what the
+// engine buys the *simulator* — wall-clock speed on multicore hosts
+// and allocation-free steady-state periods.
+//
+// Wall times are host measurements and vary run to run; the alloc
+// counts are the reproducible part.
+func HostPerfTable(cfg Config) (*trace.Dataset, error) {
+	d := &trace.Dataset{
+		ID:     "hostperf",
+		Title:  "Host engine: wall ms and allocs per task invocation, 1 worker vs NumCPU",
+		XLabel: "aircraft",
+		YLabel: "value",
+	}
+	ns := []int{4000, 16000}
+	iters := 5
+	if cfg.Quick {
+		ns = []int{500, 1000}
+		iters = 2
+	}
+	workerCounts := []int{1}
+	if nc := runtime.NumCPU(); nc > 1 {
+		workerCounts = append(workerCounts, nc)
+	}
+
+	for _, n := range ns {
+		root := rng.New(cfg.Seed)
+		baseW := airspace.NewWorld(n, root.Split())
+		baseF := radar.Generate(baseW, radar.DefaultNoise, root.Split())
+		var w airspace.World
+		var f radar.Frame
+
+		for _, workers := range workerCounts {
+			pool := parexec.NewPool(workers)
+			for _, bench := range []struct {
+				name string
+				run  func()
+			}{
+				{"correlate", func() { baseW.CloneInto(&w); baseF.CloneInto(&f); tasks.CorrelateNExec(&w, &f, tasks.BoxPasses, pool) }},
+				{"detect", func() { baseW.CloneInto(&w); tasks.DetectExec(&w, nil, pool) }},
+				{"detectresolve", func() { baseW.CloneInto(&w); tasks.DetectResolveExec(&w, nil, pool) }},
+			} {
+				bench.run() // warm the scratch pools and clone buffers
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				mallocs := ms.Mallocs
+				start := time.Now()
+				for it := 0; it < iters; it++ {
+					bench.run()
+				}
+				wall := time.Since(start)
+				runtime.ReadMemStats(&ms)
+				tag := fmt.Sprintf("%s:w%d", bench.name, workers)
+				d.Add("ms:"+tag, float64(n), wall.Seconds()*1000/float64(iters))
+				d.Add("allocs:"+tag, float64(n), float64(ms.Mallocs-mallocs)/float64(iters))
+			}
 		}
 	}
 	return d, nil

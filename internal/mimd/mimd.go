@@ -35,6 +35,7 @@ import (
 	"repro/internal/airspace"
 	"repro/internal/broadphase"
 	"repro/internal/geom"
+	"repro/internal/parexec"
 	"repro/internal/radar"
 	"repro/internal/rng"
 	"repro/internal/tasks"
@@ -85,10 +86,42 @@ var Xeon16 = Profile{
 // Machine executes the ATM tasks on a modeled multicore. Each Machine
 // owns a private jitter stream that advances across calls, so repeated
 // executions of the same task take different modeled times — by design.
+// A Machine is not safe for concurrent use: it owns reusable scratch
+// arrays so steady-state task invocations allocate nothing.
 type Machine struct {
 	prof   Profile
 	jitter *rng.Rand
 	src    broadphase.PairSource
+	pool   *parexec.Pool
+	scr    scratch
+}
+
+// scratch holds the machine-owned arrays reused across invocations.
+type scratch struct {
+	tally     workTally
+	locks     []sync.Mutex
+	state     []int32
+	matchedBy []int32
+
+	snapX, snapY, snapDX, snapDY, snapAlt []float64
+	newDX, newDY                          []float64
+	resolved                              []bool
+
+	bufs []candBuf
+}
+
+// candBuf is one modeled core's candidate buffer for the pruned scan,
+// padded against false sharing of the slice headers.
+type candBuf struct {
+	cand []int32
+	_    [40]byte
+}
+
+func growF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
 }
 
 // New returns a machine with the given profile; seed fixes the jitter
@@ -109,6 +142,19 @@ func (m *Machine) Name() string { return m.prof.Name }
 // memory the workers already scan.
 func (m *Machine) SetPairSource(src broadphase.PairSource) { m.src = src }
 
+// SetWorkers pins the host worker count that executes the modeled
+// cores (n <= 0 restores the process-default pool). Host workers only
+// change wall-clock speed: modeled time derives from per-core op
+// tallies over the static core partition, which is identical at any
+// worker count.
+func (m *Machine) SetWorkers(n int) {
+	if n <= 0 {
+		m.pool = nil
+	} else {
+		m.pool = parexec.NewPool(n)
+	}
+}
+
 // Deterministic reports false: MIMD timing varies run to run, which is
 // the paper's core argument against it for hard real-time systems.
 func (m *Machine) Deterministic() bool { return false }
@@ -127,7 +173,19 @@ type workTally struct {
 	locks uint64   // total lock acquisitions (atomic)
 }
 
-func newTally(cores int) *workTally { return &workTally{ops: make([]uint64, cores)} }
+// tally resets and returns the machine's reusable work tally.
+func (m *Machine) tally() *workTally {
+	t := &m.scr.tally
+	if cap(t.ops) < m.prof.Cores {
+		t.ops = make([]uint64, m.prof.Cores)
+	}
+	t.ops = t.ops[:m.prof.Cores]
+	for i := range t.ops {
+		t.ops[i] = 0
+	}
+	t.locks = 0
+	return t
+}
 
 func (t *workTally) maxOps() uint64 {
 	var m uint64
@@ -139,25 +197,23 @@ func (t *workTally) maxOps() uint64 {
 	return m
 }
 
-// parallel runs body(core, lo, hi) over a contiguous partition of
-// [0, n) and returns when all workers joined. It returns the number of
-// phases charged (always 1).
+// parallel runs body(core, lo, hi) over the static contiguous
+// partition of [0, n) across the modeled cores. The logical cores are
+// multiplexed onto the host worker pool: partitions — and therefore
+// per-core op tallies and the modeled critical path — are fixed by the
+// core count alone, while the host worker count only decides how many
+// cores make real progress at once.
 func (m *Machine) parallel(n int, body func(core, lo, hi int)) {
 	cores := m.prof.Cores
-	var wg sync.WaitGroup
-	for c := 0; c < cores; c++ {
-		lo := c * n / cores
-		hi := (c + 1) * n / cores
-		if lo == hi {
-			continue
+	parexec.Resolve(m.pool).Run(cores, 1, func(_, clo, chi int) {
+		for c := clo; c < chi; c++ {
+			lo := c * n / cores
+			hi := (c + 1) * n / cores
+			if lo < hi {
+				body(c, lo, hi)
+			}
 		}
-		wg.Add(1)
-		go func(core, lo, hi int) {
-			defer wg.Done()
-			body(core, lo, hi)
-		}(c, lo, hi)
-	}
-	wg.Wait()
+	})
 }
 
 // contention returns the modeled slowdown factor at database size n.
@@ -210,12 +266,19 @@ func (m *Machine) Track(w *airspace.World, f *radar.Frame) (tasks.CorrelateStats
 	r := f.N()
 	ac := w.Aircraft
 	reps := f.Reports
-	tally := newTally(m.prof.Cores)
+	tally := m.tally()
 	phases := 0
 
-	state := make([]int32, n)     // acFree/acMatched/acWithdrawn
-	matchedBy := make([]int32, n) // radar currently paired with aircraft
-	var locks [lockStripes]sync.Mutex
+	if cap(m.scr.state) < n {
+		m.scr.state = make([]int32, n)
+		m.scr.matchedBy = make([]int32, n)
+	}
+	if m.scr.locks == nil {
+		m.scr.locks = make([]sync.Mutex, lockStripes)
+	}
+	state := m.scr.state[:n]         // acFree/acMatched/acWithdrawn
+	matchedBy := m.scr.matchedBy[:n] // radar currently paired with aircraft
+	locks := m.scr.locks
 
 	phases++
 	m.parallel(n, func(core, lo, hi int) {
@@ -225,6 +288,7 @@ func (m *Machine) Track(w *airspace.World, f *radar.Frame) (tasks.CorrelateStats
 			a.ExpX = a.X + a.DX
 			a.ExpY = a.Y + a.DY
 			a.RMatch = airspace.MatchNone
+			state[i] = acFree
 			matchedBy[i] = -1
 			ops += opsExpected
 		}
@@ -371,17 +435,28 @@ func (m *Machine) Track(w *airspace.World, f *radar.Frame) (tasks.CorrelateStats
 func (m *Machine) DetectResolve(w *airspace.World) (tasks.DetectStats, time.Duration) {
 	n := w.N()
 	ac := w.Aircraft
-	tally := newTally(m.prof.Cores)
+	tally := m.tally()
 	phases := 0
 
-	snapX := make([]float64, n)
-	snapY := make([]float64, n)
-	snapDX := make([]float64, n)
-	snapDY := make([]float64, n)
-	snapAlt := make([]float64, n)
-	newDX := make([]float64, n)
-	newDY := make([]float64, n)
-	resolved := make([]bool, n)
+	scr := &m.scr
+	scr.snapX = growF(scr.snapX, n)
+	scr.snapY = growF(scr.snapY, n)
+	scr.snapDX = growF(scr.snapDX, n)
+	scr.snapDY = growF(scr.snapDY, n)
+	scr.snapAlt = growF(scr.snapAlt, n)
+	scr.newDX = growF(scr.newDX, n)
+	scr.newDY = growF(scr.newDY, n)
+	if cap(scr.resolved) < n {
+		scr.resolved = make([]bool, n)
+	}
+	if len(scr.bufs) < m.prof.Cores {
+		scr.bufs = make([]candBuf, m.prof.Cores)
+	}
+	snapX, snapY := scr.snapX, scr.snapY
+	snapDX, snapDY := scr.snapDX, scr.snapDY
+	snapAlt := scr.snapAlt
+	newDX, newDY := scr.newDX, scr.newDY
+	resolved := scr.resolved[:n]
 
 	phases++
 	m.parallel(n, func(core, lo, hi int) {
@@ -392,6 +467,7 @@ func (m *Machine) DetectResolve(w *airspace.World) (tasks.DetectStats, time.Dura
 			snapDX[i], snapDY[i] = a.DX, a.DY
 			snapAlt[i] = a.Alt
 			newDX[i], newDY[i] = a.DX, a.DY
+			resolved[i] = false
 			ops += opsExpected
 		}
 		tally.ops[core] += ops
@@ -424,7 +500,7 @@ func (m *Machine) DetectResolve(w *airspace.World) (tasks.DetectStats, time.Dura
 			*with = int32(p)
 		}
 	}
-	scan := func(i int, vx, vy float64, ops *uint64) (earliest float64, with int32, critical bool) {
+	scan := func(core, i int, vx, vy float64, ops *uint64) (earliest float64, with int32, critical bool) {
 		earliest = airspace.SafeTime
 		with = airspace.NoConflict
 		checks := uint64(0)
@@ -433,7 +509,9 @@ func (m *Machine) DetectResolve(w *airspace.World) (tasks.DetectStats, time.Dura
 				scanOne(i, p, vx, vy, &checks, ops, &earliest, &with)
 			}
 		} else {
-			for _, p := range m.src.Candidates(w, &ac[i]) {
+			buf := &scr.bufs[core]
+			buf.cand = m.src.AppendCandidates(buf.cand[:0], w, &ac[i])
+			for _, p := range buf.cand {
 				scanOne(i, int(p), vx, vy, &checks, ops, &earliest, &with)
 			}
 		}
@@ -448,7 +526,7 @@ func (m *Machine) DetectResolve(w *airspace.World) (tasks.DetectStats, time.Dura
 		for i := lo; i < hi; i++ {
 			a := &ac[i]
 			a.ResetConflict()
-			tmin, with, critical := scan(i, snapDX[i], snapDY[i], &ops)
+			tmin, with, critical := scan(core, i, snapDX[i], snapDY[i], &ops)
 			if !critical {
 				continue
 			}
@@ -463,7 +541,7 @@ func (m *Machine) DetectResolve(w *airspace.World) (tasks.DetectStats, time.Dura
 				ops += opsRotate
 				v := base.Rotate(deg)
 				a.BatX, a.BatY = v.X, v.Y
-				tmin, with, critical = scan(i, v.X, v.Y, &ops)
+				tmin, with, critical = scan(core, i, v.X, v.Y, &ops)
 				if !critical {
 					newDX[i], newDY[i] = v.X, v.Y
 					resolved[i] = true

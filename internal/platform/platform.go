@@ -42,6 +42,15 @@ type PairSourced interface {
 	SetPairSource(src broadphase.PairSource)
 }
 
+// Workered is implemented by platforms whose host execution can be
+// pinned to a worker count (n <= 0 restores the process-default pool).
+// Host workers change wall-clock speed only: every platform's modeled
+// time is computed from per-core or per-chunk tallies that are merged
+// deterministically, so results are identical at any worker count.
+type Workered interface {
+	SetWorkers(n int)
+}
+
 // Compile-time interface checks for the four backends.
 var (
 	_ Platform = (*cuda.Platform)(nil)
@@ -53,6 +62,11 @@ var (
 	_ PairSourced = (*ap.Platform)(nil)
 	_ PairSourced = (*mimd.Platform)(nil)
 	_ PairSourced = (*vector.Platform)(nil)
+
+	_ Workered = (*cuda.Platform)(nil)
+	_ Workered = (*ap.Platform)(nil)
+	_ Workered = (*mimd.Platform)(nil)
+	_ Workered = (*vector.Platform)(nil)
 )
 
 // Registry keys for the six machines of the paper's evaluation.

@@ -89,5 +89,15 @@ func (f *Frame) Clone() *Frame {
 	return c
 }
 
+// CloneInto copies f into dst, reusing dst's report array when it is
+// large enough (see airspace.World.CloneInto).
+func (f *Frame) CloneInto(dst *Frame) {
+	if cap(dst.Reports) < len(f.Reports) {
+		dst.Reports = make([]Report, len(f.Reports))
+	}
+	dst.Reports = dst.Reports[:len(f.Reports)]
+	copy(dst.Reports, f.Reports)
+}
+
 // N returns the number of reports in the frame.
 func (f *Frame) N() int { return len(f.Reports) }

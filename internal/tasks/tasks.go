@@ -68,18 +68,19 @@ type CorrelateStats struct {
 // field re-entry rule. The frame's MatchWith fields are updated in
 // place.
 func Correlate(w *airspace.World, f *radar.Frame) CorrelateStats {
-	return CorrelateN(w, f, BoxPasses)
+	return CorrelateNExec(w, f, BoxPasses, nil)
 }
 
 // CorrelateN is Correlate with a configurable number of bounding-box
 // passes (1 to say "no doubling"), used by the A-BOX ablation. passes
 // must be >= 1; each pass doubles the previous box.
 func CorrelateN(w *airspace.World, f *radar.Frame, passes int) CorrelateStats {
-	if passes < 1 {
-		panic("tasks: CorrelateN needs at least one pass")
-	}
-	var st CorrelateStats
+	return CorrelateNExec(w, f, passes, nil)
+}
 
+// correlateSerial is the sequential reference body of CorrelateN; the
+// host-parallel path (parallel.go) reproduces it bit for bit.
+func correlateSerial(w *airspace.World, f *radar.Frame, passes int, st *CorrelateStats) {
 	w.ComputeExpected()
 	for i := range w.Aircraft {
 		w.Aircraft[i].RMatch = airspace.MatchNone
@@ -100,13 +101,12 @@ func CorrelateN(w *airspace.World, f *radar.Frame, passes int) CorrelateStats {
 		if pending == 0 {
 			break
 		}
-		correlatePass(w, f, boxHalf, &st)
+		correlatePass(w, f, boxHalf, st)
 		boxHalf *= 2
 	}
 
-	commit(w, f, &st)
+	commit(w, f, st)
 	w.WrapAll()
-	return st
 }
 
 // correlatePass runs one bounding-box pass of Algorithm 1: every
@@ -248,44 +248,6 @@ type DetectStats struct {
 	PairChecks int
 }
 
-// scan evaluates one candidate heading (vx, vy) for the track aircraft
-// against every other aircraft — or, when a broadphase source is
-// supplied, against its candidate set — and returns the earliest
-// critical conflict, if any. It is the inner loop of Algorithm 2.
-// Candidate sets are ascending-ordered supersets of the pairs that can
-// matter (see package broadphase), so both paths return identical
-// results, tie-breaks included.
-func scan(w *airspace.World, track *airspace.Aircraft, vx, vy float64, st *DetectStats, src broadphase.PairSource) (earliest float64, with int32, critical bool) {
-	earliest = airspace.SafeTime
-	with = airspace.NoConflict
-	if src == nil {
-		for p := range w.Aircraft {
-			scanPair(track, &w.Aircraft[p], vx, vy, st, &earliest, &with)
-		}
-	} else {
-		for _, p := range src.Candidates(w, track) {
-			scanPair(track, &w.Aircraft[p], vx, vy, st, &earliest, &with)
-		}
-	}
-	return earliest, with, earliest < airspace.CriticalTime
-}
-
-// scanPair folds one trial aircraft into the running scan minimum.
-func scanPair(track, trial *airspace.Aircraft, vx, vy float64, st *DetectStats, earliest *float64, with *int32) {
-	if trial.ID == track.ID || !AltOverlap(track, trial) {
-		return
-	}
-	st.PairChecks++
-	tmin, tmax, ok := PairConflict(track.X, track.Y, vx, vy, trial)
-	if !ok || tmin >= tmax {
-		return
-	}
-	if tmin < *earliest {
-		*earliest = tmin
-		*with = trial.ID
-	}
-}
-
 // DetectResolve runs Tasks 2 and 3 for every aircraft, mirroring the
 // paper's combined CheckCollisionPath kernel: detect the earliest
 // critical conflict on the committed course; if one exists, probe
@@ -295,7 +257,7 @@ func scanPair(track, trial *airspace.Aircraft, vx, vy float64, st *DetectStats, 
 // collision flags set (the paper resolves such leftovers by altitude
 // changes, outside these tasks).
 func DetectResolve(w *airspace.World) DetectStats {
-	return DetectResolveWith(w, nil)
+	return DetectResolveExec(w, nil, nil)
 }
 
 // DetectResolveWith is DetectResolve with an optional broadphase pair
@@ -303,69 +265,20 @@ func DetectResolve(w *airspace.World) DetectStats {
 // Because every source's candidate sets are exact supersets, the result
 // is identical for any source.
 func DetectResolveWith(w *airspace.World, src broadphase.PairSource) DetectStats {
-	if src != nil {
-		src.Prepare(w)
-	}
-	var st DetectStats
-	for i := range w.Aircraft {
-		resolveOne(w, &w.Aircraft[i], &st, src)
-	}
-	return st
+	return DetectResolveExec(w, src, nil)
 }
 
 // Detect runs Task 2 only (no resolution), used by the split-kernel
 // ablation. It marks Col/TimeTill/ColWith on each aircraft with a
 // critical conflict.
 func Detect(w *airspace.World) DetectStats {
-	return DetectWith(w, nil)
+	return DetectExec(w, nil, nil)
 }
 
 // DetectWith is Detect with an optional broadphase pair source (nil
 // means the all-pairs scan).
 func DetectWith(w *airspace.World, src broadphase.PairSource) DetectStats {
-	if src != nil {
-		src.Prepare(w)
-	}
-	var st DetectStats
-	for i := range w.Aircraft {
-		track := &w.Aircraft[i]
-		track.ResetConflict()
-		tmin, with, critical := scan(w, track, track.DX, track.DY, &st, src)
-		if critical {
-			st.Conflicts++
-			MarkConflict(w, track, with, tmin)
-		}
-	}
-	return st
-}
-
-// resolveOne is Algorithm 2 for a single track aircraft.
-func resolveOne(w *airspace.World, track *airspace.Aircraft, st *DetectStats, src broadphase.PairSource) {
-	track.ResetConflict()
-	tmin, with, critical := scan(w, track, track.DX, track.DY, st, src)
-	if !critical {
-		return
-	}
-	st.Conflicts++
-	MarkConflict(w, track, with, tmin)
-
-	base := geom.Vec2{X: track.DX, Y: track.DY}
-	for _, deg := range RotationSchedule() {
-		st.Rotations++
-		v := base.Rotate(deg)
-		track.BatX, track.BatY = v.X, v.Y
-		tmin, with, critical = scan(w, track, v.X, v.Y, st, src)
-		if !critical {
-			// Conflict-free trial path: give the aircraft the new path
-			// and reset the collision variables (Algorithm 2, line 12).
-			track.DX, track.DY = v.X, v.Y
-			track.ResetConflict()
-			st.Resolved++
-			return
-		}
-		MarkConflict(w, track, with, tmin)
-	}
-	st.Unresolved++
+	return DetectExec(w, src, nil)
 }
 
 // MarkConflict records a critical conflict on the track aircraft and

@@ -23,6 +23,10 @@ func (p *Platform) Machine() *Machine { return p.m }
 // restores the all-pairs lane sweep).
 func (p *Platform) SetPairSource(src broadphase.PairSource) { p.m.SetPairSource(src) }
 
+// SetWorkers pins the host worker count used to execute the modeled
+// cores (n <= 0 restores the process-default pool).
+func (p *Platform) SetWorkers(n int) { p.m.SetWorkers(n) }
+
 // Name returns the machine name.
 func (p *Platform) Name() string { return p.m.Name() }
 

@@ -20,13 +20,13 @@ package vector
 import (
 	"fmt"
 	"math"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/airspace"
 	"repro/internal/broadphase"
 	"repro/internal/geom"
+	"repro/internal/parexec"
 	"repro/internal/radar"
 	"repro/internal/tasks"
 )
@@ -70,10 +70,32 @@ var AVX2Workstation = Profile{
 	BarrierCost: 5 * time.Microsecond,
 }
 
-// Machine executes the ATM tasks in lane-blocked SIMD form.
+// Machine executes the ATM tasks in lane-blocked SIMD form. A Machine
+// is not safe for concurrent use: it owns reusable scratch arrays so
+// steady-state task invocations allocate nothing.
 type Machine struct {
 	prof Profile
 	src  broadphase.PairSource
+	pool *parexec.Pool
+
+	soa   soa
+	tally tally
+	// Per-pass claim scratch for Track.
+	acClaims  []int32
+	radarHits []int32
+	radarCand []int32
+	// Resolution scratch for DetectResolve.
+	newDX, newDY []float64
+	resolved     []bool
+	// Per-core candidate buffers for the pruned gather scan.
+	bufs []candBuf
+}
+
+// candBuf is one modeled core's candidate buffer, padded against false
+// sharing of the slice headers.
+type candBuf struct {
+	cand []int32
+	_    [40]byte
 }
 
 // New returns a machine for the profile.
@@ -91,6 +113,18 @@ func (m *Machine) Name() string { return m.prof.Name }
 // scan (nil restores the all-pairs lane sweep). Pruned scans walk the
 // candidate list through gather loads instead of contiguous blocks.
 func (m *Machine) SetPairSource(src broadphase.PairSource) { m.src = src }
+
+// SetWorkers pins the host worker count that executes the modeled
+// cores (n <= 0 restores the process-default pool). The per-core
+// vector-instruction tallies come from the static core partition, so
+// modeled time is identical at any worker count.
+func (m *Machine) SetWorkers(n int) {
+	if n <= 0 {
+		m.pool = nil
+	} else {
+		m.pool = parexec.NewPool(n)
+	}
+}
 
 // Deterministic reports true for the idealized vector model (see the
 // package comment for the caveat).
@@ -146,16 +180,27 @@ type soa struct {
 	rmatch            []int32
 }
 
-func loadSOA(w *airspace.World) *soa {
-	n := w.N()
-	s := &soa{
-		n: n,
-		x: make([]float64, n), y: make([]float64, n),
-		dx: make([]float64, n), dy: make([]float64, n),
-		alt:  make([]float64, n),
-		expX: make([]float64, n), expY: make([]float64, n),
-		rmatch: make([]int32, n),
+func growF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
 	}
+	return s[:n]
+}
+
+// loadSOA refreshes the machine's reusable structure-of-arrays mirror
+// from the world.
+func (m *Machine) loadSOA(w *airspace.World) *soa {
+	n := w.N()
+	s := &m.soa
+	s.n = n
+	s.x, s.y = growF(s.x, n), growF(s.y, n)
+	s.dx, s.dy = growF(s.dx, n), growF(s.dy, n)
+	s.alt = growF(s.alt, n)
+	s.expX, s.expY = growF(s.expX, n), growF(s.expY, n)
+	if cap(s.rmatch) < n {
+		s.rmatch = make([]int32, n)
+	}
+	s.rmatch = s.rmatch[:n]
 	for i := range w.Aircraft {
 		a := &w.Aircraft[i]
 		s.x[i], s.y[i] = a.X, a.Y
@@ -181,23 +226,37 @@ func (t *tally) max() uint64 {
 	return m
 }
 
-// parallel splits [0, n) across the cores.
+// parallel splits [0, n) across the modeled cores using the static
+// contiguous partition, multiplexing the logical cores onto the host
+// worker pool. Partitions — and so per-core instruction tallies and
+// the modeled critical path — depend only on the core count; the host
+// worker count affects wall-clock speed alone.
 func (m *Machine) parallel(t *tally, n int, body func(core, lo, hi int)) {
 	t.phases++
-	var wg sync.WaitGroup
-	for c := 0; c < m.prof.Cores; c++ {
-		lo := c * n / m.prof.Cores
-		hi := (c + 1) * n / m.prof.Cores
-		if lo == hi {
-			continue
+	cores := m.prof.Cores
+	parexec.Resolve(m.pool).Run(cores, 1, func(_, clo, chi int) {
+		for c := clo; c < chi; c++ {
+			lo := c * n / cores
+			hi := (c + 1) * n / cores
+			if lo < hi {
+				body(c, lo, hi)
+			}
 		}
-		wg.Add(1)
-		go func(core, lo, hi int) {
-			defer wg.Done()
-			body(core, lo, hi)
-		}(c, lo, hi)
+	})
+}
+
+// newTally resets and returns the machine's reusable tally.
+func (m *Machine) newTally() *tally {
+	t := &m.tally
+	if cap(t.vecInstr) < m.prof.Cores {
+		t.vecInstr = make([]uint64, m.prof.Cores)
 	}
-	wg.Wait()
+	t.vecInstr = t.vecInstr[:m.prof.Cores]
+	for i := range t.vecInstr {
+		t.vecInstr[i] = 0
+	}
+	t.phases = 0
+	return t
 }
 
 // taskTime converts the tally into modeled time.
@@ -232,8 +291,8 @@ const (
 // and therefore the modeled time — a pure function of the workload.
 func (m *Machine) Track(w *airspace.World, f *radar.Frame) (tasks.CorrelateStats, time.Duration) {
 	var st tasks.CorrelateStats
-	s := loadSOA(w)
-	t := &tally{vecInstr: make([]uint64, m.prof.Cores)}
+	s := m.loadSOA(w)
+	t := m.newTally()
 	reps := f.Reports
 	n := s.n
 
@@ -256,9 +315,19 @@ func (m *Machine) Track(w *airspace.World, f *radar.Frame) (tasks.CorrelateStats
 	})
 	f.Reset()
 
-	acClaims := make([]int32, n)
-	radarHits := make([]int32, len(reps))
-	radarCand := make([]int32, len(reps))
+	if cap(m.acClaims) < n {
+		m.acClaims = make([]int32, n)
+	}
+	if cap(m.radarHits) < len(reps) {
+		m.radarHits = make([]int32, len(reps))
+		m.radarCand = make([]int32, len(reps))
+	}
+	acClaims := m.acClaims[:n]
+	radarHits := m.radarHits[:len(reps)]
+	radarCand := m.radarCand[:len(reps)]
+	for i := range acClaims {
+		acClaims[i] = 0
+	}
 
 	boxHalf := tasks.InitialBoxHalf
 	for pass := 0; pass < tasks.BoxPasses; pass++ {
@@ -434,14 +503,24 @@ func (m *Machine) Track(w *airspace.World, f *radar.Frame) (tasks.CorrelateStats
 // trial aircraft at a time against a pre-kernel snapshot (the same
 // snapshot discipline as the CUDA kernel).
 func (m *Machine) DetectResolve(w *airspace.World) (tasks.DetectStats, time.Duration) {
-	s := loadSOA(w)
-	t := &tally{vecInstr: make([]uint64, m.prof.Cores)}
+	s := m.loadSOA(w)
+	t := m.newTally()
 	n := s.n
-	newDX := make([]float64, n)
-	newDY := make([]float64, n)
-	resolved := make([]bool, n)
+	m.newDX = growF(m.newDX, n)
+	m.newDY = growF(m.newDY, n)
+	if cap(m.resolved) < n {
+		m.resolved = make([]bool, n)
+	}
+	if len(m.bufs) < m.prof.Cores {
+		m.bufs = make([]candBuf, m.prof.Cores)
+	}
+	newDX, newDY := m.newDX, m.newDY
+	resolved := m.resolved[:n]
 	copy(newDX, s.dx)
 	copy(newDY, s.dy)
+	for i := range resolved {
+		resolved[i] = false
+	}
 
 	// Broadphase index build, charged as one lane-blocked phase.
 	if m.src != nil {
@@ -494,7 +573,9 @@ func (m *Machine) DetectResolve(w *airspace.World) (tasks.DetectStats, time.Dura
 				}
 			}
 		} else {
-			cand := m.src.Candidates(w, &w.Aircraft[i])
+			buf := &m.bufs[core]
+			buf.cand = m.src.AppendCandidates(buf.cand[:0], w, &w.Aircraft[i])
+			cand := buf.cand
 			for base := 0; base < len(cand); base += Lanes {
 				end := base + Lanes
 				if end > len(cand) {
