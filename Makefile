@@ -1,0 +1,37 @@
+GO ?= go
+ATMLINT := bin/atmlint
+
+.PHONY: all build test vet lint lint-fixtures bench-smoke clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The vettool binary; rebuilt whenever the analyzer suite or driver
+# changes. go vet caches per-package results keyed on the binary hash
+# (-V=full), so a rebuilt tool automatically invalidates stale results.
+$(ATMLINT): $(wildcard cmd/atmlint/*.go internal/lint/*.go) go.mod
+	$(GO) build -o $(ATMLINT) ./cmd/atmlint
+
+# lint runs the atmlint analyzer suite (determinism, modeledtime,
+# noalloc, orderedmerge, atmdirective) over every package.
+lint: $(ATMLINT)
+	$(GO) vet -vettool=$(abspath $(ATMLINT)) ./...
+
+# lint-fixtures runs the analyzers' own unit tests: each analyzer is
+# exercised against testdata fixtures with // want expectations.
+lint-fixtures:
+	$(GO) test ./internal/lint/...
+
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+clean:
+	rm -rf bin

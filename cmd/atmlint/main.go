@@ -1,0 +1,308 @@
+// Command atmlint is the repository's custom vet tool: it runs the
+// internal/lint analyzer suite (determinism, modeledtime, noalloc,
+// orderedmerge) over type-checked packages.
+//
+// It speaks the cmd/go vet-tool protocol — the same contract
+// golang.org/x/tools/go/analysis/unitchecker implements, rebuilt here
+// on the standard library because this module is dependency-free:
+//
+//   - `atmlint -V=full` prints "atmlint version ... buildID=..."
+//     (cmd/go hashes the binary into its action cache key),
+//   - `atmlint -flags` prints a JSON description of the analyzer
+//     selection flags,
+//   - `atmlint [flags] <dir>/vet.cfg` analyzes one package described
+//     by the JSON config cmd/go writes: it type-checks the package
+//     against the compiler export data listed in PackageFile, runs
+//     the analyzers, writes the (empty) facts file cmd/go expects at
+//     VetxOutput, prints diagnostics to stderr as "file:line:col:
+//     message [analyzer]", and exits 2 when there are findings.
+//
+// Run it as:
+//
+//	go build -o bin/atmlint ./cmd/atmlint
+//	go vet -vettool=$(pwd)/bin/atmlint ./...
+//
+// or simply `make lint`.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// vetConfig mirrors cmd/go/internal/work.vetConfig (unknown fields in
+// newer Go releases are ignored by encoding/json).
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+	PackageVetx map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+	GoVersion   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("atmlint: ")
+
+	enabled := make(map[string]bool)
+	for _, a := range lint.Analyzers() {
+		enabled[a.Name] = true
+	}
+
+	var cfgPath string
+	jsonOut := false
+	for _, arg := range os.Args[1:] {
+		switch {
+		case arg == "-V=full" || arg == "--V=full":
+			printVersion()
+			return
+		case arg == "-flags" || arg == "--flags":
+			printFlags()
+			return
+		case arg == "-json" || arg == "--json":
+			jsonOut = true
+		case strings.HasSuffix(arg, ".cfg"):
+			cfgPath = arg
+		case strings.HasPrefix(arg, "-"):
+			// Analyzer selection: -name, -name=true, -name=false.
+			name, val, hasVal := strings.Cut(strings.TrimLeft(arg, "-"), "=")
+			if _, known := enabled[name]; known {
+				enabled[name] = !hasVal || val == "true" || val == "1"
+			}
+			// Unknown flags (e.g. future cmd/go additions) are ignored.
+		default:
+			log.Fatalf("unexpected argument %q; invoke via go vet -vettool=atmlint", arg)
+		}
+	}
+	if cfgPath == "" {
+		log.Fatalf(`invoking atmlint directly is unsupported; use "go vet -vettool=$(which atmlint) ./..." or "make lint"`)
+	}
+
+	var analyzers []*lint.Analyzer
+	for _, a := range lint.Analyzers() {
+		if enabled[a.Name] {
+			analyzers = append(analyzers, a)
+		}
+	}
+	os.Exit(run(cfgPath, analyzers, jsonOut))
+}
+
+// printVersion implements -V=full: name, version, and a content hash
+// of the executable so cmd/go's cache invalidates when the analyzers
+// change.
+func printVersion() {
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s version devel buildID=%02x\n", filepath.Base(exe), h.Sum(nil))
+}
+
+// printFlags implements -flags: cmd/go queries the tool for the flags
+// it may forward from the go vet command line.
+func printFlags() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	for _, a := range lint.Analyzers() {
+		flags = append(flags, jsonFlag{Name: a.Name, Bool: true, Usage: a.Doc})
+	}
+	data, err := json.Marshal(flags)
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+}
+
+func run(cfgPath string, analyzers []*lint.Analyzer, jsonOut bool) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		log.Printf("cannot decode vet config %s: %v", cfgPath, err)
+		return 1
+	}
+
+	// Dependencies are vetted facts-only. The atmlint analyzers use no
+	// cross-package facts, so the facts file is written empty and the
+	// package is not even type-checked — this keeps the stdlib sweep
+	// cmd/go performs for any vettool cheap.
+	if cfg.VetxOnly {
+		return writeVetx(&cfg)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var parseErrs []error
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			parseErrs = append(parseErrs, err)
+			continue
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			importPath = mapped
+		}
+		if importPath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(importPath)
+	})
+
+	var typeErrs []error
+	tcfg := &types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", goarch()),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	if cfg.GoVersion != "" {
+		tcfg.GoVersion = cfg.GoVersion
+	}
+	info := lint.NewInfo()
+	pkg, _ := tcfg.Check(cfg.ImportPath, fset, files, info)
+
+	if len(parseErrs) > 0 || len(typeErrs) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			return writeVetx(&cfg)
+		}
+		for _, err := range parseErrs {
+			log.Print(err)
+		}
+		for _, err := range typeErrs {
+			log.Print(err)
+		}
+		return 1
+	}
+
+	results := lint.Run(fset, files, pkg, info, cfg.ImportPath, analyzers)
+	if code := writeVetx(&cfg); code != 0 {
+		return code
+	}
+
+	if jsonOut {
+		return printJSON(&cfg, fset, results)
+	}
+	exit := 0
+	for _, res := range results {
+		if res.Err != nil {
+			log.Printf("analyzer %s failed: %v", res.Analyzer.Name, res.Err)
+			exit = 1
+		}
+		for _, d := range res.Diagnostics {
+			fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, res.Analyzer.Name)
+			exit = 2
+		}
+	}
+	return exit
+}
+
+// printJSON emits the analysisflags JSON tree shape:
+// {"pkg": {"analyzer": [{"posn": ..., "message": ...}]}}.
+func printJSON(cfg *vetConfig, fset *token.FileSet, results []lint.Result) int {
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	tree := map[string]map[string][]jsonDiag{}
+	for _, res := range results {
+		if len(res.Diagnostics) == 0 {
+			continue
+		}
+		byAnalyzer := tree[cfg.ID]
+		if byAnalyzer == nil {
+			byAnalyzer = map[string][]jsonDiag{}
+			tree[cfg.ID] = byAnalyzer
+		}
+		for _, d := range res.Diagnostics {
+			byAnalyzer[res.Analyzer.Name] = append(byAnalyzer[res.Analyzer.Name], jsonDiag{
+				Posn:    fset.Position(d.Pos).String(),
+				Message: d.Message,
+			})
+		}
+	}
+	out, err := json.MarshalIndent(tree, "", "\t")
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	os.Stdout.Write(out)
+	fmt.Println()
+	return 0
+}
+
+// writeVetx writes the facts file cmd/go expects to find and cache.
+// The atmlint analyzers export no facts, so the payload is a marker.
+func writeVetx(cfg *vetConfig) int {
+	if cfg.VetxOutput == "" {
+		return 0
+	}
+	if err := os.WriteFile(cfg.VetxOutput, []byte("atmlint.facts.v1\n"), 0666); err != nil {
+		log.Print(err)
+		return 1
+	}
+	return 0
+}
+
+func goarch() string {
+	if v := os.Getenv("GOARCH"); v != "" {
+		return v
+	}
+	return runtime.GOARCH
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

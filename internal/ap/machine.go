@@ -270,6 +270,8 @@ func (m *Machine) AnyResponder() bool {
 
 // CountResponders returns the number of responders (constant-time
 // reduction in AP hardware).
+//
+//atm:ordered-merge
 func (m *Machine) CountResponders() int {
 	m.cycles += uint64(m.prof.ReduceCycles) * uint64(m.Tiles())
 	nc := m.chunks()
@@ -314,6 +316,8 @@ func (m *Machine) ClearResponder(i int) {
 // It returns (def, -1) when there are no responders. Per-chunk partial
 // minima are merged in ascending chunk order with a strict compare, so
 // the lowest-index tie-break of the serial loop is reproduced exactly.
+//
+//atm:ordered-merge
 func (m *Machine) MinReduce(def float64, value func(i int) float64) (float64, int) {
 	m.cycles += uint64(m.prof.ReduceCycles+m.prof.SelectCycles) * uint64(m.Tiles())
 	nc := m.chunks()
@@ -340,6 +344,8 @@ func (m *Machine) MinReduce(def float64, value func(i int) float64) (float64, in
 
 // MaxReduce returns the maximum of value(i) over responders and the
 // lowest index attaining it. It returns (def, -1) with no responders.
+//
+//atm:ordered-merge
 func (m *Machine) MaxReduce(def float64, value func(i int) float64) (float64, int) {
 	m.cycles += uint64(m.prof.ReduceCycles+m.prof.SelectCycles) * uint64(m.Tiles())
 	nc := m.chunks()

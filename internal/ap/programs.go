@@ -24,6 +24,8 @@ const databaseFields = 10
 // sequential reference everywhere except the rare scan-order-dependent
 // tail cases of Algorithm 1; on unambiguous geometry the results are
 // identical.
+//
+//atm:modeled-time
 func TrackProgram(m *Machine, w *airspace.World, f *radar.Frame) tasks.CorrelateStats {
 	var st tasks.CorrelateStats
 	ac := w.Aircraft
@@ -251,6 +253,8 @@ func apScan(m *Machine, w *airspace.World, idx int, vx, vy float64, st *tasks.De
 //
 // Control flow is identical to the sequential reference, so results
 // agree bit-for-bit on any traffic.
+//
+//atm:modeled-time
 func DetectResolveProgram(m *Machine, w *airspace.World) tasks.DetectStats {
 	return DetectResolveProgramWith(m, w, nil)
 }
@@ -260,6 +264,8 @@ func DetectResolveProgram(m *Machine, w *airspace.World) tasks.DetectStats {
 // The in-place course commits of the sequential control flow are safe
 // under pruning because the broadphase envelopes depend only on speed,
 // which rotation preserves (see package broadphase).
+//
+//atm:modeled-time
 func DetectResolveProgramWith(m *Machine, w *airspace.World, src broadphase.PairSource) tasks.DetectStats {
 	var st tasks.DetectStats
 	m.LoadDatabase(databaseFields)

@@ -166,6 +166,8 @@ func (b *Brute) Candidates(w *airspace.World, track *airspace.Aircraft) []int32 
 }
 
 // AppendCandidates appends every aircraft index to dst.
+//
+//atm:noalloc
 func (b *Brute) AppendCandidates(dst []int32, w *airspace.World, track *airspace.Aircraft) []int32 {
 	return append(dst, b.all...)
 }

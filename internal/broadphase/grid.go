@@ -149,9 +149,24 @@ func (g *Grid) Candidates(w *airspace.World, track *airspace.Aircraft) []int32 {
 	return g.AppendCandidates(nil, w, track)
 }
 
+// getScratch returns a pooled bitmap sized for nw words; growth is the
+// cold path kept outside AppendCandidates' noalloc contract.
+func (g *Grid) getScratch(nw int) *gridScratch {
+	sc, _ := g.scratch.Get().(*gridScratch)
+	if sc == nil {
+		sc = &gridScratch{}
+	}
+	if len(sc.words) < nw {
+		sc.words = make([]uint64, nw)
+	}
+	return sc
+}
+
 // AppendCandidates is Candidates emitting into the caller's buffer: the
 // bitmap walk appends straight to dst, so a reused buffer makes the
 // query allocation-free. Safe for concurrent use after Prepare.
+//
+//atm:noalloc
 func (g *Grid) AppendCandidates(dst []int32, w *airspace.World, track *airspace.Aircraft) []int32 {
 	if g.n == 0 {
 		return dst
@@ -160,14 +175,8 @@ func (g *Grid) AppendCandidates(dst []int32, w *airspace.World, track *airspace.
 	cx0, cxn := g.cellSpan(track.X-r, track.X+r)
 	cy0, cyn := g.cellSpan(track.Y-r, track.Y+r)
 
-	sc, _ := g.scratch.Get().(*gridScratch)
-	if sc == nil {
-		sc = &gridScratch{}
-	}
 	nw := (g.n + 63) / 64
-	if len(sc.words) < nw {
-		sc.words = make([]uint64, nw)
-	}
+	sc := g.getScratch(nw)
 	words := sc.words
 	for yi := 0; yi < cyn; yi++ {
 		row := g.fold(cy0+yi) * g.nx

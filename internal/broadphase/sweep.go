@@ -102,9 +102,24 @@ func (s *Sweep) Candidates(w *airspace.World, track *airspace.Aircraft) []int32 
 	return s.AppendCandidates(nil, w, track)
 }
 
+// getScratch returns a pooled bitmap sized for nw words; growth is the
+// cold path kept outside AppendCandidates' noalloc contract.
+func (s *Sweep) getScratch(nw int) *sweepScratch {
+	sc, _ := s.scratch.Get().(*sweepScratch)
+	if sc == nil {
+		sc = &sweepScratch{}
+	}
+	if len(sc.words) < nw {
+		sc.words = make([]uint64, nw)
+	}
+	return sc
+}
+
 // AppendCandidates is Candidates emitting into the caller's buffer: the
 // bitmap walk appends straight to dst, so a reused buffer makes the
 // query allocation-free. Safe for concurrent use after Prepare.
+//
+//atm:noalloc
 func (s *Sweep) AppendCandidates(dst []int32, w *airspace.World, track *airspace.Aircraft) []int32 {
 	if s.n == 0 {
 		return dst
@@ -113,14 +128,8 @@ func (s *Sweep) AppendCandidates(dst []int32, w *airspace.World, track *airspace
 	qloX, qhiX := s.lox[i], s.hix[i]
 	qloY, qhiY := s.loy[i], s.hiy[i]
 
-	sc, _ := s.scratch.Get().(*sweepScratch)
-	if sc == nil {
-		sc = &sweepScratch{}
-	}
 	nw := (s.n + 63) / 64
-	if len(sc.words) < nw {
-		sc.words = make([]uint64, nw)
-	}
+	sc := s.getScratch(nw)
 	words := sc.words
 	start := sort.SearchFloat64s(s.sortedLo, qloX-s.maxW)
 	for k := start; k < s.n && s.sortedLo[k] <= qhiX; k++ {

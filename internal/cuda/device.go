@@ -267,6 +267,9 @@ func Blocks(threads int) int {
 // lane order; distinct blocks run concurrently. Kernels that write
 // shared state must therefore use ID-indexed writes or atomics, exactly
 // as a real CUDA kernel must.
+//
+//atm:modeled-time
+//atm:ordered-merge
 func (d *Device) Launch(name string, threads int, kernel func(t *Thread)) KernelStats {
 	if threads < 0 {
 		panic(fmt.Sprintf("cuda: Launch %q with negative thread count %d", name, threads))

@@ -167,6 +167,9 @@ func (e *Engine) SetWorkers(n int) { e.dev.SetWorkers(n) }
 // a radar with two in-box aircraft is discarded, an aircraft claimed by
 // two radars is withdrawn — the same rules, arbitrated per pass instead
 // of per scan step.
+//
+//atm:modeled-time
+//atm:allow atomic -- claim counters and the matched tally are commutative sums read only after the launch barrier; the per-pass census arbitration makes the outcome interleaving-independent
 func (e *Engine) TrackDrone(w *airspace.World, f *radar.Frame) TrackResult {
 	s := e.resetState(w, f)
 	res := TrackResult{}
@@ -346,6 +349,8 @@ func (r *DetectResult) add(st KernelStats) {
 // paper's algorithm; residual conflicts are caught on the next major
 // cycle (the paper: "sometimes the path could fix itself based on the
 // movement of the plane to collide with").
+//
+//atm:modeled-time
 func (e *Engine) CheckCollisionPath(w *airspace.World) DetectResult {
 	res := DetectResult{}
 	s := e.prepareDetect(w, &res)
@@ -359,6 +364,8 @@ func (e *Engine) CheckCollisionPath(w *airspace.World) DetectResult {
 
 // DetectOnly runs Task 2 as its own kernel (no resolution), returning
 // conflicts marked on the aircraft. Used by the split-kernel ablation.
+//
+//atm:modeled-time
 func (e *Engine) DetectOnly(w *airspace.World) DetectResult {
 	res := DetectResult{}
 	s := e.prepareDetect(w, &res)
@@ -373,6 +380,8 @@ func (e *Engine) DetectOnly(w *airspace.World) DetectResult {
 
 // ResolveOnly runs Task 3 as its own kernel over aircraft already
 // flagged by DetectOnly. Used by the split-kernel ablation.
+//
+//atm:modeled-time
 func (e *Engine) ResolveOnly(w *airspace.World) DetectResult {
 	res := DetectResult{}
 	// Host -> device: the flagged aircraft state comes back down.
@@ -428,43 +437,61 @@ func (e *Engine) prepareDetect(w *airspace.World, res *DetectResult) *deviceStat
 	return s
 }
 
+// scanAcc accumulates one thread's candidate scan: the earliest
+// critical conflict seen so far plus the op-charging tallies. It lives
+// on the scanning thread's stack so the inner fold stays allocation-
+// free at any candidate count.
+type scanAcc struct {
+	earliest float64
+	with     int32
+	checks   int
+	visited  int
+}
+
+// scanOne folds candidate aircraft p into acc for track aircraft i
+// flying course (vx, vy).
+//
+//atm:noalloc
+func (s *deviceState) scanOne(acc *scanAcc, i, p int, vx, vy float64) {
+	acc.visited++
+	if p == i || math.Abs(s.snapAlt[p]-s.snapAlt[i]) >= airspace.AltBandFeet {
+		return
+	}
+	acc.checks++
+	trial := airspace.Aircraft{X: s.snapX[p], Y: s.snapY[p], DX: s.snapDX[p], DY: s.snapDY[p]}
+	tmin, tmax, ok := tasks.PairConflict(s.snapX[i], s.snapY[i], vx, vy, &trial)
+	if ok && tmin < tmax && tmin < acc.earliest {
+		acc.earliest = tmin
+		acc.with = int32(p)
+	}
+}
+
 // scanSnapshot evaluates one candidate course for track aircraft i
 // against the snapshot and returns the earliest critical conflict.
+//
+//atm:noalloc
+//atm:allow atomic -- pairChecks is an order-independent sum read only after the launch barrier
 func (s *deviceState) scanSnapshot(t *Thread, i int, vx, vy float64) (earliest float64, with int32, critical bool) {
-	earliest = airspace.SafeTime
-	with = airspace.NoConflict
-	checks := 0
-	visited := 0
-	scanOne := func(p int) {
-		visited++
-		if p == i || math.Abs(s.snapAlt[p]-s.snapAlt[i]) >= airspace.AltBandFeet {
-			return
-		}
-		checks++
-		trial := airspace.Aircraft{X: s.snapX[p], Y: s.snapY[p], DX: s.snapDX[p], DY: s.snapDY[p]}
-		tmin, tmax, ok := tasks.PairConflict(s.snapX[i], s.snapY[i], vx, vy, &trial)
-		if ok && tmin < tmax && tmin < earliest {
-			earliest = tmin
-			with = int32(p)
-		}
-	}
+	acc := scanAcc{earliest: airspace.SafeTime, with: airspace.NoConflict}
 	if s.src == nil {
 		for p := 0; p < len(s.snapX); p++ {
-			scanOne(p)
+			s.scanOne(&acc, i, p, vx, vy)
 		}
 	} else {
 		buf := &s.candBufs[t.Worker]
 		buf.cand = s.src.AppendCandidates(buf.cand[:0], s.w, &s.w.Aircraft[i])
 		for _, p := range buf.cand {
-			scanOne(int(p))
+			s.scanOne(&acc, i, int(p), vx, vy)
 		}
 	}
-	t.Ops(checks*opsPairCheck + (visited - checks)) // skipped pairs still cost the filter compare
-	atomic.AddInt64(&s.pairChecks, int64(checks))
-	return earliest, with, earliest < airspace.CriticalTime
+	t.Ops(acc.checks*opsPairCheck + (acc.visited - acc.checks)) // skipped pairs still cost the filter compare
+	atomic.AddInt64(&s.pairChecks, int64(acc.checks))
+	return acc.earliest, acc.with, acc.earliest < airspace.CriticalTime
 }
 
 // detectResolveKernel runs the fused (or detection-only) kernel body.
+//
+//atm:allow atomic -- the conflicts counter is an order-independent sum read only after the launch barrier
 func (e *Engine) detectResolveKernel(w *airspace.World, s *deviceState, res *DetectResult, resolve bool) {
 	n := w.N()
 	ac := w.Aircraft
@@ -504,6 +531,9 @@ func (e *Engine) resolveKernel(w *airspace.World, s *deviceState, res *DetectRes
 }
 
 // resolveTrack probes the rotation schedule for one aircraft.
+//
+//atm:noalloc
+//atm:allow atomic -- rotation/resolution counters are order-independent sums read only after the launch barrier
 func (s *deviceState) resolveTrack(t *Thread, e *Engine, i int, a *airspace.Aircraft) {
 	base := geom.Vec2{X: s.snapDX[i], Y: s.snapDY[i]}
 	for _, deg := range rotationSchedule {

@@ -1,0 +1,444 @@
+// Package lint is a suite of static analyzers that turn the
+// repository's cross-cutting correctness contracts — determinism,
+// modeled-time/wall-clock separation, zero-allocation steady state,
+// and ordered partial-result merging — into compile-time checks.
+//
+// The paper's cross-architecture comparison is only meaningful because
+// every platform computes bit-identical task results under a strict
+// modeled-time accounting discipline. Those guarantees were previously
+// defended only by runtime property tests, which cannot see a bad
+// `range` over a map or a stray time.Now until it flakes. The four
+// analyzers in this package encode the invariants structurally:
+//
+//   - determinism: inside the designated deterministic packages, flags
+//     map iteration, global math/rand, wall-clock reads, raw go
+//     statements and sync primitives outside internal/parexec, and
+//     multi-case selects.
+//   - modeledtime: flags wall-clock calls reachable from functions
+//     that charge modeled device time.
+//   - noalloc: rejects heap-allocating constructs inside functions
+//     marked //atm:noalloc.
+//   - orderedmerge: functions marked //atm:ordered-merge must consume
+//     per-chunk partials with index-ascending loops and no map
+//     intermediaries.
+//
+// The analyzers run under `go vet -vettool` via cmd/atmlint (see that
+// package for the driver protocol) and in-process via linttest. The
+// framework deliberately mirrors the golang.org/x/tools/go/analysis
+// API shape so a future migration is mechanical, but it is built on
+// the standard library alone.
+//
+// # Directive grammar
+//
+// Directives are line comments of the form
+//
+//	//atm:<kind> [args] [-- justification]
+//
+// with four kinds:
+//
+//	//atm:noalloc                  — the function must not contain
+//	                                 heap-allocating constructs
+//	//atm:ordered-merge            — the function must merge partials
+//	                                 in ascending index order
+//	//atm:modeled-time             — the function is a modeled-time
+//	                                 root for the modeledtime analyzer
+//	//atm:allow <rule>[,<rule>...] -- <justification>
+//	                               — waives the named determinism or
+//	                                 modeledtime rules; the
+//	                                 justification is mandatory
+//
+// noalloc, ordered-merge, and modeled-time attach to the function
+// declaration whose doc comment contains them, or — for inline
+// closures — to the func literal that starts on the directive's line
+// or the line after it. A directive that attaches to nothing is itself
+// a diagnostic. //atm:allow applies to the whole function when it
+// appears in a function's doc comment, and to its own and the
+// following source line otherwise.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check. The shape mirrors
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Diagnostic is one reported finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Pass holds one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// PkgPath is the canonical import path ("package path") of the
+	// package under analysis; designated-package gating keys off it.
+	PkgPath string
+	// Dirs is the package's directive index, built once per package by
+	// the driver with BuildDirectives.
+	Dirs *Directives
+
+	diagnostics []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diagnostics = append(p.diagnostics, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostics returns the findings recorded so far, sorted by position.
+func (p *Pass) Diagnostics() []Diagnostic {
+	sort.SliceStable(p.diagnostics, func(i, j int) bool {
+		return p.diagnostics[i].Pos < p.diagnostics[j].Pos
+	})
+	return p.diagnostics
+}
+
+// InTestFile reports whether the file containing pos is a _test.go
+// file. The determinism and modeledtime analyzers skip test files:
+// tests legitimately use goroutines, locks, and the wall clock.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	f := p.Fset.File(pos)
+	return f != nil && strings.HasSuffix(f.Name(), "_test.go")
+}
+
+// Directive kinds.
+const (
+	KindNoalloc      = "noalloc"
+	KindOrderedMerge = "ordered-merge"
+	KindModeledTime  = "modeled-time"
+	KindAllow        = "allow"
+)
+
+// Rule names accepted by //atm:allow.
+const (
+	RuleMapRange    = "maprange"
+	RuleGlobalRand  = "globalrand"
+	RuleWallClock   = "wallclock"
+	RuleGoStmt      = "gostmt"
+	RuleSync        = "sync"
+	RuleAtomic      = "atomic"
+	RuleMultiSelect = "multiselect"
+)
+
+var knownRules = map[string]bool{
+	RuleMapRange:    true,
+	RuleGlobalRand:  true,
+	RuleWallClock:   true,
+	RuleGoStmt:      true,
+	RuleSync:        true,
+	RuleAtomic:      true,
+	RuleMultiSelect: true,
+}
+
+// A Directive is one parsed //atm: comment.
+type Directive struct {
+	Kind          string
+	Rules         []string // for allow: the waived rule names
+	Justification string   // text after " -- "
+	Pos           token.Pos
+}
+
+// Directives indexes a package's //atm: comments: directives attached
+// to function declarations and literals, and line-scoped allows.
+type Directives struct {
+	fset  *token.FileSet
+	funcs map[ast.Node][]Directive       // *ast.FuncDecl | *ast.FuncLit
+	lines map[string]map[int][]Directive // filename -> line -> allows
+	// Errors lists malformed or unattached directives; the driver
+	// reports them as diagnostics so a typoed contract cannot silently
+	// stop being checked.
+	Errors []Diagnostic
+}
+
+// parseDirective parses one comment's text, returning ok=false when the
+// comment is not an //atm: directive at all.
+func parseDirective(c *ast.Comment) (Directive, error, bool) {
+	text := c.Text
+	switch {
+	case strings.HasPrefix(text, "//"):
+		text = text[2:]
+	case strings.HasPrefix(text, "/*"):
+		text = strings.TrimSuffix(text[2:], "*/")
+	}
+	if !strings.HasPrefix(text, "atm:") {
+		return Directive{}, nil, false
+	}
+	body := strings.TrimPrefix(text, "atm:")
+	d := Directive{Pos: c.Pos()}
+	if head, just, found := strings.Cut(body, "--"); found {
+		body = head
+		d.Justification = strings.TrimSpace(just)
+	}
+	fields := strings.Fields(body)
+	if len(fields) == 0 {
+		return d, fmt.Errorf("atm: directive with no kind"), true
+	}
+	d.Kind = fields[0]
+	args := fields[1:]
+	switch d.Kind {
+	case KindNoalloc, KindOrderedMerge, KindModeledTime:
+		if len(args) > 0 {
+			return d, fmt.Errorf("atm:%s takes no arguments (got %q); justification goes after --", d.Kind, args), true
+		}
+	case KindAllow:
+		if len(args) == 0 {
+			return d, fmt.Errorf("atm:allow needs at least one rule name"), true
+		}
+		for _, a := range args {
+			for _, r := range strings.Split(a, ",") {
+				if r == "" {
+					continue
+				}
+				if !knownRules[r] {
+					return d, fmt.Errorf("atm:allow: unknown rule %q (known: maprange, globalrand, wallclock, gostmt, sync, atomic, multiselect)", r), true
+				}
+				d.Rules = append(d.Rules, r)
+			}
+		}
+		if d.Justification == "" {
+			return d, fmt.Errorf("atm:allow requires a justification after \" -- \""), true
+		}
+	default:
+		return d, fmt.Errorf("unknown atm: directive kind %q (known: noalloc, ordered-merge, modeled-time, allow)", d.Kind), true
+	}
+	return d, nil, true
+}
+
+// BuildDirectives parses and attaches every //atm: directive in files.
+func BuildDirectives(fset *token.FileSet, files []*ast.File) *Directives {
+	d := &Directives{
+		fset:  fset,
+		funcs: make(map[ast.Node][]Directive),
+		lines: make(map[string]map[int][]Directive),
+	}
+	for _, f := range files {
+		d.buildFile(f)
+	}
+	return d
+}
+
+func (d *Directives) buildFile(f *ast.File) {
+	type pending struct {
+		dir     Directive
+		comment *ast.Comment
+	}
+	consumed := make(map[*ast.Comment]bool)
+
+	attachDoc := func(n ast.Node, doc *ast.CommentGroup) {
+		if doc == nil {
+			return
+		}
+		for _, c := range doc.List {
+			dir, err, ok := parseDirective(c)
+			if !ok {
+				continue
+			}
+			consumed[c] = true
+			if err != nil {
+				d.Errors = append(d.Errors, Diagnostic{Pos: c.Pos(), Message: err.Error()})
+				continue
+			}
+			d.funcs[n] = append(d.funcs[n], dir)
+			if dir.Kind == KindAllow {
+				d.addLineAllow(dir) // also usable at its own line
+			}
+		}
+	}
+
+	// 1. Directives in function doc comments bind to the declaration.
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok {
+			attachDoc(fd, fd.Doc)
+		}
+	}
+
+	// 2. Remaining directives, indexed by the line their comment ends
+	// on, bind to a func literal starting on that line or the next.
+	var free []pending
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if consumed[c] {
+				continue
+			}
+			dir, err, ok := parseDirective(c)
+			if !ok {
+				continue
+			}
+			if err != nil {
+				consumed[c] = true
+				d.Errors = append(d.Errors, Diagnostic{Pos: c.Pos(), Message: err.Error()})
+				continue
+			}
+			free = append(free, pending{dir, c})
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		litLine := d.fset.Position(lit.Pos()).Line
+		best := -1
+		for i, p := range free {
+			if consumed[p.comment] || p.dir.Kind == KindAllow {
+				continue
+			}
+			endLine := d.fset.Position(p.comment.End()).Line
+			onSameLine := endLine == litLine && p.comment.End() < lit.Pos()
+			if onSameLine || endLine == litLine-1 {
+				best = i
+			}
+		}
+		if best >= 0 {
+			consumed[free[best].comment] = true
+			d.funcs[lit] = append(d.funcs[lit], free[best].dir)
+		}
+		return true
+	})
+
+	// 3. Leftovers: allows become line-scoped; anything else is an
+	// error — a directive that binds to nothing checks nothing.
+	for _, p := range free {
+		if consumed[p.comment] {
+			continue
+		}
+		if p.dir.Kind == KindAllow {
+			d.addLineAllow(p.dir)
+			continue
+		}
+		d.Errors = append(d.Errors, Diagnostic{
+			Pos:     p.comment.Pos(),
+			Message: fmt.Sprintf("atm:%s does not attach to any function declaration or literal (it must be in a func's doc comment or on the line before a func literal)", p.dir.Kind),
+		})
+	}
+}
+
+func (d *Directives) addLineAllow(dir Directive) {
+	posn := d.fset.Position(dir.Pos)
+	m := d.lines[posn.Filename]
+	if m == nil {
+		m = make(map[int][]Directive)
+		d.lines[posn.Filename] = m
+	}
+	// An allow on its own line covers the next line; one trailing a
+	// statement covers that statement's line.
+	m[posn.Line] = append(m[posn.Line], dir)
+	m[posn.Line+1] = append(m[posn.Line+1], dir)
+}
+
+// ForFunc returns the directives attached to a FuncDecl or FuncLit.
+func (d *Directives) ForFunc(n ast.Node) []Directive { return d.funcs[n] }
+
+// HasDirective reports whether fn carries a directive of the given kind.
+func (d *Directives) HasDirective(fn ast.Node, kind string) bool {
+	for _, dir := range d.funcs[fn] {
+		if dir.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// AnnotatedFuncs returns every FuncDecl/FuncLit carrying the given
+// directive kind, in source order.
+func (d *Directives) AnnotatedFuncs(kind string) []ast.Node {
+	var out []ast.Node
+	for n := range d.funcs {
+		if d.HasDirective(n, kind) {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+// Allowed reports whether the named rule is waived at pos: by a
+// line-scoped //atm:allow on pos's line, or by a function-scoped allow
+// on any enclosing function in stack.
+func (d *Directives) Allowed(rule string, pos token.Pos, stack []ast.Node) bool {
+	posn := d.fset.Position(pos)
+	for _, dir := range d.lines[posn.Filename][posn.Line] {
+		for _, r := range dir.Rules {
+			if r == rule {
+				return true
+			}
+		}
+	}
+	for _, fn := range stack {
+		for _, dir := range d.funcs[fn] {
+			if dir.Kind != KindAllow {
+				continue
+			}
+			for _, r := range dir.Rules {
+				if r == rule {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// isFuncNode reports whether n introduces a function scope.
+func isFuncNode(n ast.Node) bool {
+	switch n.(type) {
+	case *ast.FuncDecl, *ast.FuncLit:
+		return true
+	}
+	return false
+}
+
+// WalkFuncStack traverses root calling visit with the stack of
+// enclosing function nodes (outermost first, not including n itself).
+// Returning false from visit prunes the subtree.
+func WalkFuncStack(root ast.Node, visit func(n ast.Node, stack []ast.Node) bool) {
+	var nodes []ast.Node
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			last := nodes[len(nodes)-1]
+			nodes = nodes[:len(nodes)-1]
+			if isFuncNode(last) {
+				stack = stack[:len(stack)-1]
+			}
+			return true
+		}
+		if !visit(n, stack) {
+			return false
+		}
+		nodes = append(nodes, n)
+		if isFuncNode(n) {
+			stack = append(stack, n)
+		}
+		return true
+	})
+}
+
+// pkgNameOf resolves a selector's qualifier to an imported package
+// path, or "" when x is not a package qualifier.
+func pkgNameOf(info *types.Info, x ast.Expr) string {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}

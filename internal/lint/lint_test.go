@@ -1,0 +1,98 @@
+package lint_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestDeterminism(t *testing.T) {
+	linttest.Run(t, "testdata/src/determinism", "repro/internal/tasks", lint.Determinism)
+}
+
+// TestDeterminismParexec checks the carve-out: internal/parexec owns
+// goroutines and sync primitives, but map iteration stays banned.
+func TestDeterminismParexec(t *testing.T) {
+	linttest.Run(t, "testdata/src/determinism_parexec", "repro/internal/parexec", lint.Determinism)
+}
+
+// TestDeterminismNonDesignated checks the gate: outside the designated
+// packages the analyzer reports nothing at all.
+func TestDeterminismNonDesignated(t *testing.T) {
+	linttest.Run(t, "testdata/src/determinism_clean", "repro/internal/viz", lint.Determinism)
+}
+
+func TestModeledTime(t *testing.T) {
+	linttest.Run(t, "testdata/src/modeledtime", "repro/internal/cuda", lint.ModeledTime)
+}
+
+// TestModeledTimeNonPlatform checks that Track/DetectResolve methods
+// root the analysis only inside the platform packages: outside them,
+// with no //atm:modeled-time directive, nothing is reachable from a
+// root and wall-clock reads are fine (that is host benchmarking code).
+func TestModeledTimeNonPlatform(t *testing.T) {
+	linttest.Run(t, "testdata/src/modeledtime_nonplatform", "repro/internal/report", lint.ModeledTime)
+}
+
+func TestNoalloc(t *testing.T) {
+	linttest.Run(t, "testdata/src/noalloc", "repro/internal/tasks", lint.Noalloc)
+}
+
+func TestOrderedMerge(t *testing.T) {
+	linttest.Run(t, "testdata/src/orderedmerge", "repro/internal/tasks", lint.OrderedMerge)
+}
+
+// TestDirectiveErrors checks that malformed and dangling directives
+// are surfaced: a typoed directive must never silently stop enforcing
+// its contract. The diagnostics land on the directive comments
+// themselves, so this asserts on BuildDirectives directly rather than
+// through // want comments.
+func TestDirectiveErrors(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "testdata/src/directives/directives.go", nil, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := lint.BuildDirectives(fset, []*ast.File{f})
+	wantSubstrings := []string{
+		`unknown atm: directive kind "nosuchkind"`,
+		`atm:noalloc takes no arguments`,
+		`atm:allow requires a justification`,
+		`atm:allow: unknown rule "nosuchrule"`,
+		`atm:noalloc does not attach to any function`,
+	}
+	if len(dirs.Errors) != len(wantSubstrings) {
+		for _, e := range dirs.Errors {
+			t.Logf("got: %s: %s", fset.Position(e.Pos), e.Message)
+		}
+		t.Fatalf("got %d directive errors, want %d", len(dirs.Errors), len(wantSubstrings))
+	}
+	for i, want := range wantSubstrings {
+		if !strings.Contains(dirs.Errors[i].Message, want) {
+			t.Errorf("error %d = %q, want substring %q", i, dirs.Errors[i].Message, want)
+		}
+	}
+}
+
+// TestSuiteComplete pins the analyzer roster: the vettool's flag
+// protocol and CI both key off these names.
+func TestSuiteComplete(t *testing.T) {
+	want := []string{"atmdirective", "determinism", "modeledtime", "noalloc", "orderedmerge"}
+	got := lint.Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("Analyzers()[%d].Name = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no Doc", a.Name)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Package linttest runs lint analyzers over fixture packages and
+// checks their diagnostics against // want comments, in the style of
+// golang.org/x/tools/go/analysis/analysistest but built on the
+// standard library alone.
+//
+// A fixture is a directory of .go files (conventionally under
+// testdata/src/<name>). Lines that should be flagged carry a trailing
+// comment of the form
+//
+//	x := rand.Intn(3) // want "math/rand is globally seeded"
+//
+// where each quoted string is an uninterpreted substring-regexp that
+// must match the message of one diagnostic reported on that line. A
+// line may carry several quoted patterns for several diagnostics.
+// Diagnostics with no matching want, and wants with no matching
+// diagnostic, fail the test.
+//
+// Fixtures are type-checked with the "source" importer against GOROOT,
+// so they may import standard-library packages only. The package path
+// the analyzers see is chosen by the caller, which is how fixtures
+// exercise designated-package gating (e.g. a fixture analyzed as
+// "repro/internal/tasks" versus one analyzed as "repro/internal/viz").
+package linttest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// wantRe extracts the quoted patterns of a // want comment.
+var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run analyzes the fixture directory as though it were the package
+// with import path pkgPath and checks diagnostics against the
+// fixture's // want comments.
+func Run(t *testing.T, dir, pkgPath string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no .go files in fixture dir %s", dir)
+	}
+
+	// Collect // want expectations.
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(strings.TrimPrefix(text, "/*"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", posn, m[1], err)
+					}
+					wants = append(wants, &expectation{file: posn.Filename, line: posn.Line, pattern: re})
+				}
+			}
+		}
+	}
+
+	info := lint.NewInfo()
+	cfg := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+		Error:    func(err error) { t.Errorf("fixture type error: %v", err) },
+	}
+	pkg, err := cfg.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+
+	results := lint.Run(fset, files, pkg, info, pkgPath, analyzers)
+	for _, res := range results {
+		if res.Err != nil {
+			t.Errorf("analyzer %s: %v", res.Analyzer.Name, res.Err)
+		}
+		for _, d := range res.Diagnostics {
+			posn := fset.Position(d.Pos)
+			if !claim(wants, posn.Filename, posn.Line, d.Message) {
+				t.Errorf("%s: unexpected diagnostic [%s]: %s", posn, res.Analyzer.Name, d.Message)
+			}
+		}
+	}
+	sort.SliceStable(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation satisfied by a
+// diagnostic at (file, line) with the given message.
+func claim(wants []*expectation, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.pattern.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// ModeledTimePackages are the packages that charge modeled device
+// time. Methods named Track or DetectResolve in these packages are
+// modeled-time roots automatically (they implement the
+// platform.Platform contract); additional roots — kernel-launch and
+// program entry points — carry //atm:modeled-time.
+var ModeledTimePackages = map[string]bool{
+	"repro/internal/cuda":     true,
+	"repro/internal/ap":       true,
+	"repro/internal/mimd":     true,
+	"repro/internal/vector":   true,
+	"repro/internal/platform": true,
+}
+
+// ModeledTime proves the separation of host timing from modeled
+// timing: no function reachable from a modeled-time root may read the
+// wall clock. Reachability is computed over the package-local static
+// call graph (function literals nested in a reachable function are
+// walked as part of it), which matches how the executors are built:
+// every modeled-time figure is produced inside one platform package
+// from operation tallies.
+var ModeledTime = &Analyzer{
+	Name: "modeledtime",
+	Doc:  "flag wall-clock calls reachable from functions that charge modeled device time",
+	Run:  runModeledTime,
+}
+
+func runModeledTime(pass *Pass) error {
+	type fn struct {
+		decl *ast.FuncDecl
+		obj  *types.Func
+	}
+	var fns []fn
+	byObj := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fns = append(fns, fn{fd, obj})
+			byObj[obj] = fd
+		}
+	}
+
+	// Roots: //atm:modeled-time directives, plus Track/DetectResolve
+	// methods in the platform packages.
+	rootOf := make(map[*types.Func]*types.Func) // reached fn -> root that reached it
+	var queue []*types.Func
+	for _, f := range fns {
+		isRoot := pass.Dirs.HasDirective(f.decl, KindModeledTime)
+		if !isRoot && ModeledTimePackages[pass.PkgPath] && f.decl.Recv != nil &&
+			(f.decl.Name.Name == "Track" || f.decl.Name.Name == "DetectResolve") {
+			isRoot = true
+		}
+		if isRoot {
+			rootOf[f.obj] = f.obj
+			queue = append(queue, f.obj)
+		}
+	}
+	if len(queue) == 0 {
+		return nil
+	}
+
+	// Package-local static call graph. Any reference to a same-package
+	// function — direct call, method call, or function value — is an
+	// edge; that is conservative in exactly the right direction.
+	edges := make(map[*types.Func][]*types.Func)
+	for _, f := range fns {
+		if f.decl.Body == nil {
+			continue
+		}
+		ast.Inspect(f.decl.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			callee, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok {
+				return true
+			}
+			if _, local := byObj[callee]; local {
+				edges[f.obj] = append(edges[f.obj], callee)
+			}
+			return true
+		})
+	}
+	sort.SliceStable(queue, func(i, j int) bool { return queue[i].Pos() < queue[j].Pos() })
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range edges[cur] {
+			if _, seen := rootOf[next]; !seen {
+				rootOf[next] = rootOf[cur]
+				queue = append(queue, next)
+			}
+		}
+	}
+
+	// Flag wall-clock selector uses in every reachable function.
+	for _, f := range fns {
+		root, reached := rootOf[f.obj]
+		if !reached || f.decl.Body == nil {
+			continue
+		}
+		WalkFuncStack(f.decl, func(n ast.Node, stack []ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if pkgNameOf(pass.TypesInfo, sel.X) == "time" && wallClockFuncs[sel.Sel.Name] {
+				if !pass.Dirs.Allowed(RuleWallClock, sel.Pos(), stack) {
+					via := ""
+					if root != f.obj {
+						via = " via " + f.obj.Name()
+					}
+					pass.Reportf(sel.Pos(), "time.%s is reachable from modeled-time root %s%s; modeled device time must be a pure function of operation tallies, never the host clock (waive with //atm:allow wallclock -- why)", sel.Sel.Name, root.Name(), via)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

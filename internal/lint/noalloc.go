@@ -1,0 +1,296 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Noalloc turns the repository's "~0 allocs/op in steady state"
+// benchmarks into a compile-time contract: a function marked
+// //atm:noalloc must not contain constructs the escape analyzer
+// cannot keep off the heap —
+//
+//   - make of any slice, map, or channel, and map/chan literals
+//   - new(...)
+//   - append that grows a slice born empty in the same function
+//   - closure literals (each evaluation may allocate a closure object)
+//   - go statements (each spawn allocates a goroutine)
+//   - interface boxing of non-pointer values
+//   - fmt/log calls and string concatenation / string<->[]byte
+//     conversions
+//
+// Growing caller-owned or machine-owned scratch (appending through a
+// parameter, a field, or a reslice of either) is allowed: that is the
+// repository's steady-state-zero-alloc idiom, where capacity survives
+// across invocations.
+var Noalloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "reject heap-allocating constructs in functions marked //atm:noalloc",
+	Run:  runNoalloc,
+}
+
+func runNoalloc(pass *Pass) error {
+	for _, fn := range pass.Dirs.AnnotatedFuncs(KindNoalloc) {
+		checkNoalloc(pass, fn)
+	}
+	return nil
+}
+
+// funcParts extracts the body and signature of a FuncDecl or FuncLit.
+func funcParts(pass *Pass, fn ast.Node) (*ast.BlockStmt, *types.Signature) {
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+			sig, _ := obj.Type().(*types.Signature)
+			return fn.Body, sig
+		}
+		return fn.Body, nil
+	case *ast.FuncLit:
+		if tv, ok := pass.TypesInfo.Types[fn]; ok && tv.Type != nil {
+			sig, _ := tv.Type.Underlying().(*types.Signature)
+			return fn.Body, sig
+		}
+		return fn.Body, nil
+	}
+	return nil, nil
+}
+
+func checkNoalloc(pass *Pass, fn ast.Node) {
+	body, sig := funcParts(pass, fn)
+	if body == nil {
+		return
+	}
+	fresh := collectFreshEmptySlices(pass, body)
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "atm:noalloc: closure literal may allocate per evaluation; hoist it out of the hot path or pass explicit state")
+			return false // its body is a different function
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "atm:noalloc: go statement allocates a goroutine; hot paths must run on the caller or the parexec pool")
+			return false
+		case *ast.CompositeLit:
+			if tv, ok := pass.TypesInfo.Types[n]; ok && tv.Type != nil {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(), "atm:noalloc: map literal allocates; use index-addressed scratch slices")
+					return false
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := pass.TypesInfo.Types[n]; ok && isString(tv.Type) {
+					pass.Reportf(n.Pos(), "atm:noalloc: string concatenation allocates")
+				}
+			}
+		case *ast.CallExpr:
+			checkNoallocCall(pass, n, fresh)
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if len(n.Lhs) != len(n.Rhs) {
+					break // multi-value assignment: types come from a call
+				}
+				if dst := lhsType(pass, n.Lhs[i]); dst != nil {
+					reportBoxing(pass, dst, rhs, "assignment")
+				}
+			}
+		case *ast.ValueSpec:
+			if n.Type != nil {
+				if tv, ok := pass.TypesInfo.Types[n.Type]; ok {
+					for _, val := range n.Values {
+						reportBoxing(pass, tv.Type, val, "assignment")
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			if sig == nil || sig.Results() == nil || len(n.Results) != sig.Results().Len() {
+				break
+			}
+			for i, res := range n.Results {
+				reportBoxing(pass, sig.Results().At(i).Type(), res, "return")
+			}
+		}
+		return true
+	})
+}
+
+// collectFreshEmptySlices finds local slice variables that start with
+// no backing array — `var x []T`, `x := []T{}`, `x := []T(nil)` —
+// so appends to them are guaranteed heap growth.
+func collectFreshEmptySlices(pass *Pass, body *ast.BlockStmt) map[*types.Var]bool {
+	fresh := make(map[*types.Var]bool)
+	mark := func(name *ast.Ident, init ast.Expr) {
+		obj, ok := pass.TypesInfo.Defs[name].(*types.Var)
+		if !ok {
+			return
+		}
+		if _, isSlice := obj.Type().Underlying().(*types.Slice); !isSlice {
+			return
+		}
+		if init == nil {
+			fresh[obj] = true // var x []T
+			return
+		}
+		if lit, ok := ast.Unparen(init).(*ast.CompositeLit); ok && len(lit.Elts) == 0 {
+			fresh[obj] = true // x := []T{}
+			return
+		}
+		if tv, ok := pass.TypesInfo.Types[ast.Unparen(init)]; ok && tv.IsNil() {
+			fresh[obj] = true
+		}
+		if call, ok := ast.Unparen(init).(*ast.CallExpr); ok {
+			// conversion []T(nil)
+			if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+				if atv, ok := pass.TypesInfo.Types[call.Args[0]]; ok && atv.IsNil() {
+					fresh[obj] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE && len(n.Lhs) == len(n.Rhs) {
+				for i, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						mark(id, n.Rhs[i])
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				var init ast.Expr
+				if i < len(n.Values) {
+					init = n.Values[i]
+				}
+				mark(name, init)
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+func checkNoallocCall(pass *Pass, call *ast.CallExpr, fresh map[*types.Var]bool) {
+	// Type conversions: string <-> []byte/[]rune copy.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := tv.Type
+		if atv, ok := pass.TypesInfo.Types[call.Args[0]]; ok && atv.Type != nil {
+			from := atv.Type
+			if (isString(to) && isByteOrRuneSlice(from)) || (isByteOrRuneSlice(to) && isString(from)) {
+				pass.Reportf(call.Pos(), "atm:noalloc: conversion between string and byte/rune slice copies and allocates")
+			}
+			reportBoxing(pass, to, call.Args[0], "conversion")
+		}
+		return
+	}
+
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				pass.Reportf(call.Pos(), "atm:noalloc: make allocates; grow machine-owned scratch outside the hot path")
+			case "new":
+				pass.Reportf(call.Pos(), "atm:noalloc: new may allocate; use machine-owned scratch")
+			case "append":
+				if len(call.Args) > 0 {
+					if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+						if obj, ok := pass.TypesInfo.Uses[id].(*types.Var); ok && fresh[obj] {
+							pass.Reportf(call.Pos(), "atm:noalloc: append grows %q, a slice born empty in this function; append into caller-provided or machine-owned scratch so capacity survives across invocations", id.Name)
+						}
+					}
+				}
+			}
+			return
+		}
+	}
+
+	// fmt / log calls.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		switch pkgNameOf(pass.TypesInfo, sel.X) {
+		case "fmt", "log":
+			pass.Reportf(call.Pos(), "atm:noalloc: %s.%s formats and allocates; hot paths must not format", pkgNameOf(pass.TypesInfo, sel.X), sel.Sel.Name)
+			return
+		}
+	}
+
+	// Interface boxing at call arguments.
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1 && call.Ellipsis == token.NoPos:
+			if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt != nil {
+			reportBoxing(pass, pt, arg, "argument")
+		}
+	}
+}
+
+// lhsType returns the static type of an assignment target, or nil.
+func lhsType(pass *Pass, lhs ast.Expr) types.Type {
+	if id, ok := lhs.(*ast.Ident); ok {
+		if obj, ok := pass.TypesInfo.Defs[id]; ok && obj != nil {
+			return obj.Type()
+		}
+	}
+	if tv, ok := pass.TypesInfo.Types[lhs]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// reportBoxing flags a non-pointer concrete value converted to an
+// interface type: the value is copied to the heap to fit behind the
+// interface's data word. Pointer-shaped values (pointers, channels,
+// maps, funcs, unsafe.Pointer) fit the word directly and are exempt.
+func reportBoxing(pass *Pass, dst types.Type, src ast.Expr, site string) {
+	if dst == nil {
+		return
+	}
+	if _, isIface := dst.Underlying().(*types.Interface); !isIface {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[src]
+	if !ok || tv.Type == nil || tv.IsNil() {
+		return
+	}
+	switch t := tv.Type.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return
+	case *types.Basic:
+		if t.Kind() == types.UnsafePointer {
+			return
+		}
+	}
+	pass.Reportf(src.Pos(), "atm:noalloc: %s boxes a non-pointer %s into an interface, which allocates; pass a pointer or keep the call monomorphic", site, tv.Type)
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// OrderedMerge enforces the load-bearing correctness property of the
+// parallel engine: per-chunk partial results must be folded in
+// ascending chunk index order, so first-wins tie-breaks and
+// non-associative floating-point folds reproduce the serial reference
+// bit for bit. A function marked //atm:ordered-merge must
+//
+//   - contain at least one index-ascending loop (an incrementing for
+//     loop or a range over a slice/array — Go ranges slices in
+//     ascending index order by specification),
+//   - contain no descending for loop, and
+//   - use no map anywhere (map iteration order would reorder the
+//     merge; map intermediaries are banned outright).
+var OrderedMerge = &Analyzer{
+	Name: "orderedmerge",
+	Doc:  "functions marked //atm:ordered-merge must fold per-chunk partials with index-ascending loops and no map intermediaries",
+	Run:  runOrderedMerge,
+}
+
+func runOrderedMerge(pass *Pass) error {
+	for _, fn := range pass.Dirs.AnnotatedFuncs(KindOrderedMerge) {
+		checkOrderedMerge(pass, fn)
+	}
+	return nil
+}
+
+func checkOrderedMerge(pass *Pass, fn ast.Node) {
+	body, _ := funcParts(pass, fn)
+	if body == nil {
+		return
+	}
+	ascending := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			switch post := n.Post.(type) {
+			case *ast.IncDecStmt:
+				if post.Tok == token.INC {
+					ascending = true
+				} else {
+					pass.Reportf(n.Pos(), "atm:ordered-merge: descending for loop; partials must be folded in ascending index order to preserve first-wins tie-breaks")
+				}
+			case *ast.AssignStmt:
+				switch post.Tok {
+				case token.ADD_ASSIGN:
+					ascending = true
+				case token.SUB_ASSIGN:
+					pass.Reportf(n.Pos(), "atm:ordered-merge: descending for loop; partials must be folded in ascending index order to preserve first-wins tie-breaks")
+				}
+			}
+		case *ast.RangeStmt:
+			tv, ok := pass.TypesInfo.Types[n.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice, *types.Array, *types.Basic:
+				ascending = true // slices, arrays, strings, and range-over-int all ascend
+			case *types.Pointer: // range over *[N]T
+				ascending = true
+			case *types.Map:
+				pass.Reportf(n.Pos(), "atm:ordered-merge: range over a map merges partials in nondeterministic order; index the partials by chunk number and fold ascending")
+			}
+		}
+		// Any other map use is a banned intermediary.
+		if expr, ok := n.(ast.Expr); ok {
+			if tv, ok := pass.TypesInfo.Types[expr]; ok && tv.Type != nil {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					switch n.(type) {
+					case *ast.CompositeLit:
+						pass.Reportf(n.Pos(), "atm:ordered-merge: map intermediary; store partials in a chunk-indexed slice instead")
+					case *ast.CallExpr:
+						pass.Reportf(n.Pos(), "atm:ordered-merge: map intermediary; store partials in a chunk-indexed slice instead")
+					}
+				}
+			}
+		}
+		if ix, ok := n.(*ast.IndexExpr); ok {
+			if tv, ok := pass.TypesInfo.Types[ix.X]; ok && tv.Type != nil {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(), "atm:ordered-merge: map access; partials must live in a chunk-indexed slice")
+				}
+			}
+		}
+		return true
+	})
+	if !ascending {
+		pass.Reportf(fn.Pos(), "atm:ordered-merge: no index-ascending merge loop found in this function")
+	}
+}
+
+// Analyzers returns the full atmlint suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{DirectiveCheck, Determinism, ModeledTime, Noalloc, OrderedMerge}
+}

@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DirectiveCheck surfaces malformed or dangling //atm: directives. A
+// typoed directive would otherwise silently stop enforcing its
+// contract, so it is a diagnostic in its own right.
+var DirectiveCheck = &Analyzer{
+	Name: "atmdirective",
+	Doc:  "report malformed //atm: directives and directives that attach to no function",
+	Run: func(p *Pass) error {
+		p.diagnostics = append(p.diagnostics, p.Dirs.Errors...)
+		return nil
+	},
+}
+
+// A Result pairs an analyzer with its findings for one package.
+type Result struct {
+	Analyzer    *Analyzer
+	Diagnostics []Diagnostic
+	Err         error
+}
+
+// Run executes the analyzers over one type-checked package, building
+// the directive index once and sharing it across passes.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, pkgPath string, analyzers []*Analyzer) []Result {
+	dirs := BuildDirectives(fset, files)
+	results := make([]Result, 0, len(analyzers))
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			PkgPath:   pkgPath,
+			Dirs:      dirs,
+		}
+		err := a.Run(pass)
+		results = append(results, Result{Analyzer: a, Diagnostics: pass.Diagnostics(), Err: err})
+	}
+	return results
+}
+
+// NewInfo returns a types.Info with every map the analyzers need.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}

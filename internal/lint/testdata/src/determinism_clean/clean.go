@@ -1,0 +1,25 @@
+// Fixture analyzed as a package outside DeterministicPackages: the
+// determinism analyzer must report nothing here, whatever the code
+// does.
+package fixture
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+type reporter struct {
+	mu sync.Mutex
+}
+
+func (r *reporter) sample(m map[string]int) (int, time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	go func() { _ = rand.Intn(sum + 1) }()
+	return sum, time.Now()
+}

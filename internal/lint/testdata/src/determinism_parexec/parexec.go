@@ -1,0 +1,27 @@
+// Fixture analyzed as repro/internal/parexec: the one package allowed
+// to own goroutines and synchronization. Map iteration stays banned.
+package fixture
+
+import "sync"
+
+type pool struct {
+	mu   sync.Mutex // clean: sync is the parexec package's job
+	wake chan struct{}
+}
+
+func (p *pool) start(n int) {
+	for w := 0; w < n; w++ {
+		go func() { // clean: parexec owns the goroutines
+			for range p.wake {
+			}
+		}()
+	}
+}
+
+func stillNoMaps(m map[int]int) int {
+	sum := 0
+	for _, v := range m { // want "range over a map iterates in nondeterministic order"
+		sum += v
+	}
+	return sum
+}

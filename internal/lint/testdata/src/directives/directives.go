@@ -1,0 +1,30 @@
+// Fixture for the directive checker: malformed, unknown, and dangling
+// //atm: directives are diagnostics in their own right.
+package fixture
+
+//atm:noalloc
+func wellFormed() {} // clean: attaches to the declaration
+
+//atm:nosuchkind
+func unknownKind() {} // the directive above is flagged, not the func
+
+//atm:noalloc extra-arg
+func extraArgs() {}
+
+//atm:allow maprange
+func missingJustification(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+//atm:allow nosuchrule -- some reason
+func unknownRule() {}
+
+func body() {
+	//atm:noalloc
+	x := 1 // the directive above attaches to no function literal
+	_ = x
+}

@@ -1,0 +1,58 @@
+// Fixture for the modeledtime analyzer, analyzed as the platform
+// package repro/internal/cuda. Track/DetectResolve methods are
+// modeled-time roots automatically; kernelTime is reachable from both
+// and from the annotated Launch.
+package fixture
+
+import "time"
+
+type machine struct {
+	ops uint64
+}
+
+// Launch is an explicit modeled-time root.
+//
+//atm:modeled-time
+func (m *machine) Launch(n int) time.Duration {
+	m.ops += uint64(n)
+	return m.kernelTime()
+}
+
+// Track is a root by name (platform contract method).
+func (m *machine) Track(n int) time.Duration {
+	return m.kernelTime()
+}
+
+// DetectResolve is a root by name (platform contract method).
+func (m *machine) DetectResolve(n int) time.Duration {
+	d := m.kernelTime()
+	stamp() // reachable helper that reads the clock
+	return d
+}
+
+// kernelTime is reachable from all three roots; the wall-clock read
+// inside it must be flagged.
+func (m *machine) kernelTime() time.Duration {
+	t0 := time.Now() // want "reachable from modeled-time root"
+	_ = t0
+	return time.Duration(m.ops) * time.Microsecond // clean: Duration arithmetic
+}
+
+func stamp() {
+	_ = time.Since(time.Time{}) // want "reachable from modeled-time root"
+}
+
+// hostSide is NOT reachable from any root: wall-clock reads are fine
+// (host benchmarking code measures real elapsed time).
+func hostSide() time.Duration {
+	t0 := time.Now()
+	return time.Since(t0)
+}
+
+// waived is reachable but carries a line-scoped allow.
+//
+//atm:modeled-time
+func waived() {
+	//atm:allow wallclock -- fixture: progress logging only, never charged to modeled time
+	_ = time.Now()
+}

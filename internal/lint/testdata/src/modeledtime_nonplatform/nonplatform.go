@@ -1,0 +1,26 @@
+// Fixture for the modeledtime analyzer analyzed OUTSIDE the platform
+// packages: Track and DetectResolve are ordinary method names there,
+// not modeled-time roots, and there is no //atm:modeled-time
+// directive — so nothing is reachable from a root and nothing may be
+// flagged.
+package fixture
+
+import "time"
+
+type bench struct {
+	elapsed time.Duration
+}
+
+func (b *bench) Track(n int) time.Duration {
+	t0 := time.Now() // clean: not a root outside the platform packages
+	b.elapsed = time.Since(t0)
+	return b.elapsed
+}
+
+func (b *bench) DetectResolve(n int) time.Duration {
+	return b.measure()
+}
+
+func (b *bench) measure() time.Duration {
+	return time.Since(time.Now()) // clean: unreachable from any root
+}

@@ -1,0 +1,127 @@
+// Fixture for the noalloc analyzer: annotated functions (declarations,
+// methods, generic functions, and inline closures) must not contain
+// heap-allocating constructs; unannotated functions may do anything.
+package fixture
+
+import "fmt"
+
+type sink struct {
+	buf   []int32
+	total int
+}
+
+// Annotated method: appending through a field is the steady-state
+// scratch idiom and stays legal; everything else below is flagged.
+//
+//atm:noalloc
+func (s *sink) add(vals []int32) {
+	s.buf = append(s.buf, vals...) // clean: machine-owned scratch
+	for _, v := range vals {
+		s.total += int(v)
+	}
+}
+
+//atm:noalloc
+func allocates(n int) []int {
+	out := make([]int, n) // want "make allocates"
+	p := new(int)         // want "new may allocate"
+	_ = p
+	m := map[int]int{} // want "map literal allocates"
+	_ = m
+	return out
+}
+
+//atm:noalloc
+func growsFreshSlice(vals []int) []int {
+	var out []int
+	for _, v := range vals {
+		out = append(out, v) // want "append grows \"out\", a slice born empty in this function"
+	}
+	return out
+}
+
+//atm:noalloc
+func appendsToParam(dst []int, vals []int) []int {
+	for _, v := range vals {
+		dst = append(dst, v) // clean: caller-provided scratch
+	}
+	return dst
+}
+
+//atm:noalloc
+func capturesClosure(n int) int {
+	f := func() int { return n } // want "closure literal may allocate"
+	return f()
+}
+
+//atm:noalloc
+func spawns(ch chan int) {
+	go send(ch) // want "go statement allocates a goroutine"
+}
+
+func send(ch chan int) { ch <- 1 }
+
+//atm:noalloc
+func formats(x int) {
+	fmt.Println(x) // want "fmt.Println formats and allocates"
+}
+
+//atm:noalloc
+func concatenates(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+//atm:noalloc
+func converts(b []byte) string {
+	return string(b) // want "conversion between string and byte/rune slice"
+}
+
+//atm:noalloc
+func boxes(x int, p *int) (any, any) {
+	var i any = x // want "boxes a non-pointer int into an interface"
+	_ = i
+	return x, p // want "boxes a non-pointer int into an interface"
+}
+
+// Generic function: the directive attaches to the declaration the same
+// way; instantiation-independent constructs are checked syntactically.
+//
+//atm:noalloc
+func maxOf[T int32 | int64 | float64](vals []T, def T) T {
+	best := def
+	for _, v := range vals { // clean: pure fold, no allocation
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+//atm:noalloc
+func genericAllocates[T any](n int) []T {
+	return make([]T, n) // want "make allocates"
+}
+
+// Inline closure annotation: the directive binds to the literal on the
+// next line, not to the enclosing function (which allocates freely).
+func dispatch(n int, run func(func(int))) []int {
+	out := make([]int, n) // clean: enclosing function is unannotated
+	//atm:noalloc
+	run(func(i int) {
+		out[i] = i * i // clean body
+	})
+	//atm:noalloc
+	run(func(i int) {
+		out = append(out[:0], make([]int, i)...) // want "make allocates"
+	})
+	return out
+}
+
+// unannotated may allocate at will.
+func unannotated(n int) []int {
+	out := []int{}
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}

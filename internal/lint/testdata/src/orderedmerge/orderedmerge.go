@@ -1,0 +1,75 @@
+// Fixture for the orderedmerge analyzer: annotated functions must fold
+// per-chunk partials with index-ascending loops and no maps.
+package fixture
+
+type part struct {
+	count int
+	best  float64
+	arg   int32
+}
+
+// Ascending fold over a chunk-indexed slice: the canonical shape.
+//
+//atm:noalloc
+//atm:ordered-merge
+func mergeAscending(parts []part) part {
+	out := part{best: 1e18, arg: -1}
+	for k := 0; k < len(parts); k++ { // clean: ascending index loop
+		out.count += parts[k].count
+		if parts[k].best < out.best {
+			out.best = parts[k].best
+			out.arg = parts[k].arg
+		}
+	}
+	return out
+}
+
+// Range over a slice also ascends by specification.
+//
+//atm:ordered-merge
+func mergeRange(parts []part) int {
+	total := 0
+	for _, p := range parts { // clean: slice range ascends
+		total += p.count
+	}
+	return total
+}
+
+//atm:ordered-merge
+func mergeDescending(parts []part) int { // want "no index-ascending merge loop"
+	total := 0
+	for k := len(parts) - 1; k >= 0; k-- { // want "descending for loop"
+		total += parts[k].count
+	}
+	return total
+}
+
+//atm:ordered-merge
+func mergeViaMap(parts []part) int {
+	byChunk := map[int]int{} // want "map intermediary"
+	for k := 0; k < len(parts); k++ {
+		byChunk[k] = parts[k].count // want "map access"
+	}
+	total := 0
+	for _, v := range byChunk { // want "range over a map merges partials in nondeterministic order"
+		total += v
+	}
+	return total
+}
+
+//atm:ordered-merge
+func noMergeLoop(parts []part) int { // want "no index-ascending merge loop"
+	if len(parts) == 0 {
+		return 0
+	}
+	return parts[0].count
+}
+
+// Unannotated functions may merge however they like.
+func unchecked(parts map[int]part) int {
+	total := 0
+	for _, p := range parts {
+		total += p.count
+	}
+	return total
+}

@@ -99,7 +99,7 @@ type Machine struct {
 // scratch holds the machine-owned arrays reused across invocations.
 type scratch struct {
 	tally     workTally
-	locks     []sync.Mutex
+	locks     []sync.Mutex //atm:allow sync -- machine-owned stripe locks; arbitration order is the modeled FCFS behaviour
 	state     []int32
 	matchedBy []int32
 
@@ -187,6 +187,9 @@ func (m *Machine) tally() *workTally {
 	return t
 }
 
+// maxOps folds the per-core op tallies to the critical-path maximum.
+//
+//atm:ordered-merge
 func (t *workTally) maxOps() uint64 {
 	var m uint64
 	for _, v := range t.ops {
@@ -260,6 +263,8 @@ const lockStripes = 256
 // shared-memory port of Algorithm 1. Ambiguous geometry is therefore
 // resolved in arrival order — nondeterministically under real
 // concurrency, exactly as on real hardware.
+//
+//atm:allow sync,atomic -- FCFS lock-striped claim arbitration IS the modeled behaviour: this platform reports Deterministic()==false and its results are asserted only against the task invariants, never bit-for-bit
 func (m *Machine) Track(w *airspace.World, f *radar.Frame) (tasks.CorrelateStats, time.Duration) {
 	var st tasks.CorrelateStats
 	n := w.N()
@@ -432,6 +437,8 @@ func (m *Machine) Track(w *airspace.World, f *radar.Frame) (tasks.CorrelateStats
 // their own aircraft, then a commit phase applies resolved courses —
 // the same snapshot discipline as the CUDA kernel, since a lock-free
 // shared-memory implementation needs it just as much.
+//
+//atm:allow atomic -- per-core conflict and rotation tallies are order-independent sums read only after the join
 func (m *Machine) DetectResolve(w *airspace.World) (tasks.DetectStats, time.Duration) {
 	n := w.N()
 	ac := w.Aircraft

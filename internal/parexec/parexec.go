@@ -33,10 +33,10 @@ import (
 type Pool struct {
 	workers int
 
-	mu   sync.Mutex // held for the duration of one dispatched Run
-	once sync.Once  // spawns the persistent workers
-	wake chan struct{}
-	done chan struct{}
+	mu      sync.Mutex // held for the duration of one dispatched Run
+	started bool       // workers spawned; guarded by mu
+	wake    chan struct{}
+	done    chan struct{}
 
 	// Current job; valid only while mu is held and workers are awake.
 	cursor atomic.Int64
@@ -75,6 +75,9 @@ func (p *Pool) Workers() int { return p.workers }
 // already busy with another Run, the body runs inline on the caller as
 // worker 0, chunk by chunk in ascending order — same results, no
 // goroutines.
+//
+//atm:noalloc
+//atm:ordered-merge
 func (p *Pool) Run(n, grain int, body func(worker, lo, hi int)) {
 	if n <= 0 {
 		return
@@ -93,7 +96,10 @@ func (p *Pool) Run(n, grain int, body func(worker, lo, hi int)) {
 		return
 	}
 	defer p.mu.Unlock()
-	p.once.Do(p.start)
+	if !p.started {
+		p.start()
+		p.started = true
+	}
 
 	p.limit = int64(n)
 	p.grain = int64(grain)
@@ -132,6 +138,8 @@ func (p *Pool) start() {
 
 // drain claims chunks off the shared cursor until the range is
 // exhausted.
+//
+//atm:noalloc
 func (p *Pool) drain(worker int) {
 	limit, grain := p.limit, p.grain
 	for {

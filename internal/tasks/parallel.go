@@ -123,6 +123,8 @@ func putDetectScratch(sc *detectScratch) { detectScratchPool.Put(sc) }
 // aircraft against every other aircraft — or the broadphase candidate
 // set — exactly as the reference scan does, accumulating into a
 // scanResult. buf is the caller's reusable candidate buffer.
+//
+//atm:noalloc
 func scanWith(w *airspace.World, track *airspace.Aircraft, vx, vy float64, src broadphase.PairSource, buf *[]int32) scanResult {
 	r := scanResult{tmin: airspace.SafeTime, with: airspace.NoConflict}
 	if src == nil {
@@ -141,6 +143,8 @@ func scanWith(w *airspace.World, track *airspace.Aircraft, vx, vy float64, src b
 
 // scanPairInto folds one trial aircraft into the running scan minimum
 // (the reference scanPair).
+//
+//atm:noalloc
 func scanPairInto(track, trial *airspace.Aircraft, vx, vy float64, r *scanResult) {
 	if trial.ID == track.ID || !AltOverlap(track, trial) {
 		return
@@ -162,6 +166,8 @@ func scanPairInto(track, trial *airspace.Aircraft, vx, vy float64, r *scanResult
 // strict-< first-wins tie-break of the serial fold is preserved
 // exactly. Used by the serial replay of DetectResolve, where one
 // conflicted track's rotation probes would otherwise idle the pool.
+//
+//atm:ordered-merge
 func scanPar(w *airspace.World, track *airspace.Aircraft, vx, vy float64, src broadphase.PairSource, p *parexec.Pool, sc *detectScratch) scanResult {
 	var cand []int32
 	m := w.N()
@@ -188,6 +194,7 @@ func scanPar(w *airspace.World, track *airspace.Aircraft, vx, vy float64, src br
 		sc.parts = make([]scanResult, chunks)
 	}
 	parts := sc.parts[:chunks]
+	//atm:noalloc
 	p.Run(m, innerGrain, func(_, lo, hi int) {
 		pr := scanResult{tmin: airspace.SafeTime, with: airspace.NoConflict}
 		if src == nil {
@@ -214,6 +221,8 @@ func scanPar(w *airspace.World, track *airspace.Aircraft, vx, vy float64, src br
 
 // DetectExec is DetectWith on an explicit engine pool; nil means the
 // process default. Results are identical at any worker count.
+//
+//atm:ordered-merge
 func DetectExec(w *airspace.World, src broadphase.PairSource, pool *parexec.Pool) DetectStats {
 	p := parexec.Resolve(pool)
 	if src != nil {
@@ -241,6 +250,7 @@ func DetectExec(w *airspace.World, src broadphase.PairSource, pool *parexec.Pool
 
 	// Parallel phase: every track's scan, against state Detect never
 	// mutates.
+	//atm:noalloc
 	p.Run(n, scanGrain, func(worker, lo, hi int) {
 		buf := &sc.bufs[worker].cand
 		for i := lo; i < hi; i++ {
@@ -265,6 +275,8 @@ func DetectExec(w *airspace.World, src broadphase.PairSource, pool *parexec.Pool
 // DetectResolveExec is DetectResolveWith on an explicit engine pool;
 // nil means the process default. Results are identical at any worker
 // count.
+//
+//atm:ordered-merge
 func DetectResolveExec(w *airspace.World, src broadphase.PairSource, pool *parexec.Pool) DetectStats {
 	p := parexec.Resolve(pool)
 	if src != nil {
@@ -286,6 +298,7 @@ func DetectResolveExec(w *airspace.World, src broadphase.PairSource, pool *parex
 	// Parallel phase: scan every track against the pre-resolution
 	// velocity snapshot, and record its reach envelope (a function of
 	// position and speed only, both invariant across heading commits).
+	//atm:noalloc
 	p.Run(n, scanGrain, func(worker, lo, hi int) {
 		buf := &sc.bufs[worker].cand
 		for i := lo; i < hi; i++ {
@@ -341,6 +354,8 @@ func DetectResolveExec(w *airspace.World, src broadphase.PairSource, pool *parex
 
 // resolveOneSerial is the reference Algorithm 2 for a single track
 // aircraft, with a reusable candidate buffer.
+//
+//atm:noalloc
 func resolveOneSerial(w *airspace.World, track *airspace.Aircraft, st *DetectStats, src broadphase.PairSource, buf *[]int32) {
 	track.ResetConflict()
 	r := scanWith(w, track, track.DX, track.DY, src, buf)
@@ -375,6 +390,8 @@ func resolveOneSerial(w *airspace.World, track *airspace.Aircraft, st *DetectSta
 // both axes — outside that, no heading at its speed can produce a
 // conflict starting before CriticalTime (the broadphase exactness
 // argument), and such pairs never touch the scan's strict-< fold.
+//
+//atm:noalloc
 func dirtyInteracts(w *airspace.World, sc *detectScratch, track *airspace.Aircraft, dirty []int32) bool {
 	for _, j := range dirty {
 		o := &w.Aircraft[j]
@@ -457,12 +474,15 @@ func CorrelateNExec(w *airspace.World, f *radar.Frame, passes int, pool *parexec
 // correlateParallel is Task 1 with the per-pass bounding-box search
 // fanned out per radar and a serial replay of the matching state
 // machine (see the file comment for the exactness argument).
+//
+//atm:ordered-merge
 func correlateParallel(w *airspace.World, f *radar.Frame, passes int, p *parexec.Pool, st *CorrelateStats) {
 	n := w.N()
 	nr := len(f.Reports)
 	sc := getCorrScratch(nr, p.Workers())
 	defer putCorrScratch(sc)
 
+	//atm:noalloc
 	p.Run(n, elemGrain, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			a := &w.Aircraft[i]
@@ -497,6 +517,7 @@ func correlateParallel(w *airspace.World, f *radar.Frame, passes int, p *parexec
 		for wk := range sc.bufs {
 			sc.bufs[wk].cand = sc.bufs[wk].cand[:0]
 		}
+		//atm:noalloc
 		p.Run(nr, radarGrain, func(worker, lo, hi int) {
 			buf := sc.bufs[worker].cand
 			for j := lo; j < hi; j++ {
@@ -583,6 +604,7 @@ func correlateParallel(w *airspace.World, f *radar.Frame, passes int, p *parexec
 
 	// Commit (line 12) and field re-entry, with the element-wise
 	// aircraft loops fanned out and the radar loop serial.
+	//atm:noalloc
 	p.Run(n, elemGrain, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			a := &w.Aircraft[i]
@@ -604,6 +626,7 @@ func correlateParallel(w *airspace.World, f *radar.Frame, passes int, p *parexec
 			}
 		}
 	}
+	//atm:noalloc
 	p.Run(n, elemGrain, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			airspace.Wrap(&w.Aircraft[i])
@@ -614,6 +637,8 @@ func correlateParallel(w *airspace.World, f *radar.Frame, passes int, p *parexec
 // correlateRadarFallback scans one radar against every aircraft with
 // the reference inner loop, recording withdrawals for the replay's
 // Comparisons bookkeeping.
+//
+//atm:noalloc
 func correlateRadarFallback(w *airspace.World, f *radar.Frame, rep *radar.Report, boxHalf float64, st *CorrelateStats, withdrawn *[]int32) {
 	for q := range w.Aircraft {
 		a := &w.Aircraft[q]

@@ -170,9 +170,17 @@ func itoa(v int) string {
 // period allocates nothing on the serial path and at most a handful of
 // fixed-size dispatch closures on the parallel path — never anything
 // proportional to the aircraft count.
+//
+// The functions under this contract are exactly those listed in
+// noallocContract (noalloc_manifest_test.go), which also carry
+// //atm:noalloc directives enforced statically by make lint. Under
+// -race the runtime counts are meaningless (detector instrumentation
+// allocates) and this test skips; the manifest consistency test and
+// the static analyzer keep the contract checked there.
 func TestExecZeroAllocSteadyState(t *testing.T) {
 	if raceEnabled {
-		t.Skip("race-detector instrumentation allocates; counts are only meaningful without -race")
+		t.Skip("race-detector instrumentation allocates; counts are only meaningful without -race; " +
+			"the noalloc contract stays enforced by TestNoallocManifestMatchesDirectives and make lint")
 	}
 	base := airspace.NewWorld(600, rng.New(3))
 	frame := radar.Generate(base, radar.DefaultNoise, rng.New(4))

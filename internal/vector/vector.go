@@ -216,6 +216,10 @@ type tally struct {
 	phases   int
 }
 
+// max folds the per-core instruction tallies to the critical-path
+// maximum.
+//
+//atm:ordered-merge
 func (t *tally) max() uint64 {
 	var m uint64
 	for _, v := range t.vecInstr {
@@ -289,6 +293,8 @@ const (
 // kernel: each phase reads only state frozen at the previous barrier,
 // which makes both the outcome and the per-core instruction tally —
 // and therefore the modeled time — a pure function of the workload.
+//
+//atm:allow atomic -- claim counters and match tallies are commutative sums read only after the phase barrier
 func (m *Machine) Track(w *airspace.World, f *radar.Frame) (tasks.CorrelateStats, time.Duration) {
 	var st tasks.CorrelateStats
 	s := m.loadSOA(w)
@@ -502,6 +508,8 @@ func (m *Machine) Track(w *airspace.World, f *radar.Frame) (tasks.CorrelateStats
 // aircraft; the inner trial scan evaluates the Batcher window for eight
 // trial aircraft at a time against a pre-kernel snapshot (the same
 // snapshot discipline as the CUDA kernel).
+//
+//atm:allow atomic -- conflict and rotation tallies are order-independent sums read only after the join
 func (m *Machine) DetectResolve(w *airspace.World) (tasks.DetectStats, time.Duration) {
 	s := m.loadSOA(w)
 	t := m.newTally()
