@@ -1,7 +1,7 @@
 GO ?= go
 ATMLINT := bin/atmlint
 
-.PHONY: all build test vet lint lint-fixtures bench-smoke clean
+.PHONY: all build test vet lint lint-fixtures bench-smoke fuzz clean
 
 all: build test
 
@@ -32,6 +32,12 @@ lint-fixtures:
 
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# fuzz runs the CSV round-trip fuzzer for a bounded interval on top of
+# the checked-in seed corpus (internal/trace/testdata/fuzz).
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzReadCSV -fuzztime=$(FUZZTIME) ./internal/trace
 
 clean:
 	rm -rf bin

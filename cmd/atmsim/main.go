@@ -6,14 +6,19 @@
 //
 //	atmsim -platform titanx -n 8000 -cycles 4
 //	atmsim -platform xeon16 -n 16000 -cycles 2 -v
+//	atmsim -platform titanx -telemetry -events run.jsonl -chrome run.trace.json
+//	atmsim -platform staran -telemetry -http localhost:6060
 //
 // Platforms: 9800gt, gtx880m, titanx, staran, clearspeed, xeon16.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -23,6 +28,8 @@ import (
 	"repro/internal/platform"
 	"repro/internal/replay"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/live"
 	"repro/internal/viz"
 )
 
@@ -41,16 +48,105 @@ func main() {
 		record  = flag.String("record", "", "record the run as JSON lines to this file")
 		workers = flag.Int("workers", 0,
 			"host worker goroutines for task execution (0 = GOMAXPROCS); results are identical at any count")
+		useTelemetry = flag.Bool("telemetry", false, "record modeled-time telemetry (implied by -events/-chrome/-metrics/-http)")
+		events       = flag.String("events", "", "write telemetry events as JSON lines to this file")
+		chrome       = flag.String("chrome", "", "write telemetry as a Chrome trace_event file (load in chrome://tracing or Perfetto)")
+		metrics      = flag.String("metrics", "", "write per-period telemetry metrics as CSV to this file")
+		httpAddr     = flag.String("http", "", "serve live telemetry and expvar on this address while the run lasts")
+		detail       = flag.String("detail", "task", "telemetry detail level: task, block")
+		capacity     = flag.Int("telemetry-cap", telemetry.DefaultCapacity, "telemetry ring-buffer capacity in events")
 	)
 	flag.Parse()
 	parexec.SetDefaultWorkers(*workers)
-	if err := run(*platformName, *n, *cycles, *seed, *noise, *pairSource, *verbose, *watch, *record); err != nil {
+	tc := telemetryConfig{
+		enabled:  *useTelemetry || *events != "" || *chrome != "" || *metrics != "" || *httpAddr != "",
+		events:   *events,
+		chrome:   *chrome,
+		metrics:  *metrics,
+		httpAddr: *httpAddr,
+		detail:   *detail,
+		capacity: *capacity,
+	}
+	if err := run(*platformName, *n, *cycles, *seed, *noise, *pairSource, *verbose, *watch, *record, tc); err != nil {
 		fmt.Fprintln(os.Stderr, "atmsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(platformName string, n, cycles int, seed uint64, noise float64, pairSource string, verbose, watch bool, record string) error {
+// telemetryConfig carries the observability flags.
+type telemetryConfig struct {
+	enabled                           bool
+	events, chrome, metrics, httpAddr string
+	detail                            string
+	capacity                          int
+}
+
+// attach builds the recorder and live publisher when telemetry is on.
+func (tc telemetryConfig) attach(sys *core.System) (*telemetry.Recorder, *live.Publisher, error) {
+	if !tc.enabled {
+		return nil, nil, nil
+	}
+	rec := telemetry.NewRecorder(tc.capacity)
+	switch tc.detail {
+	case "", "task":
+		rec.SetDetail(telemetry.DetailTask)
+	case "block":
+		rec.SetDetail(telemetry.DetailBlock)
+	default:
+		return nil, nil, fmt.Errorf("unknown telemetry detail %q (have task, block)", tc.detail)
+	}
+	sys.SetTelemetry(rec)
+	var pub *live.Publisher
+	if tc.httpAddr != "" {
+		pub = &live.Publisher{}
+		srv := &http.Server{Addr: tc.httpAddr, Handler: live.Handler(pub)}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "atmsim: telemetry http:", err)
+			}
+		}()
+		fmt.Printf("telemetry: serving live metrics on http://%s/ (expvar at /debug/vars)\n", tc.httpAddr)
+	}
+	return rec, pub, nil
+}
+
+// flush writes the configured telemetry outputs at the end of the run.
+func (tc telemetryConfig) flush(rec *telemetry.Recorder) error {
+	if rec == nil {
+		return nil
+	}
+	if dropped := rec.Dropped(); dropped > 0 {
+		fmt.Fprintf(os.Stderr, "atmsim: telemetry ring overflowed, oldest %d of %d events dropped (raise -telemetry-cap); aggregates are complete\n",
+			dropped, rec.Total())
+	}
+	write := func(path string, emit func(*os.File) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("telemetry: wrote %s\n", path)
+		return nil
+	}
+	if err := write(tc.events, func(f *os.File) error { return telemetry.WriteJSONL(f, rec) }); err != nil {
+		return err
+	}
+	if err := write(tc.chrome, func(f *os.File) error { return telemetry.WriteChromeTrace(f, rec) }); err != nil {
+		return err
+	}
+	return write(tc.metrics, func(f *os.File) error { return telemetry.PeriodDataset(rec, "atmsim").WriteCSV(f) })
+}
+
+func run(platformName string, n, cycles int, seed uint64, noise float64, pairSource string, verbose, watch bool, record string, tc telemetryConfig) error {
 	if n <= 0 {
 		return fmt.Errorf("need a positive aircraft count, got %d", n)
 	}
@@ -67,6 +163,10 @@ func run(platformName string, n, cycles int, seed uint64, noise float64, pairSou
 		}
 	}
 	sys := core.NewSystem(p, core.Config{N: n, Seed: seed, Noise: noise, PairSource: pairSource})
+	rec, pub, err := tc.attach(sys)
+	if err != nil {
+		return err
+	}
 	if record != "" {
 		f, err := os.Create(record)
 		if err != nil {
@@ -85,21 +185,33 @@ func run(platformName string, n, cycles int, seed uint64, noise float64, pairSou
 	fmt.Printf("aircraft : %d   major cycles: %d   period: %v\n\n", n, cycles, sched.PeriodDur)
 
 	start := time.Now()
-	for c := 0; c < cycles; c++ {
-		for period := 0; period < sched.PeriodsPerMajorCycle; period++ {
-			sys.RunPeriod()
-			if verbose {
-				st := sys.Stats()
-				fmt.Printf("  cycle %d period %2d: load so far max=%v misses=%d\n",
-					c, period, st.MaxLoad, st.PeriodMisses)
+	// pprof labels tag host CPU samples with the modeled platform, so a
+	// host profile of the simulator can be cut per platform under study.
+	var runErr error
+	pprof.Do(context.Background(), pprof.Labels("atm.platform", p.Name(), "atm.n", fmt.Sprint(n)), func(context.Context) {
+		for c := 0; c < cycles; c++ {
+			for period := 0; period < sched.PeriodsPerMajorCycle; period++ {
+				sys.RunPeriod()
+				if pub != nil {
+					pub.Update(rec)
+				}
+				if verbose {
+					st := sys.Stats()
+					fmt.Printf("  cycle %d period %2d: load so far max=%v misses=%d\n",
+						c, period, st.MaxLoad, st.PeriodMisses)
+				}
+			}
+			if watch {
+				fmt.Printf("\nafter major cycle %d:\n", c+1)
+				if err := viz.Render(os.Stdout, sys.World, viz.Options{}); err != nil {
+					runErr = err
+					return
+				}
 			}
 		}
-		if watch {
-			fmt.Printf("\nafter major cycle %d:\n", c+1)
-			if err := viz.Render(os.Stdout, sys.World, viz.Options{}); err != nil {
-				return err
-			}
-		}
+	})
+	if runErr != nil {
+		return runErr
 	}
 	host := time.Since(start)
 
@@ -114,6 +226,9 @@ func run(platformName string, n, cycles int, seed uint64, noise float64, pairSou
 	fmt.Printf("\nperiods=%d  missed periods=%d (%.1f%%)  max period load=%v / %v budget\n",
 		st.Periods, st.PeriodMisses, 100*st.MissRate(), st.MaxLoad, sched.PeriodDur)
 	fmt.Printf("virtual schedule time=%v  host wall time=%v\n", st.VirtualElapsed, host.Round(time.Millisecond))
+	if err := tc.flush(rec); err != nil {
+		return err
+	}
 	if st.PeriodMisses == 0 {
 		fmt.Println("\nresult: every deadline met — SIMD-like real-time behaviour")
 	} else {

@@ -132,6 +132,45 @@ type Machine struct {
 	partBest []float64
 	partArg  []int32
 	partCnt  []int32
+
+	// Telemetry phase marks: cycle-counter checkpoints noted by the
+	// programs when a recorder is attached (marksOn), converted to
+	// spans by the platform adapter after the task. Machine-owned
+	// scratch, reused across tasks.
+	marks   []phaseMark
+	marksOn bool
+}
+
+// phaseMark notes the cycle count at which a named program phase
+// began; the phase ends where the next mark (or the task) ends.
+type phaseMark struct {
+	name   string
+	arg    int32
+	cycles uint64
+}
+
+// beginMarks clears the mark log and enables mark collection for the
+// next program run.
+func (m *Machine) beginMarks() {
+	m.marks = m.marks[:0]
+	m.marksOn = true
+}
+
+// mark notes a phase boundary; a no-op unless beginMarks was called.
+// name must be a static string so steady-state marking stays
+// allocation-free.
+//
+//atm:noalloc
+func (m *Machine) mark(name string, arg int32) {
+	if m.marksOn {
+		m.marks = append(m.marks, phaseMark{name: name, arg: arg, cycles: m.cycles})
+	}
+}
+
+// timeAt converts a cycle checkpoint to modeled time, with the same
+// rounding as Time.
+func (m *Machine) timeAt(cycles uint64) time.Duration {
+	return time.Duration(float64(cycles) / m.prof.ClockHz * float64(time.Second))
 }
 
 // NewMachine returns a machine sized for n records.

@@ -6,6 +6,7 @@ import (
 	"repro/internal/airspace"
 	"repro/internal/broadphase"
 	"repro/internal/radar"
+	"repro/internal/telemetry"
 )
 
 // Platform adapts an associative machine profile to the scheduler's
@@ -17,6 +18,7 @@ type Platform struct {
 	src     broadphase.PairSource
 	workers int
 	m       *Machine
+	rec     *telemetry.Recorder
 }
 
 // NewPlatform returns a scheduler-facing platform for the profile.
@@ -48,6 +50,30 @@ func (p *Platform) SetWorkers(n int) {
 // apScan.
 func (p *Platform) SetPairSource(src broadphase.PairSource) { p.src = src }
 
+// SetTelemetry attaches a recorder (nil detaches): each task then
+// records one span per program phase, reconstructed from the
+// machine's cycle-counter checkpoints. Phases tile the task exactly
+// (modulo per-span nanosecond rounding) because AP time is
+// cycles/clock and the control unit is strictly sequential.
+func (p *Platform) SetTelemetry(rec *telemetry.Recorder) { p.rec = rec }
+
+// emitMarks converts the machine's phase checkpoints to back-to-back
+// spans starting at the recorder's modeled now. total is the task's
+// modeled duration, which closes the final phase.
+func (p *Platform) emitMarks(m *Machine, total time.Duration) {
+	base := p.rec.Now()
+	for k := range m.marks {
+		mk := &m.marks[k]
+		start := m.timeAt(mk.cycles)
+		end := total
+		if k+1 < len(m.marks) {
+			end = m.timeAt(m.marks[k+1].cycles)
+		}
+		p.rec.SpanArg(p.rec.Intern(mk.name), base+start, end-start, mk.arg)
+	}
+	m.marksOn = false
+}
+
 // Name returns the machine name.
 func (p *Platform) Name() string { return p.prof.Name }
 
@@ -59,14 +85,34 @@ func (p *Platform) Deterministic() bool { return true }
 // Track runs Task 1 as an AP program and returns the modeled time.
 func (p *Platform) Track(w *airspace.World, f *radar.Frame) time.Duration {
 	m := p.machine(w.N())
-	TrackProgram(m, w, f)
-	return m.Time()
+	if p.rec != nil {
+		m.beginMarks()
+	}
+	st := TrackProgram(m, w, f)
+	d := m.Time()
+	if p.rec != nil {
+		p.emitMarks(m, d)
+		p.rec.Counter(p.rec.Intern(telemetry.NameTrackMatched), int64(st.Matched))
+	}
+	return d
 }
 
 // DetectResolve runs Tasks 2-3 as an AP program and returns the
 // modeled time.
 func (p *Platform) DetectResolve(w *airspace.World) time.Duration {
 	m := p.machine(w.N())
-	DetectResolveProgramWith(m, w, p.src)
-	return m.Time()
+	if p.rec != nil {
+		m.beginMarks()
+	}
+	st := DetectResolveProgramWith(m, w, p.src)
+	d := m.Time()
+	if p.rec != nil {
+		p.emitMarks(m, d)
+		p.rec.Counter(p.rec.Intern(telemetry.NameDetectConflicts), int64(st.Conflicts))
+		p.rec.Counter(p.rec.Intern(telemetry.NameDetectRotations), int64(st.Rotations))
+		p.rec.Counter(p.rec.Intern(telemetry.NameDetectResolved), int64(st.Resolved))
+		p.rec.Counter(p.rec.Intern(telemetry.NameDetectUnresolved), int64(st.Unresolved))
+		p.rec.Counter(p.rec.Intern(telemetry.NameDetectPairChecks), int64(st.PairChecks))
+	}
+	return d
 }

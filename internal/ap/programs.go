@@ -30,6 +30,7 @@ func TrackProgram(m *Machine, w *airspace.World, f *radar.Frame) tasks.Correlate
 	var st tasks.CorrelateStats
 	ac := w.Aircraft
 
+	m.mark("ap.load+expected", 0)
 	m.LoadDatabase(databaseFields)
 
 	// Expected positions and match-state reset: one wide operation.
@@ -55,6 +56,7 @@ func TrackProgram(m *Machine, w *airspace.World, f *radar.Frame) tasks.Correlate
 
 	boxHalf := tasks.InitialBoxHalf
 	for pass := 0; pass < tasks.BoxPasses; pass++ {
+		m.mark("ap.boxpass", int32(pass))
 		pending := 0
 		for j := range f.Reports {
 			if f.Reports[j].MatchWith == radar.Unmatched {
@@ -136,6 +138,7 @@ func TrackProgram(m *Machine, w *airspace.World, f *radar.Frame) tasks.Correlate
 	// Commit: everyone dead-reckons, matched aircraft take the measured
 	// position, then field re-entry. The radar scatter is a sequential
 	// control-unit loop (radar data lives with the control unit).
+	m.mark("ap.commit", 0)
 	m.ParallelOp(2, func(i int) {
 		a := &ac[i]
 		a.X, a.Y = a.ExpX, a.ExpY
@@ -268,12 +271,14 @@ func DetectResolveProgram(m *Machine, w *airspace.World) tasks.DetectStats {
 //atm:modeled-time
 func DetectResolveProgramWith(m *Machine, w *airspace.World, src broadphase.PairSource) tasks.DetectStats {
 	var st tasks.DetectStats
+	m.mark("ap.load", 0)
 	m.LoadDatabase(databaseFields)
 	if src != nil {
 		src.Prepare(w)
 		// Control-unit index build over the database.
 		m.Scalar(w.N())
 	}
+	m.mark("ap.scanresolve", 0)
 	ac := w.Aircraft
 	for i := range ac {
 		track := &ac[i]

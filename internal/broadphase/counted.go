@@ -1,0 +1,71 @@
+package broadphase
+
+import (
+	"sync/atomic"
+
+	"repro/internal/airspace"
+)
+
+// Counted wraps a PairSource and counts queries and returned
+// candidates, so telemetry can report broad-phase pruning
+// effectiveness per source. It is a pure pass-through: the wrapped
+// source's candidate sets, their order, and its Name are returned
+// unchanged, so installing a Counted never alters detection results.
+//
+// Candidates and AppendCandidates are called concurrently by the
+// platform executors, so the tallies are atomic adds. The sums are
+// order-independent (integer addition commutes), and Take is only
+// called from sequential orchestration code after the scan barrier —
+// the counts themselves are therefore deterministic even though the
+// increment interleaving is not.
+type Counted struct {
+	src        PairSource
+	queries    atomic.Int64 //atm:allow atomic -- order-independent sum, drained sequentially after the scan barrier
+	candidates atomic.Int64 //atm:allow atomic -- order-independent sum, drained sequentially after the scan barrier
+}
+
+// NewCounted wraps src.
+func NewCounted(src PairSource) *Counted { return &Counted{src: src} }
+
+// Unwrap returns the wrapped source.
+func (c *Counted) Unwrap() PairSource { return c.src }
+
+// Name returns the wrapped source's registry name, so labels and
+// registry round-trips are unaffected by counting.
+func (c *Counted) Name() string { return c.src.Name() }
+
+// Prepare forwards to the wrapped source.
+func (c *Counted) Prepare(w *airspace.World) { c.src.Prepare(w) }
+
+// Candidates forwards to the wrapped source, tallying the query and
+// its candidate count.
+//
+//atm:noalloc
+//atm:allow atomic -- order-independent sums, read only after the scan barrier
+func (c *Counted) Candidates(w *airspace.World, track *airspace.Aircraft) []int32 {
+	out := c.src.Candidates(w, track)
+	c.queries.Add(1)
+	c.candidates.Add(int64(len(out)))
+	return out
+}
+
+// AppendCandidates forwards to the wrapped source, tallying the query
+// and the number of candidates appended.
+//
+//atm:noalloc
+//atm:allow atomic -- order-independent sums, read only after the scan barrier
+func (c *Counted) AppendCandidates(dst []int32, w *airspace.World, track *airspace.Aircraft) []int32 {
+	before := len(dst)
+	dst = c.src.AppendCandidates(dst, w, track)
+	c.queries.Add(1)
+	c.candidates.Add(int64(len(dst) - before))
+	return dst
+}
+
+// Take returns the tallies accumulated since the last Take and resets
+// them. Call it only from sequential code (between tasks).
+//
+//atm:allow atomic -- drained sequentially between tasks
+func (c *Counted) Take() (queries, candidates int64) {
+	return c.queries.Swap(0), c.candidates.Swap(0)
+}

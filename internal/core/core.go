@@ -16,6 +16,7 @@ import (
 	"repro/internal/replay"
 	"repro/internal/rng"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 )
 
 // Task names used in scheduler statistics.
@@ -58,16 +59,67 @@ type System struct {
 	Platform platform.Platform
 	World    *airspace.World
 
-	cfg      Config
-	radarRng *rng.Rand
-	tracker  *sched.Tracker
-	period   int // global period counter
-	recorder *replay.Recorder
+	cfg                         Config
+	radarRng                    *rng.Rand
+	tracker                     *sched.Tracker
+	period                      int // global period counter
+	recorder                    *replay.Recorder
+	rec                         *telemetry.Recorder
+	pairSrc                     broadphase.PairSource // as installed on the platform
+	counted                     *broadphase.Counted   // non-nil while telemetry is attached
+	schedObs                    telemetry.SchedObserver
+	idBPQueries, idBPCandidates telemetry.NameID
 }
 
 // SetRecorder attaches a replay recorder; every subsequent period is
 // logged (nil detaches). The caller owns flushing.
 func (s *System) SetRecorder(r *replay.Recorder) { s.recorder = r }
+
+// SetTelemetry attaches a telemetry recorder to the whole system (nil
+// detaches): the scheduler reports period/task spans and deadline
+// counters, the platform reports per-phase kernel spans and task
+// statistics, and any configured broadphase source is wrapped so
+// candidate-pair volumes appear as counters. Telemetry never perturbs
+// the simulation — worlds and modeled durations are bit-identical with
+// and without a recorder attached.
+func (s *System) SetTelemetry(rec *telemetry.Recorder) {
+	s.rec = rec
+	if rec == nil {
+		s.tracker.Observer = nil
+		if inst, ok := s.Platform.(platform.Instrumented); ok {
+			inst.SetTelemetry(nil)
+		}
+		if s.counted != nil {
+			if ps, ok := s.Platform.(platform.PairSourced); ok {
+				ps.SetPairSource(s.pairSrc)
+			}
+			s.counted = nil
+		}
+		return
+	}
+	s.schedObs = telemetry.SchedObserver{R: rec}
+	s.tracker.Observer = &s.schedObs
+	if inst, ok := s.Platform.(platform.Instrumented); ok {
+		inst.SetTelemetry(rec)
+	}
+	if s.pairSrc != nil {
+		if ps, ok := s.Platform.(platform.PairSourced); ok {
+			s.counted = broadphase.NewCounted(s.pairSrc)
+			ps.SetPairSource(s.counted)
+			s.idBPQueries = rec.Intern(telemetry.NameBroadphaseQueries)
+			s.idBPCandidates = rec.Intern(telemetry.NameBroadphaseCandidates)
+		}
+	}
+	rec.Meta("platform", s.Platform.Name())
+	if s.cfg.PairSource != "" {
+		rec.Meta("pairsource", s.cfg.PairSource)
+	}
+	rec.Meta("n", fmt.Sprintf("%d", s.World.N()))
+	rec.Meta("seed", fmt.Sprintf("%d", s.cfg.Seed))
+}
+
+// Telemetry returns the attached recorder (nil if none).
+func (s *System) Telemetry() *telemetry.Recorder { return s.rec }
 
 // NewSystem creates the airfield (SetupFlight for every aircraft) and
 // binds it to the platform.
@@ -75,7 +127,7 @@ func NewSystem(p platform.Platform, cfg Config) *System {
 	if cfg.N < 0 {
 		panic(fmt.Sprintf("core: negative aircraft count %d", cfg.N))
 	}
-	applyPairSource(p, cfg)
+	src := applyPairSource(p, cfg)
 	root := rng.New(cfg.Seed)
 	setupRng := root.Split()
 	radarRng := root.Split()
@@ -85,13 +137,14 @@ func NewSystem(p platform.Platform, cfg Config) *System {
 		cfg:      cfg,
 		radarRng: radarRng,
 		tracker:  sched.NewTracker(cfg.PeriodDur),
+		pairSrc:  src,
 	}
 }
 
 // NewSystemWithWorld binds the platform to an externally constructed
 // traffic scenario instead of random flight setup. cfg.N is ignored.
 func NewSystemWithWorld(p platform.Platform, w *airspace.World, cfg Config) *System {
-	applyPairSource(p, cfg)
+	src := applyPairSource(p, cfg)
 	root := rng.New(cfg.Seed)
 	root.Split() // keep the stream layout of NewSystem
 	radarRng := root.Split()
@@ -101,16 +154,17 @@ func NewSystemWithWorld(p platform.Platform, w *airspace.World, cfg Config) *Sys
 		cfg:      cfg,
 		radarRng: radarRng,
 		tracker:  sched.NewTracker(cfg.PeriodDur),
+		pairSrc:  src,
 	}
 }
 
 // applyPairSource wires the configured broadphase source into the
-// platform. Requesting a source on a platform that cannot use one is a
-// configuration error and panics, as silently ignoring it would skew
-// measured op counts.
-func applyPairSource(p platform.Platform, cfg Config) {
+// platform and returns it so telemetry can later wrap it. Requesting a
+// source on a platform that cannot use one is a configuration error and
+// panics, as silently ignoring it would skew measured op counts.
+func applyPairSource(p platform.Platform, cfg Config) broadphase.PairSource {
 	if cfg.PairSource == "" {
-		return
+		return nil
 	}
 	src, err := broadphase.New(cfg.PairSource)
 	if err != nil {
@@ -121,6 +175,7 @@ func applyPairSource(p platform.Platform, cfg Config) {
 		panic(fmt.Sprintf("core: platform %s does not support pair sources", p.Name()))
 	}
 	ps.SetPairSource(src)
+	return src
 }
 
 // RunPeriod executes one half-second period: radar generation (host
@@ -140,6 +195,15 @@ func (s *System) RunPeriod() {
 			t23 = s.Platform.DetectResolve(s.World)
 			return t23
 		})
+		if s.counted != nil {
+			// Drained sequentially between tasks, after the platform's
+			// internal barriers — the counts are stable here.
+			q, c := s.counted.Take()
+			if q != 0 || c != 0 {
+				s.rec.Counter(s.idBPQueries, q)
+				s.rec.Counter(s.idBPCandidates, c)
+			}
+		}
 	}
 	s.tracker.EndPeriod()
 	if s.recorder != nil {

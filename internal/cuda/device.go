@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/parexec"
+	"repro/internal/telemetry"
 )
 
 // ThreadsPerBlock is fixed at 96 threads per block, the configuration
@@ -226,6 +227,11 @@ type Device struct {
 	// accs are the per-worker launch accumulators, reused across
 	// launches so a launch allocates nothing in steady state.
 	accs []launchAcc
+	// rec, when non-nil and at block detail, receives per-block work
+	// gauges through per-worker shards merged in block order.
+	rec        *telemetry.Recorder
+	shards     telemetry.ShardSet
+	idBlockOps telemetry.NameID
 }
 
 // launchAcc collects one host worker's share of a launch's work
@@ -254,6 +260,18 @@ func (d *Device) SetWorkers(n int) {
 
 // Workers returns the host worker count Launch will use.
 func (d *Device) Workers() int { return parexec.Resolve(d.pool).Workers() }
+
+// SetTelemetry attaches a recorder (nil detaches). At
+// telemetry.DetailBlock, every launch additionally records one
+// "cuda.block.ops" gauge per block, emitted from the parallel block
+// loop via per-worker shards and merged back in ascending block
+// order, so the event stream is identical at any worker count.
+func (d *Device) SetTelemetry(rec *telemetry.Recorder) {
+	d.rec = rec
+	if rec != nil {
+		d.idBlockOps = rec.Intern(telemetry.NameCUDABlockOps)
+	}
+}
 
 // Blocks returns the grid size for the given number of threads.
 func Blocks(threads int) int {
@@ -285,6 +303,10 @@ func (d *Device) Launch(name string, threads int, kernel func(t *Thread)) Kernel
 		for i := range accs {
 			accs[i] = launchAcc{}
 		}
+		blockDetail := d.rec != nil && d.rec.Detail() >= telemetry.DetailBlock
+		if blockDetail {
+			d.shards.Begin(nw)
+		}
 
 		// Blocks self-schedule over the pool one at a time (the block is
 		// the engine's unit of host concurrency, as on the device). Each
@@ -297,7 +319,7 @@ func (d *Device) Launch(name string, threads int, kernel func(t *Thread)) Kernel
 				// Per-warp divergence accounting: threads within a
 				// block run in lane order, so warps are contiguous
 				// 32-lane groups.
-				var warpMax, warpSum uint64
+				var warpMax, warpSum, blockOps uint64
 				warpLanes := 0
 				flushWarp := func() {
 					if warpLanes > 0 {
@@ -318,6 +340,7 @@ func (d *Device) Launch(name string, threads int, kernel func(t *Thread)) Kernel
 					th := Thread{ID: id, Block: b, Lane: lane, Worker: worker}
 					kernel(&th)
 					a.ops += th.ops
+					blockOps += th.ops
 					a.mem += th.mem
 					if th.ops > a.maxOps {
 						a.maxOps = th.ops
@@ -329,8 +352,14 @@ func (d *Device) Launch(name string, threads int, kernel func(t *Thread)) Kernel
 					warpLanes++
 				}
 				flushWarp()
+				if blockDetail {
+					d.shards.Shard(worker).Gauge(d.idBlockOps, int32(b), int64(blockOps))
+				}
 			}
 		})
+		if blockDetail {
+			d.rec.MergeShards(&d.shards)
+		}
 		for i := range accs {
 			a := &accs[i]
 			st.TotalOps += a.ops

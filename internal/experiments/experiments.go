@@ -24,6 +24,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/tasks"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -676,4 +677,41 @@ func RunAll(cfg Config) (*AllResults, error) {
 	}
 	res.Normalized = norm
 	return res, nil
+}
+
+// TelemetryTable — the per-sweep-point telemetry dump behind
+// results/telemetry.csv: every platform is run for one major cycle at
+// each sweep size with a telemetry recorder attached, and the
+// recorder's aggregates become the table — modeled task seconds as
+// seen by the span tracer (which must equal the scheduler's account;
+// see telemetry's integration tests) plus the task-statistics
+// counters. This is both a figure-style artifact and a cheap
+// end-to-end check that instrumentation covers every platform.
+func TelemetryTable(cfg Config) (*trace.Dataset, error) {
+	d := &trace.Dataset{
+		ID:     "telemetry",
+		Title:  "Telemetry aggregates per platform: modeled task seconds and task counters",
+		XLabel: "aircraft",
+		YLabel: "value",
+	}
+	for _, name := range platform.Names() {
+		label := platform.Label(name)
+		for _, n := range cfg.AllPlatformNs() {
+			p, err := platform.New(name, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			sys := core.NewSystem(p, core.Config{N: n, Seed: cfg.Seed})
+			rec := telemetry.NewRecorder(telemetry.DefaultCapacity)
+			sys.SetTelemetry(rec)
+			sys.RunMajorCycles(cfg.cycles())
+			d.Add("task1.s:"+label, float64(n), time.Duration(rec.SumOf(core.Task1)).Seconds())
+			d.Add("task23.s:"+label, float64(n), time.Duration(rec.SumOf(core.Task23)).Seconds())
+			d.Add("matched:"+label, float64(n), float64(rec.SumOf(telemetry.NameTrackMatched)))
+			d.Add("pairchecks:"+label, float64(n), float64(rec.SumOf(telemetry.NameDetectPairChecks)))
+			d.Add("conflicts:"+label, float64(n), float64(rec.SumOf(telemetry.NameDetectConflicts)))
+			d.Add("resolved:"+label, float64(n), float64(rec.SumOf(telemetry.NameDetectResolved)))
+		}
+	}
+	return d, nil
 }

@@ -19,6 +19,10 @@ var DeterministicPackages = map[string]bool{
 	"repro/internal/mimd":       true,
 	"repro/internal/vector":     true,
 	"repro/internal/rng":        true,
+	// The telemetry recorder feeds from deterministic packages and its
+	// stream must be worker-invariant; the live subpackage (HTTP
+	// snapshots, outside the contract) is deliberately not listed.
+	"repro/internal/telemetry": true,
 }
 
 // parexecPath is the one package allowed to own goroutines and

@@ -94,6 +94,42 @@ type Machine struct {
 	src    broadphase.PairSource
 	pool   *parexec.Pool
 	scr    scratch
+
+	// Telemetry phase marks: per-core cumulative op snapshots taken
+	// after each parallel phase when a recorder is attached, converted
+	// to critical-path spans by the platform adapter. Machine-owned
+	// scratch, reused across tasks.
+	marks   []phaseMark
+	markOps []uint64 // len(marks)*Cores cumulative per-core ops
+	marksOn bool
+}
+
+// phaseMark names one parallel phase; its work snapshot lives at the
+// matching offset of markOps.
+type phaseMark struct {
+	name string
+	arg  int32
+}
+
+// beginMarks clears the mark log and enables collection for the next
+// task.
+func (m *Machine) beginMarks() {
+	m.marks = m.marks[:0]
+	m.markOps = m.markOps[:0]
+	m.marksOn = true
+}
+
+// markPhase snapshots the cumulative per-core tally at the end of a
+// parallel phase; a no-op unless beginMarks was called. name must be
+// a static string so steady-state marking stays allocation-free.
+//
+//atm:noalloc
+func (m *Machine) markPhase(t *workTally, name string, arg int32) {
+	if !m.marksOn {
+		return
+	}
+	m.marks = append(m.marks, phaseMark{name: name, arg: arg})
+	m.markOps = append(m.markOps, t.ops...)
 }
 
 // scratch holds the machine-owned arrays reused across invocations.
@@ -299,6 +335,7 @@ func (m *Machine) Track(w *airspace.World, f *radar.Frame) (tasks.CorrelateStats
 		}
 		tally.ops[core] += ops
 	})
+	m.markPhase(tally, "expected", 0)
 	f.Reset()
 
 	boxHalf := tasks.InitialBoxHalf
@@ -376,6 +413,7 @@ func (m *Machine) Track(w *airspace.World, f *radar.Frame) (tasks.CorrelateStats
 			tally.ops[core] += ops
 			atomic.AddUint64(&comparisons, comps)
 		})
+		m.markPhase(tally, "boxpass", int32(pass))
 		st.Comparisons += int(comparisons)
 		st.DiscardedRadars += int(discarded)
 		st.WithdrawnAircraft += int(withdrawn)
@@ -398,6 +436,7 @@ func (m *Machine) Track(w *airspace.World, f *radar.Frame) (tasks.CorrelateStats
 		}
 		tally.ops[core] += ops
 	})
+	m.markPhase(tally, "commit", 0)
 	phases++
 	var matched uint64
 	m.parallel(r, func(core, lo, hi int) {
@@ -413,6 +452,7 @@ func (m *Machine) Track(w *airspace.World, f *radar.Frame) (tasks.CorrelateStats
 		}
 		tally.ops[core] += ops
 	})
+	m.markPhase(tally, "commitRadar", 0)
 	st.Matched = int(matched)
 	for j := range reps {
 		if reps[j].MatchWith == radar.Unmatched {
@@ -428,6 +468,7 @@ func (m *Machine) Track(w *airspace.World, f *radar.Frame) (tasks.CorrelateStats
 		}
 		tally.ops[core] += ops
 	})
+	m.markPhase(tally, "wrap", 0)
 
 	return st, m.taskTime(n, phases, tally)
 }
@@ -479,6 +520,7 @@ func (m *Machine) DetectResolve(w *airspace.World) (tasks.DetectStats, time.Dura
 		}
 		tally.ops[core] += ops
 	})
+	m.markPhase(tally, "snapshot", 0)
 
 	// Broadphase index build: single-threaded host-side preparation,
 	// charged as one extra phase of per-aircraft work. The snapshot is
@@ -490,6 +532,7 @@ func (m *Machine) DetectResolve(w *airspace.World) (tasks.DetectStats, time.Dura
 		m.parallel(n, func(core, lo, hi int) {
 			tally.ops[core] += uint64(hi-lo) * opsIndexBuild
 		})
+		m.markPhase(tally, "index", 0)
 	}
 
 	var conflicts, rotations, resolvedCount, unresolvedCount, pairChecks uint64
@@ -567,6 +610,7 @@ func (m *Machine) DetectResolve(w *airspace.World) (tasks.DetectStats, time.Dura
 		}
 		tally.ops[core] += ops
 	})
+	m.markPhase(tally, "scanresolve", 0)
 
 	phases++
 	m.parallel(n, func(core, lo, hi int) {
@@ -581,6 +625,7 @@ func (m *Machine) DetectResolve(w *airspace.World) (tasks.DetectStats, time.Dura
 		}
 		tally.ops[core] += ops
 	})
+	m.markPhase(tally, "commit", 0)
 
 	st := tasks.DetectStats{
 		Conflicts:  int(conflicts),

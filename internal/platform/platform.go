@@ -16,6 +16,7 @@ import (
 	"repro/internal/cuda"
 	"repro/internal/mimd"
 	"repro/internal/radar"
+	"repro/internal/telemetry"
 	"repro/internal/vector"
 )
 
@@ -51,6 +52,15 @@ type Workered interface {
 	SetWorkers(n int)
 }
 
+// Instrumented is implemented by platforms that can emit telemetry:
+// per-kernel-phase spans and work counters recorded in modeled time
+// into the given recorder. Passing nil detaches telemetry; attaching
+// or detaching a recorder must never change modeled times or
+// simulation results.
+type Instrumented interface {
+	SetTelemetry(rec *telemetry.Recorder)
+}
+
 // Compile-time interface checks for the four backends.
 var (
 	_ Platform = (*cuda.Platform)(nil)
@@ -67,6 +77,11 @@ var (
 	_ Workered = (*ap.Platform)(nil)
 	_ Workered = (*mimd.Platform)(nil)
 	_ Workered = (*vector.Platform)(nil)
+
+	_ Instrumented = (*cuda.Platform)(nil)
+	_ Instrumented = (*ap.Platform)(nil)
+	_ Instrumented = (*mimd.Platform)(nil)
+	_ Instrumented = (*vector.Platform)(nil)
 )
 
 // Registry keys for the six machines of the paper's evaluation.

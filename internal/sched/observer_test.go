@@ -1,0 +1,144 @@
+package sched
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestMultipleMissesOnePeriod: several task misses inside one period
+// count once against PeriodMisses but individually against TotalMisses
+// and the per-task aggregates.
+func TestMultipleMissesOnePeriod(t *testing.T) {
+	tr := NewTracker(100 * time.Millisecond)
+	tr.BeginPeriod()
+	tr.Run("a", func() time.Duration { return 150 * time.Millisecond }) // misses
+	tr.Run("b", func() time.Duration { return 10 * time.Millisecond })  // skipped: budget gone
+	tr.EndPeriod()
+	tr.BeginPeriod()
+	tr.Run("a", func() time.Duration { return 60 * time.Millisecond })
+	tr.Run("b", func() time.Duration { return 60 * time.Millisecond }) // pushes past deadline
+	tr.EndPeriod()
+
+	st := tr.Stats()
+	if st.PeriodMisses != 2 {
+		t.Errorf("PeriodMisses = %d, want 2", st.PeriodMisses)
+	}
+	if st.TotalMisses != 2 {
+		t.Errorf("TotalMisses = %d, want 2", st.TotalMisses)
+	}
+	if got := st.Task("a").Misses; got != 1 {
+		t.Errorf("task a misses = %d, want 1", got)
+	}
+	if got := st.Task("b").Misses; got != 1 {
+		t.Errorf("task b misses = %d, want 1", got)
+	}
+	if got := st.Task("b").Skips; got != 1 {
+		t.Errorf("task b skips = %d, want 1", got)
+	}
+}
+
+// TestExactBudgetThenSkip: a task consuming exactly the budget is not a
+// miss, but it leaves nothing for the rest of the period.
+func TestExactBudgetThenSkip(t *testing.T) {
+	tr := NewTracker(100 * time.Millisecond)
+	tr.BeginPeriod()
+	if !tr.Run("a", func() time.Duration { return 100 * time.Millisecond }) {
+		t.Fatal("task a should run")
+	}
+	if tr.Run("b", func() time.Duration { return time.Nanosecond }) {
+		t.Fatal("task b should be skipped at an exhausted budget")
+	}
+	tr.EndPeriod()
+	st := tr.Stats()
+	if st.TotalMisses != 0 || st.PeriodMisses != 0 {
+		t.Errorf("exact budget counted as miss: %+v", st)
+	}
+	if st.TotalSkips != 1 {
+		t.Errorf("TotalSkips = %d, want 1", st.TotalSkips)
+	}
+}
+
+// TestMissRateZeroPeriods: MissRate is defined (0) before any period.
+func TestMissRateZeroPeriods(t *testing.T) {
+	var s Stats
+	if got := s.MissRate(); got != 0 {
+		t.Fatalf("MissRate() = %v, want 0", got)
+	}
+}
+
+// logObserver appends one line per event.
+type logObserver struct{ events []string }
+
+func (l *logObserver) PeriodStarted(index int, start time.Duration) {
+	l.events = append(l.events, fmt.Sprintf("period %d start=%v", index, start))
+}
+func (l *logObserver) TaskStarted(name string, start time.Duration) {
+	l.events = append(l.events, fmt.Sprintf("start %s at=%v", name, start))
+}
+func (l *logObserver) TaskRan(name string, start, dur time.Duration, missed bool) {
+	l.events = append(l.events, fmt.Sprintf("ran %s at=%v dur=%v missed=%v", name, start, dur, missed))
+}
+func (l *logObserver) TaskSkipped(name string, at time.Duration) {
+	l.events = append(l.events, fmt.Sprintf("skip %s at=%v", name, at))
+}
+func (l *logObserver) PeriodEnded(index int, used time.Duration, missed bool) {
+	l.events = append(l.events, fmt.Sprintf("period %d end used=%v missed=%v", index, used, missed))
+}
+
+// TestObserverEventStream pins the exact event sequence, including
+// virtual start offsets across an overrun (the schedule slips by the
+// overrun, and observer times must slip with it).
+func TestObserverEventStream(t *testing.T) {
+	tr := NewTracker(100 * time.Millisecond)
+	obs := &logObserver{}
+	tr.Observer = obs
+
+	tr.BeginPeriod()
+	tr.Run("a", func() time.Duration { return 130 * time.Millisecond }) // overruns by 30ms
+	tr.Run("b", func() time.Duration { return time.Millisecond })       // skipped
+	tr.EndPeriod()
+	tr.BeginPeriod() // starts at 130ms: 100ms period stretched by the 30ms overrun
+	tr.Run("a", func() time.Duration { return 20 * time.Millisecond })
+	tr.EndPeriod()
+
+	want := []string{
+		"period 0 start=0s",
+		"start a at=0s",
+		"ran a at=0s dur=130ms missed=true",
+		"skip b at=130ms",
+		"period 0 end used=130ms missed=true",
+		"period 1 start=130ms",
+		"start a at=130ms",
+		"ran a at=130ms dur=20ms missed=false",
+		"period 1 end used=20ms missed=false",
+	}
+	if !reflect.DeepEqual(obs.events, want) {
+		t.Errorf("event stream mismatch:\ngot:  %q\nwant: %q", obs.events, want)
+	}
+}
+
+// TestObserverDoesNotChangeStats: the same schedule produces identical
+// statistics with and without an observer attached.
+func TestObserverDoesNotChangeStats(t *testing.T) {
+	run := func(obs Observer) *Stats {
+		tr := NewTracker(100 * time.Millisecond)
+		tr.Observer = obs
+		durs := []time.Duration{40, 70, 110, 0, 100, 25}
+		for i, d := range durs {
+			tr.BeginPeriod()
+			tr.Run("t1", func() time.Duration { return d * time.Millisecond })
+			if i%2 == 1 {
+				tr.Run("t23", func() time.Duration { return 50 * time.Millisecond })
+			}
+			tr.EndPeriod()
+		}
+		return tr.Stats()
+	}
+	plain := run(nil)
+	observed := run(&logObserver{})
+	if !reflect.DeepEqual(plain, observed) {
+		t.Errorf("observer changed statistics:\nwithout: %+v\nwith:    %+v", plain, observed)
+	}
+}

@@ -89,10 +89,37 @@ func (s *Stats) MissRate() float64 {
 	return float64(s.PeriodMisses) / float64(s.Periods)
 }
 
+// Observer receives schedule events as they happen, on the scheduling
+// goroutine, in schedule order. All times are virtual: start values
+// are offsets from the beginning of the run (VirtualElapsed plus the
+// period time already used). Implementations must be cheap and must
+// not call back into the Tracker. The telemetry recorder adapts to
+// this interface; the Tracker deliberately knows nothing about it.
+type Observer interface {
+	// PeriodStarted fires at BeginPeriod with the zero-based period
+	// index and the period's virtual start time.
+	PeriodStarted(index int, start time.Duration)
+	// TaskStarted fires immediately before a task executes.
+	TaskStarted(name string, start time.Duration)
+	// TaskRan fires after a task completed, with its virtual start,
+	// duration, and whether it pushed the period past its deadline.
+	TaskRan(name string, start, dur time.Duration, missed bool)
+	// TaskSkipped fires when a task is abandoned because the period
+	// budget was already exhausted.
+	TaskSkipped(name string, at time.Duration)
+	// PeriodEnded fires at EndPeriod with the period's index, its
+	// total used time, and whether any task in it missed.
+	PeriodEnded(index int, used time.Duration, missed bool)
+}
+
 // Tracker enforces the period deadline over a virtual clock.
 type Tracker struct {
 	// Period is the deadline budget; PeriodDur unless overridden.
 	Period time.Duration
+
+	// Observer, when non-nil, receives schedule events. Setting it
+	// must not change any scheduling decision or statistic.
+	Observer Observer
 
 	stats    Stats
 	inPeriod bool
@@ -121,6 +148,9 @@ func (t *Tracker) BeginPeriod() {
 	t.inPeriod = true
 	t.used = 0
 	t.missed = false
+	if t.Observer != nil {
+		t.Observer.PeriodStarted(t.stats.Periods, t.stats.VirtualElapsed)
+	}
 }
 
 // Run executes the named task inside the current period unless the
@@ -132,10 +162,17 @@ func (t *Tracker) Run(name string, f func() time.Duration) bool {
 		panic("sched: Run outside a period")
 	}
 	ts := t.stats.Task(name)
+	start := t.stats.VirtualElapsed + t.used
 	if t.used >= t.Period {
 		ts.Skips++
 		t.stats.TotalSkips++
+		if t.Observer != nil {
+			t.Observer.TaskSkipped(name, start)
+		}
 		return false
+	}
+	if t.Observer != nil {
+		t.Observer.TaskStarted(name, start)
 	}
 	d := f()
 	if d < 0 {
@@ -147,10 +184,14 @@ func (t *Tracker) Run(name string, f func() time.Duration) bool {
 		ts.Max = d
 	}
 	t.used += d
-	if t.used > t.Period {
+	taskMissed := t.used > t.Period
+	if taskMissed {
 		ts.Misses++
 		t.stats.TotalMisses++
 		t.missed = true
+	}
+	if t.Observer != nil {
+		t.Observer.TaskRan(name, start, d, taskMissed)
 	}
 	return true
 }
@@ -160,6 +201,9 @@ func (t *Tracker) Run(name string, f func() time.Duration) bool {
 func (t *Tracker) EndPeriod() {
 	if !t.inPeriod {
 		panic("sched: EndPeriod without BeginPeriod")
+	}
+	if t.Observer != nil {
+		t.Observer.PeriodEnded(t.stats.Periods, t.used, t.missed)
 	}
 	t.inPeriod = false
 	t.stats.Periods++

@@ -1,0 +1,165 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/trace"
+)
+
+// Exporters. All three formats are deterministic functions of the
+// buffered event stream: fixed field order, integer nanosecond
+// timestamps (Chrome: microseconds with fixed three-decimal
+// formatting), names quoted with strconv.Quote. Two recorders holding
+// identical events export byte-identical output — the property the
+// worker-invariance telemetry tests pin.
+
+// WriteJSONL writes one JSON object per buffered event, oldest first.
+// Fields, in order: t (modeled time, ns), kind, name, period, arg
+// (omitted when zero), and value — "dur" for spans, "value" otherwise
+// ("meta" events carry the resolved string).
+func WriteJSONL(w io.Writer, r *Recorder) error {
+	bw := bufio.NewWriter(w)
+	var err error
+	r.Visit(func(ev Event) {
+		if err != nil {
+			return
+		}
+		_, err = fmt.Fprintf(bw, `{"t":%d,"kind":%q,"name":%s,"period":%d`,
+			int64(ev.Time), ev.Kind.String(), strconv.Quote(r.Name(ev.Name)), ev.Period)
+		if err != nil {
+			return
+		}
+		if ev.Arg != 0 {
+			if _, err = fmt.Fprintf(bw, `,"arg":%d`, ev.Arg); err != nil {
+				return
+			}
+		}
+		switch ev.Kind {
+		case KindSpan:
+			_, err = fmt.Fprintf(bw, `,"dur":%d}`, ev.Value)
+		case KindMeta:
+			_, err = fmt.Fprintf(bw, `,"value":%s}`, strconv.Quote(r.MetaValue(ev)))
+		default:
+			_, err = fmt.Fprintf(bw, `,"value":%d}`, ev.Value)
+		}
+		if err != nil {
+			return
+		}
+		err = bw.WriteByte('\n')
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// usec renders nanoseconds as microseconds with exactly three
+// decimals, the resolution Chrome's trace viewer expects.
+func usec(ns int64) string {
+	return strconv.FormatFloat(float64(ns)/1e3, 'f', 3, 64)
+}
+
+// WriteChromeTrace writes the buffered events in Chrome trace_event
+// JSON (load via chrome://tracing or https://ui.perfetto.dev). Spans
+// become complete ("X") events on one modeled-time track, counters
+// and gauges become counter ("C") series, and meta events become
+// instant ("i") markers carrying their value.
+func WriteChromeTrace(w io.Writer, r *Recorder) error {
+	bw := bufio.NewWriter(w)
+	if _, err := io.WriteString(bw, `{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	var err error
+	r.Visit(func(ev Event) {
+		if err != nil {
+			return
+		}
+		if !first {
+			if err = bw.WriteByte(','); err != nil {
+				return
+			}
+		}
+		first = false
+		name := strconv.Quote(r.Name(ev.Name))
+		switch ev.Kind {
+		case KindSpan:
+			_, err = fmt.Fprintf(bw,
+				`{"name":%s,"cat":"modeled","ph":"X","ts":%s,"dur":%s,"pid":1,"tid":1,"args":{"period":%d,"arg":%d}}`,
+				name, usec(int64(ev.Time)), usec(ev.Value), ev.Period, ev.Arg)
+		case KindCounter, KindGauge:
+			_, err = fmt.Fprintf(bw,
+				`{"name":%s,"ph":"C","ts":%s,"pid":1,"args":{"value":%d}}`,
+				name, usec(int64(ev.Time)), ev.Value)
+		case KindMeta:
+			_, err = fmt.Fprintf(bw,
+				`{"name":%s,"ph":"i","s":"g","ts":%s,"pid":1,"tid":1,"args":{"value":%s}}`,
+				name, usec(int64(ev.Time)), strconv.Quote(r.MetaValue(ev)))
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := io.WriteString(bw, "]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// PeriodDataset aggregates the buffered events into a per-period
+// dataset: one series per event name, x = period index, y = the
+// period's aggregate (spans: total modeled seconds; counters: sum;
+// gauges: last reading). Meta events are skipped. Series appear in
+// interning order, periods ascending — deterministic output for the
+// CSV exporter.
+func PeriodDataset(r *Recorder, id string) *trace.Dataset {
+	d := &trace.Dataset{
+		ID:     id,
+		Title:  "Per-period telemetry aggregates",
+		XLabel: "period",
+		YLabel: "seconds (spans) / count (counters) / level (gauges)",
+	}
+	if r == nil || r.Len() == 0 {
+		return d
+	}
+	maxPeriod := int32(0)
+	r.Visit(func(ev Event) {
+		if ev.Period > maxPeriod {
+			maxPeriod = ev.Period
+		}
+	})
+	periods := int(maxPeriod) + 1
+	names := r.Names()
+	// Dense (name, period) aggregation; ~names*periods cells, fine at
+	// export scale.
+	sums := make([]float64, names*periods)
+	seen := make([]bool, names*periods)
+	r.Visit(func(ev Event) {
+		if ev.Kind == KindMeta {
+			return
+		}
+		cell := int(ev.Name)*periods + int(ev.Period)
+		switch ev.Kind {
+		case KindSpan:
+			sums[cell] += float64(ev.Value) / 1e9
+		case KindCounter:
+			sums[cell] += float64(ev.Value)
+		case KindGauge:
+			sums[cell] = float64(ev.Value)
+		}
+		seen[cell] = true
+	})
+	for nameID := 0; nameID < names; nameID++ {
+		label := r.Name(NameID(nameID))
+		for p := 0; p < periods; p++ {
+			if !seen[nameID*periods+p] {
+				continue
+			}
+			d.Add(label, float64(p), sums[nameID*periods+p])
+		}
+	}
+	return d
+}

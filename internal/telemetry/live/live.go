@@ -1,0 +1,110 @@
+// Package live publishes a Recorder's per-name aggregates over HTTP
+// for long atmsim runs: an expvar-style JSON endpoint that can be
+// polled while the simulation loop is running.
+//
+// The Recorder itself is single-goroutine by contract, so this
+// package never reads it concurrently: the simulation loop calls
+// Publisher.Update between periods (or major cycles), which snapshots
+// the aggregates under the publisher's lock; HTTP handlers serve the
+// latest snapshot. This package is deliberately outside the
+// determinism contract (it exists to observe wall-clock consumers),
+// which is why it is a subpackage rather than part of telemetry
+// proper.
+package live
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// Stat is one name's snapshot: how many events it recorded and its
+// running aggregate (spans: total modeled nanoseconds; counters:
+// total; gauges: last reading).
+type Stat struct {
+	Name  string
+	Count int64
+	Sum   int64
+}
+
+// Publisher holds the latest snapshot of a recorder's aggregates and
+// serves it as JSON. The zero value is ready to use.
+type Publisher struct {
+	mu      sync.Mutex
+	stats   []Stat
+	total   uint64
+	dropped uint64
+	period  int32
+}
+
+// Update snapshots the recorder's aggregates. Call it from the
+// goroutine that owns the recorder (the simulation loop), between
+// periods.
+func (p *Publisher) Update(r *telemetry.Recorder) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats = p.stats[:0]
+	for id := 0; id < r.Names(); id++ {
+		nid := telemetry.NameID(id)
+		if r.Count(nid) == 0 {
+			continue
+		}
+		p.stats = append(p.stats, Stat{Name: r.Name(nid), Count: r.Count(nid), Sum: r.Sum(nid)})
+	}
+	sort.Slice(p.stats, func(i, j int) bool { return p.stats[i].Name < p.stats[j].Name })
+	p.total = r.Total()
+	p.dropped = r.Dropped()
+	p.period = r.Period()
+}
+
+// Snapshot returns a copy of the latest stats.
+func (p *Publisher) Snapshot() []Stat {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Stat, len(p.stats))
+	copy(out, p.stats)
+	return out
+}
+
+// ServeHTTP writes the latest snapshot as a JSON object in expvar
+// style: {"telemetry": {"total": ..., "dropped": ..., "period": ...,
+// "stats": {name: {"count": c, "sum": s}, ...}}}.
+func (p *Publisher) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintf(w, `{"telemetry":{"total":%d,"dropped":%d,"period":%d,"stats":{`,
+		p.total, p.dropped, p.period)
+	for i, st := range p.stats {
+		if i > 0 {
+			fmt.Fprint(w, ",")
+		}
+		fmt.Fprintf(w, `%s:{"count":%d,"sum":%d}`, strconv.Quote(st.Name), st.Count, st.Sum)
+	}
+	fmt.Fprint(w, "}}}\n")
+}
+
+// String renders the snapshot as JSON, which also lets a Publisher be
+// registered directly as an expvar.Var.
+func (p *Publisher) String() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := fmt.Sprintf(`{"total":%d,"dropped":%d,"period":%d}`, p.total, p.dropped, p.period)
+	return s
+}
+
+var _ expvar.Var = (*Publisher)(nil)
+
+// Handler returns an http.Handler serving the publisher's snapshot at
+// its root and the standard expvar page under /debug/vars.
+func Handler(p *Publisher) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", p)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}

@@ -1,0 +1,71 @@
+package live
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func TestPublisherSnapshotAndServe(t *testing.T) {
+	r := telemetry.NewRecorder(16)
+	r.SetPeriod(4)
+	r.Span(r.Intern("task1"), 0, 2*time.Millisecond)
+	r.Span(r.Intern("task1"), 0, 3*time.Millisecond)
+	r.Counter(r.Intern("matched"), 7)
+	r.Intern("unused") // zero-count names stay out of the snapshot
+
+	var p Publisher
+	p.Update(r)
+
+	stats := p.Snapshot()
+	if len(stats) != 2 {
+		t.Fatalf("snapshot has %d stats, want 2: %+v", len(stats), stats)
+	}
+	// Sorted by name: matched before task1.
+	if stats[0].Name != "matched" || stats[0].Sum != 7 || stats[0].Count != 1 {
+		t.Errorf("matched stat = %+v", stats[0])
+	}
+	if stats[1].Name != "task1" || stats[1].Sum != int64(5*time.Millisecond) || stats[1].Count != 2 {
+		t.Errorf("task1 stat = %+v", stats[1])
+	}
+
+	srv := httptest.NewServer(Handler(&p))
+	defer srv.Close()
+	res, err := srv.Client().Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var doc struct {
+		Telemetry struct {
+			Total   uint64 `json:"total"`
+			Dropped uint64 `json:"dropped"`
+			Period  int32  `json:"period"`
+			Stats   map[string]struct {
+				Count int64 `json:"count"`
+				Sum   int64 `json:"sum"`
+			} `json:"stats"`
+		} `json:"telemetry"`
+	}
+	if err := json.NewDecoder(res.Body).Decode(&doc); err != nil {
+		t.Fatalf("endpoint did not serve valid JSON: %v", err)
+	}
+	if doc.Telemetry.Total != 3 || doc.Telemetry.Period != 4 {
+		t.Errorf("total=%d period=%d, want 3 and 4", doc.Telemetry.Total, doc.Telemetry.Period)
+	}
+	if st := doc.Telemetry.Stats["task1"]; st.Sum != int64(5*time.Millisecond) {
+		t.Errorf("served task1 sum = %d", st.Sum)
+	}
+
+	vars, err := srv.Client().Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars.Body.Close()
+	if vars.StatusCode != 200 {
+		t.Errorf("/debug/vars status %d", vars.StatusCode)
+	}
+}

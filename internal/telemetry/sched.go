@@ -1,0 +1,67 @@
+package telemetry
+
+import "time"
+
+// Event names emitted by the SchedObserver (and reused by core for
+// broad-phase counters). Task spans are emitted under the task's own
+// schedule name (core.Task1 / core.Task23), so Recorder.Sum of a task
+// name is its total modeled time — by construction equal to the
+// sched.Stats total for that task.
+const (
+	// NameSchedMiss counts tasks that finished past the deadline.
+	NameSchedMiss = "sched.miss"
+	// NameSchedSkip counts tasks skipped because the period was
+	// already exhausted when they were released.
+	NameSchedSkip = "sched.skip"
+	// NameSchedPeriodLoad gauges each period's used time (ns).
+	NameSchedPeriodLoad = "sched.period.load"
+	// NameSchedPeriodMiss counts periods with at least one miss.
+	NameSchedPeriodMiss = "sched.period.miss"
+)
+
+// SchedObserver adapts a Recorder to the scheduler's Observer
+// interface (structurally — neither package imports the other): it
+// drives the recorder's modeled clock and period from the virtual
+// schedule and records one completed span per task run, plus
+// miss/skip counters and a per-period load gauge.
+type SchedObserver struct {
+	R *Recorder
+}
+
+// PeriodStarted stamps the period index and rebases the modeled clock
+// at the period's virtual start time.
+func (o *SchedObserver) PeriodStarted(index int, start time.Duration) {
+	o.R.SetPeriod(int32(index))
+	o.R.SetNow(start)
+}
+
+// TaskStarted advances the modeled clock to the task's virtual start,
+// so platform-level sub-spans emitted during the task nest under it.
+func (o *SchedObserver) TaskStarted(name string, start time.Duration) {
+	o.R.SetNow(start)
+}
+
+// TaskRan records the task's span and advances the modeled clock past
+// it; a deadline miss also bumps the miss counter.
+func (o *SchedObserver) TaskRan(name string, start, dur time.Duration, missed bool) {
+	o.R.Span(o.R.Intern(name), start, dur)
+	o.R.SetNow(start + dur)
+	if missed {
+		o.R.Counter(o.R.Intern(NameSchedMiss), 1)
+	}
+}
+
+// TaskSkipped counts a task that never ran because its period was
+// already exhausted.
+func (o *SchedObserver) TaskSkipped(name string, at time.Duration) {
+	o.R.SetNow(at)
+	o.R.Counter(o.R.Intern(NameSchedSkip), 1)
+}
+
+// PeriodEnded gauges the period's load and counts missed periods.
+func (o *SchedObserver) PeriodEnded(index int, used time.Duration, missed bool) {
+	o.R.Gauge(o.R.Intern(NameSchedPeriodLoad), int64(used))
+	if missed {
+		o.R.Counter(o.R.Intern(NameSchedPeriodMiss), 1)
+	}
+}

@@ -1,0 +1,106 @@
+package telemetry
+
+// Shards let hot parallel loops emit events without sharing the
+// Recorder: each parexec worker writes to its own Shard (no locks, no
+// atomics), and MergeShards folds the shards back into the recorder
+// after the barrier, ordered by chunk index.
+//
+// Why that order is deterministic: parexec's self-scheduling cursor is
+// monotonic, so the chunks any one worker claims form an increasing
+// sequence — each shard is already sorted by chunk — and a chunk is
+// claimed by exactly one worker. A k-way merge on the per-shard heads
+// therefore reproduces ascending chunk order regardless of how many
+// workers ran or how chunks were distributed among them. The merged
+// stream, and hence the exported event log, is byte-identical at any
+// worker count.
+
+// ShardSet is a reusable set of per-worker event buffers. The zero
+// value is ready to use; Begin grows it to the worker count once and
+// the buffers keep their capacity across launches (machine-owned
+// scratch).
+type ShardSet struct {
+	shards []Shard
+	cursor []int // per-shard merge cursors, reused by MergeShards
+}
+
+// Shard is one worker's private event buffer. Events carry only
+// (kind, name, value, chunk); MergeShards stamps the recorder's
+// modeled time and period on merge, since shard events are emitted
+// inside a single modeled operation.
+type Shard struct {
+	events []Event
+}
+
+// Begin prepares the set for a launch over the given worker count,
+// truncating every shard. Growth happens only when workers exceeds
+// any previous launch (cold path).
+func (s *ShardSet) Begin(workers int) {
+	if workers > len(s.shards) {
+		s.shards = append(s.shards, make([]Shard, workers-len(s.shards))...)
+		s.cursor = append(s.cursor, make([]int, workers-len(s.cursor))...)
+	}
+	for i := range s.shards {
+		s.shards[i].events = s.shards[i].events[:0]
+	}
+}
+
+// Shard returns worker w's buffer. Each worker must use only its own
+// shard; distinct shards may be written concurrently.
+func (s *ShardSet) Shard(w int) *Shard { return &s.shards[w] }
+
+// Counter records a delta contribution for the given chunk.
+//
+//atm:noalloc
+func (sh *Shard) Counter(id NameID, chunk int32, v int64) {
+	sh.events = append(sh.events, Event{Value: v, Name: id, Arg: chunk, Kind: KindCounter})
+}
+
+// Gauge records an instantaneous reading for the given chunk.
+//
+//atm:noalloc
+func (sh *Shard) Gauge(id NameID, chunk int32, v int64) {
+	sh.events = append(sh.events, Event{Value: v, Name: id, Arg: chunk, Kind: KindGauge})
+}
+
+// Len returns the number of buffered shard events.
+func (sh *Shard) Len() int { return len(sh.events) }
+
+// MergeShards drains every shard into the recorder in ascending chunk
+// order (ties broken by shard index, which cannot occur under parexec
+// where each chunk is claimed by exactly one worker). Events are
+// stamped with the recorder's current modeled time and period. The
+// shards are left truncated and ready for the next Begin.
+//
+//atm:ordered-merge
+//atm:noalloc
+func (r *Recorder) MergeShards(s *ShardSet) {
+	if r == nil {
+		return
+	}
+	cur := s.cursor
+	for i := range cur {
+		cur[i] = 0
+	}
+	for {
+		best := -1
+		var bestChunk int32
+		for w := range s.shards {
+			if cur[w] >= len(s.shards[w].events) {
+				continue
+			}
+			c := s.shards[w].events[cur[w]].Arg
+			if best < 0 || c < bestChunk {
+				best, bestChunk = w, c
+			}
+		}
+		if best < 0 {
+			break
+		}
+		ev := s.shards[best].events[cur[best]]
+		cur[best]++
+		r.record(ev.Kind, ev.Name, r.now, ev.Value, ev.Arg)
+	}
+	for i := range s.shards {
+		s.shards[i].events = s.shards[i].events[:0]
+	}
+}

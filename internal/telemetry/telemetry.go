@@ -1,0 +1,411 @@
+// Package telemetry is the reproduction's observability layer: a
+// fixed-capacity ring buffer of typed events — completed spans,
+// counters, gauges and run metadata — stamped in *modeled* time, so a
+// run can be traced kernel by kernel without ever reading the host
+// clock. The paper's evaluation (Section 6) is entirely about where
+// the modeled time goes; this package makes that attribution a
+// first-class artifact instead of an end-of-run aggregate.
+//
+// Three properties are contractual:
+//
+//   - Deterministic: events are emitted from sequential orchestration
+//     code (the scheduler, the platform adapters, post-barrier merge
+//     points) with modeled timestamps, so the event stream — byte for
+//     byte after export — is identical at any host worker count.
+//     Hot parallel loops that must emit from inside a parexec body do
+//     so through per-worker Shards, which MergeShards folds back in
+//     ascending chunk order (see shard.go).
+//   - Zero-allocation: recording an event writes one slot of a
+//     preallocated ring. Names are interned once (cold path) to small
+//     integer IDs; the hot emitters take IDs and are annotated
+//     //atm:noalloc under the repository's static contract.
+//   - Non-perturbing: a nil *Recorder is a valid no-op sink, so every
+//     instrumentation point guards with a nil check (or calls the
+//     nil-safe methods directly) and telemetry-off runs execute the
+//     exact same modeled-time code path as telemetry-on runs.
+//
+// The Recorder is not safe for concurrent use: it belongs to the
+// simulation goroutine, like the machines it observes. Live export
+// for long runs goes through telemetry/live, which snapshots
+// aggregates between periods under its own lock.
+package telemetry
+
+import (
+	"fmt"
+	"time"
+)
+
+// Kind classifies one event.
+type Kind uint8
+
+const (
+	// KindSpan is a completed span: Time is the modeled start, Value
+	// the modeled duration in nanoseconds. Spans are recorded on
+	// completion (not as begin/end pairs), so a ring overwrite can
+	// never orphan half a span.
+	KindSpan Kind = iota
+	// KindCounter is a monotonic contribution: Value is the delta.
+	KindCounter
+	// KindGauge is an instantaneous level: Value is the reading.
+	KindGauge
+	// KindMeta is run metadata: Value is the NameID of the interned
+	// string value (see Recorder.Meta).
+	KindMeta
+)
+
+// String returns the export name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindSpan:
+		return "span"
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindMeta:
+		return "meta"
+	}
+	return "unknown"
+}
+
+// NameID is an interned event name. IDs are dense indices into the
+// recorder's name table, assigned in interning order.
+type NameID int32
+
+// Detail selects how fine-grained the instrumentation points record.
+type Detail uint8
+
+const (
+	// DetailTask records task- and kernel-phase-level events (default).
+	DetailTask Detail = iota
+	// DetailBlock additionally records per-block work gauges from
+	// inside the CUDA launch loop via per-worker shards.
+	DetailBlock
+)
+
+// Event is one telemetry record. The struct is fixed-size and flat so
+// a ring of them is a single allocation.
+type Event struct {
+	// Time is the modeled timestamp in nanoseconds since run start
+	// (span: start time).
+	Time time.Duration
+	// Value is the kind-specific payload: span duration (ns), counter
+	// delta, gauge reading, or the value NameID of a meta event.
+	Value int64
+	// Name identifies the event stream.
+	Name NameID
+	// Arg is a small per-event argument: box-pass or kernel ordinal,
+	// block/chunk index. Zero when unused.
+	Arg int32
+	// Period is the schedule period index the event was recorded in.
+	Period int32
+	// Kind classifies the event.
+	Kind Kind
+}
+
+// DefaultCapacity is the ring size used when NewRecorder is given a
+// non-positive capacity: 1<<16 events (2 MiB), roughly two thousand
+// periods of default-detail recording.
+const DefaultCapacity = 1 << 16
+
+// Recorder buffers events in a fixed-capacity ring, overwriting the
+// oldest events when full (Dropped reports how many were lost). It
+// also maintains running per-name aggregates that survive overwrites,
+// so totals used by tests and the live exporter are exact for the
+// whole run.
+type Recorder struct {
+	detail Detail
+	names  []string
+	ids    map[string]NameID
+	counts []int64 // per NameID: events recorded
+	sums   []int64 // per NameID: sum of Value (gauge: last reading)
+
+	buf   []Event
+	start int    // index of the oldest buffered event
+	n     int    // buffered event count
+	total uint64 // events ever recorded
+
+	now    time.Duration
+	period int32
+}
+
+// NewRecorder returns a recorder with the given ring capacity
+// (capacity <= 0 means DefaultCapacity).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{
+		ids: make(map[string]NameID),
+		buf: make([]Event, capacity),
+	}
+}
+
+// SetDetail sets the instrumentation detail level.
+func (r *Recorder) SetDetail(d Detail) { r.detail = d }
+
+// Detail returns the detail level; a nil recorder records nothing and
+// reports DetailTask.
+func (r *Recorder) Detail() Detail {
+	if r == nil {
+		return DetailTask
+	}
+	return r.detail
+}
+
+// Intern returns the ID for name, assigning one on first use. The
+// first call for a name allocates (cold path); steady-state calls are
+// a map hit. Hot emitters should pre-intern and pass IDs.
+func (r *Recorder) Intern(name string) NameID {
+	if id, ok := r.ids[name]; ok {
+		return id
+	}
+	id := NameID(len(r.names))
+	r.names = append(r.names, name)
+	r.counts = append(r.counts, 0)
+	r.sums = append(r.sums, 0)
+	r.ids[name] = id
+	return id
+}
+
+// Name returns the interned name for id, or "" if out of range.
+func (r *Recorder) Name(id NameID) string {
+	if r == nil || id < 0 || int(id) >= len(r.names) {
+		return ""
+	}
+	return r.names[id]
+}
+
+// Names returns the number of interned names.
+func (r *Recorder) Names() int { return len(r.names) }
+
+// SetNow sets the modeled clock (nanoseconds since run start).
+func (r *Recorder) SetNow(t time.Duration) {
+	if r == nil {
+		return
+	}
+	r.now = t
+}
+
+// Now returns the modeled clock; zero on a nil recorder.
+func (r *Recorder) Now() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return r.now
+}
+
+// SetPeriod sets the period index stamped on subsequent events.
+func (r *Recorder) SetPeriod(p int32) {
+	if r == nil {
+		return
+	}
+	r.period = p
+}
+
+// Period returns the current period index.
+func (r *Recorder) Period() int32 {
+	if r == nil {
+		return 0
+	}
+	return r.period
+}
+
+// record writes one event slot, overwriting the oldest when full.
+//
+//atm:noalloc
+func (r *Recorder) record(k Kind, id NameID, t time.Duration, v int64, arg int32) {
+	r.total++
+	r.counts[id]++
+	if k == KindGauge {
+		r.sums[id] = v
+	} else {
+		r.sums[id] += v
+	}
+	i := r.start + r.n
+	if i >= len(r.buf) {
+		i -= len(r.buf)
+	}
+	r.buf[i] = Event{Time: t, Value: v, Name: id, Arg: arg, Period: r.period, Kind: k}
+	if r.n == len(r.buf) {
+		r.start++
+		if r.start == len(r.buf) {
+			r.start = 0
+		}
+	} else {
+		r.n++
+	}
+}
+
+// Span records a completed span [start, start+dur) in modeled time.
+//
+//atm:noalloc
+func (r *Recorder) Span(id NameID, start, dur time.Duration) {
+	if r == nil {
+		return
+	}
+	r.record(KindSpan, id, start, int64(dur), 0)
+}
+
+// SpanArg is Span with a per-event argument (kernel ordinal, box
+// pass).
+//
+//atm:noalloc
+func (r *Recorder) SpanArg(id NameID, start, dur time.Duration, arg int32) {
+	if r == nil {
+		return
+	}
+	r.record(KindSpan, id, start, int64(dur), arg)
+}
+
+// Counter records a delta contribution at the current modeled time.
+//
+//atm:noalloc
+func (r *Recorder) Counter(id NameID, v int64) {
+	if r == nil {
+		return
+	}
+	r.record(KindCounter, id, r.now, v, 0)
+}
+
+// Gauge records an instantaneous reading at the current modeled time.
+//
+//atm:noalloc
+func (r *Recorder) Gauge(id NameID, v int64) {
+	if r == nil {
+		return
+	}
+	r.record(KindGauge, id, r.now, v, 0)
+}
+
+// Meta records a key/value string pair (run configuration: platform,
+// pair source, seed). Cold path: both strings are interned.
+func (r *Recorder) Meta(key, value string) {
+	if r == nil {
+		return
+	}
+	r.record(KindMeta, r.Intern(key), r.now, int64(r.Intern(value)), 0)
+}
+
+// MetaValue returns the string value of a meta event.
+func (r *Recorder) MetaValue(ev Event) string {
+	if ev.Kind != KindMeta {
+		return ""
+	}
+	return r.Name(NameID(ev.Value))
+}
+
+// Len returns the number of buffered events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return r.n
+}
+
+// Capacity returns the ring capacity.
+func (r *Recorder) Capacity() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.buf)
+}
+
+// Total returns the number of events ever recorded.
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.total
+}
+
+// Dropped returns the number of events lost to ring overwrites.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.total - uint64(r.n)
+}
+
+// Count returns how many events were recorded under id (including
+// overwritten ones).
+func (r *Recorder) Count(id NameID) int64 {
+	if r == nil || id < 0 || int(id) >= len(r.counts) {
+		return 0
+	}
+	return r.counts[id]
+}
+
+// Sum returns the running Value aggregate for id: total span duration
+// in nanoseconds, counter total, or the last gauge reading. It covers
+// every event ever recorded, including overwritten ones.
+func (r *Recorder) Sum(id NameID) int64 {
+	if r == nil || id < 0 || int(id) >= len(r.sums) {
+		return 0
+	}
+	return r.sums[id]
+}
+
+// SumOf is Sum keyed by name; unknown names return 0 without
+// interning.
+func (r *Recorder) SumOf(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	id, ok := r.ids[name]
+	if !ok {
+		return 0
+	}
+	return r.sums[id]
+}
+
+// CountOf is Count keyed by name; unknown names return 0 without
+// interning.
+func (r *Recorder) CountOf(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	id, ok := r.ids[name]
+	if !ok {
+		return 0
+	}
+	return r.counts[id]
+}
+
+// Visit calls f for every buffered event, oldest first.
+func (r *Recorder) Visit(f func(ev Event)) {
+	if r == nil {
+		return
+	}
+	for k := 0; k < r.n; k++ {
+		i := r.start + k
+		if i >= len(r.buf) {
+			i -= len(r.buf)
+		}
+		f(r.buf[i])
+	}
+}
+
+// Reset clears the ring, the aggregates and the clock but keeps the
+// interning table, so pre-interned IDs held by instrumented machines
+// stay valid.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.start, r.n, r.total = 0, 0, 0
+	r.now, r.period = 0, 0
+	for i := range r.counts {
+		r.counts[i] = 0
+		r.sums[i] = 0
+	}
+}
+
+// String summarizes the recorder state for logs.
+func (r *Recorder) String() string {
+	if r == nil {
+		return "telemetry: off"
+	}
+	return fmt.Sprintf("telemetry: %d events buffered (%d recorded, %d dropped), %d names",
+		r.n, r.total, r.Dropped(), len(r.names))
+}

@@ -1,0 +1,241 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestInternStable(t *testing.T) {
+	r := NewRecorder(8)
+	a := r.Intern("alpha")
+	b := r.Intern("beta")
+	if a == b {
+		t.Fatal("distinct names share an id")
+	}
+	if got := r.Intern("alpha"); got != a {
+		t.Fatalf("re-intern moved id: %d != %d", got, a)
+	}
+	if got := r.Name(a); got != "alpha" {
+		t.Fatalf("Name(%d) = %q", a, got)
+	}
+}
+
+func TestRingOverwriteKeepsAggregates(t *testing.T) {
+	r := NewRecorder(4)
+	id := r.Intern("task")
+	for i := 0; i < 10; i++ {
+		r.Span(id, time.Duration(i)*time.Millisecond, time.Millisecond)
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want capacity 4", r.Len())
+	}
+	if r.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", r.Total())
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", r.Dropped())
+	}
+	// Aggregates survive the overwrite: all ten spans counted and summed.
+	if got := r.Count(id); got != 10 {
+		t.Fatalf("Count = %d, want 10", got)
+	}
+	if got := r.Sum(id); got != int64(10*time.Millisecond) {
+		t.Fatalf("Sum = %d, want %d", got, int64(10*time.Millisecond))
+	}
+	// The ring holds the newest events, oldest first.
+	var starts []time.Duration
+	r.Visit(func(e Event) { starts = append(starts, e.Time) })
+	want := []time.Duration{6 * time.Millisecond, 7 * time.Millisecond, 8 * time.Millisecond, 9 * time.Millisecond}
+	if len(starts) != len(want) {
+		t.Fatalf("visited %d events, want %d", len(starts), len(want))
+	}
+	for i := range want {
+		if starts[i] != want[i] {
+			t.Fatalf("event %d start %v, want %v", i, starts[i], want[i])
+		}
+	}
+}
+
+func TestGaugeKeepsLastValue(t *testing.T) {
+	r := NewRecorder(8)
+	id := r.Intern("load")
+	r.Gauge(id, 3)
+	r.Gauge(id, 7)
+	if got := r.Sum(id); got != 7 {
+		t.Fatalf("gauge Sum = %d, want last value 7", got)
+	}
+	if got := r.Count(id); got != 2 {
+		t.Fatalf("gauge Count = %d, want 2", got)
+	}
+}
+
+func TestUnknownNamesDoNotIntern(t *testing.T) {
+	r := NewRecorder(8)
+	if r.SumOf("nope") != 0 || r.CountOf("nope") != 0 {
+		t.Fatal("unknown name reported nonzero aggregate")
+	}
+	if r.Names() != 0 {
+		t.Fatal("aggregate query interned the name")
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Span(0, 0, 0)
+	r.Counter(0, 1)
+	r.Gauge(0, 1)
+	r.SetNow(time.Second)
+	r.SetPeriod(3)
+	if r.Now() != 0 || r.Period() != 0 || r.Detail() != DetailTask {
+		t.Fatal("nil recorder getters not zero-valued")
+	}
+}
+
+func TestMeta(t *testing.T) {
+	r := NewRecorder(8)
+	r.Meta("platform", "Titan X")
+	var metas []string
+	r.Visit(func(e Event) {
+		if e.Kind == KindMeta {
+			metas = append(metas, r.Name(e.Name)+"="+r.MetaValue(e))
+		}
+	})
+	if len(metas) != 1 || metas[0] != "platform=Titan X" {
+		t.Fatalf("meta events = %q", metas)
+	}
+	if got := r.MetaValue(Event{Kind: KindSpan}); got != "" {
+		t.Fatalf("non-meta MetaValue = %q", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRecorder(8)
+	id := r.Intern("x")
+	r.Counter(id, 5)
+	r.Reset()
+	if r.Len() != 0 || r.Total() != 0 || r.Count(id) != 0 || r.Sum(id) != 0 {
+		t.Fatal("Reset left state behind")
+	}
+	if got := r.Intern("x"); got != id {
+		t.Fatal("Reset dropped the interning table")
+	}
+}
+
+func TestMergeShardsDeterministicOrder(t *testing.T) {
+	r := NewRecorder(64)
+	id := r.Intern("blk")
+	var s ShardSet
+	// Simulate 3 workers finishing out of order: merged output must be
+	// ordered by chunk regardless of which shard holds which chunk.
+	s.Begin(3)
+	s.Shard(2).Gauge(id, 5, 50)
+	s.Shard(0).Gauge(id, 1, 10)
+	s.Shard(1).Gauge(id, 3, 30)
+	s.Shard(0).Gauge(id, 2, 20)
+	s.Shard(2).Gauge(id, 6, 60)
+	s.Shard(1).Gauge(id, 4, 40)
+	r.SetNow(time.Second)
+	r.MergeShards(&s)
+
+	var args []int32
+	r.Visit(func(e Event) {
+		if e.Time != time.Second {
+			t.Fatalf("merged event not stamped with recorder now: %v", e.Time)
+		}
+		args = append(args, e.Arg)
+	})
+	for i, a := range args {
+		if int(a) != i+1 {
+			t.Fatalf("merge order broken at %d: %v", i, args)
+		}
+	}
+	if len(args) != 6 {
+		t.Fatalf("merged %d events, want 6", len(args))
+	}
+	// Begin truncates for reuse.
+	s.Begin(3)
+	for w := 0; w < 3; w++ {
+		if len(s.Shard(w).events) != 0 {
+			t.Fatal("Begin did not reset shard")
+		}
+	}
+}
+
+func TestWriteJSONLValid(t *testing.T) {
+	r := NewRecorder(64)
+	r.Meta("platform", "test \"quoted\"")
+	task := r.Intern("task1")
+	r.SetPeriod(2)
+	r.SetNow(time.Millisecond)
+	r.Span(task, time.Millisecond, 3*time.Millisecond)
+	r.SpanArg(r.Intern("boxpass"), time.Millisecond, time.Microsecond, 4)
+	r.Counter(r.Intern("matched"), 17)
+	r.Gauge(r.Intern("load"), 99)
+
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), buf.String())
+	}
+	for _, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("invalid JSON line %q: %v", line, err)
+		}
+		for _, k := range []string{"t", "kind", "name", "period"} {
+			if _, ok := m[k]; !ok {
+				t.Fatalf("line %q missing %q", line, k)
+			}
+		}
+	}
+}
+
+func TestWriteChromeTraceValid(t *testing.T) {
+	r := NewRecorder(64)
+	r.Meta("n", "100")
+	r.Span(r.Intern("task1"), 0, time.Millisecond)
+	r.Counter(r.Intern("matched"), 3)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v\n%s", err, buf.Bytes())
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("got %d trace events, want 3", len(doc.TraceEvents))
+	}
+}
+
+func TestPeriodDataset(t *testing.T) {
+	r := NewRecorder(64)
+	task := r.Intern("task1")
+	cnt := r.Intern("matched")
+	for p := int32(0); p < 3; p++ {
+		r.SetPeriod(p)
+		r.Span(task, 0, time.Duration(p+1)*time.Millisecond)
+		r.Counter(cnt, int64(10*(p+1)))
+	}
+	d := PeriodDataset(r, "test")
+	ts := d.Get("task1")
+	if ts == nil || len(ts.Points) != 3 {
+		t.Fatalf("task1 series missing or wrong length: %+v", ts)
+	}
+	if ts.Points[2].X != 2 || ts.Points[2].Y != (3*time.Millisecond).Seconds() {
+		t.Fatalf("task1 point 2 = %+v", ts.Points[2])
+	}
+	cs := d.Get("matched")
+	if cs == nil || cs.Points[1].Y != 20 {
+		t.Fatalf("matched series wrong: %+v", cs)
+	}
+}

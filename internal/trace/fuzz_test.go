@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// points counts every point in the dataset across series.
+func points(d *Dataset) int {
+	n := 0
+	for i := range d.Series {
+		n += len(d.Series[i].Points)
+	}
+	return n
+}
+
+// FuzzReadCSV drives ReadCSV with arbitrary bytes. Two properties:
+// parsing must never panic (errors are fine), and any input that does
+// parse must survive a write/re-read round trip with its header and
+// point count intact — the regeneration loop the results/ directory
+// depends on.
+func FuzzReadCSV(f *testing.F) {
+	f.Add([]byte("# fig4 | Task 1 | aircraft | seconds\nseries,x,y\nTitan X,4000,0.0125\nTitan X,8000,0.025\n"))
+	f.Add([]byte("series,x,y\na,1,2\n"))
+	f.Add([]byte("a,1,2\nb,3,4\nb,5,6\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("#"))
+	f.Add([]byte("# lone comment, no newline"))
+	f.Add([]byte("\"quoted,label\",1e-9,NaN\n"))
+	f.Add([]byte("\"multi\nline\",+Inf,-0\n"))
+	f.Add([]byte("series,x,y\r\na,0x1p-2,2\r\n"))
+	f.Add([]byte("# " + strings.Repeat("wide", 2048) + " | t | x | y\nseries,x,y\na,1,2\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := ReadCSV(bytes.NewReader(data))
+		if err != nil {
+			return // rejecting malformed input is fine; panicking is not
+		}
+		var buf bytes.Buffer
+		if err := d.WriteCSV(&buf); err != nil {
+			t.Fatalf("WriteCSV of parsed dataset: %v", err)
+		}
+		d2, err := ReadCSV(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read of written dataset: %v\ncsv:\n%s", err, buf.Bytes())
+		}
+		if got, want := points(d2), points(d); got != want {
+			t.Fatalf("round trip changed point count: %d -> %d\ncsv:\n%s", want, got, buf.Bytes())
+		}
+		if d2.ID != d.ID {
+			t.Fatalf("round trip changed ID: %q -> %q", d.ID, d2.ID)
+		}
+	})
+}

@@ -5,6 +5,7 @@
 package trace
 
 import (
+	"bytes"
 	"encoding/csv"
 	"errors"
 	"fmt"
@@ -175,21 +176,29 @@ func newCommentSkipper(r io.Reader) *commentSkipper {
 	head := make([]byte, 4096)
 	n, _ := io.ReadFull(r, head)
 	head = head[:n]
-	if len(head) > 0 && head[0] == '#' {
-		for i, b := range head {
-			if b == '\n' {
-				cs.comment = string(head[:i])
-				cs.buf = head[i+1:]
-				return cs
-			}
-		}
-		// A comment with no newline: the whole input was the comment.
-		cs.comment = string(head)
-		cs.buf = nil
+	if len(head) == 0 || head[0] != '#' {
+		cs.buf = head
 		return cs
 	}
-	cs.buf = head
-	return cs
+	// Keep reading until the comment line ends; header rows are
+	// unbounded (a dataset title can exceed any fixed read-ahead) and
+	// truncating one here would feed its tail to the CSV parser.
+	for {
+		if i := bytes.IndexByte(head, '\n'); i >= 0 {
+			cs.comment = string(head[:i])
+			cs.buf = head[i+1:]
+			return cs
+		}
+		chunk := make([]byte, 4096)
+		n, _ := cs.r.Read(chunk)
+		head = append(head, chunk[:n]...)
+		if n == 0 {
+			// A comment with no newline: the whole input was the comment.
+			cs.comment = string(head)
+			cs.buf = nil
+			return cs
+		}
+	}
 }
 
 func (cs *commentSkipper) Read(p []byte) (int, error) {

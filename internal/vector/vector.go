@@ -89,6 +89,13 @@ type Machine struct {
 	resolved     []bool
 	// Per-core candidate buffers for the pruned gather scan.
 	bufs []candBuf
+
+	// Telemetry phase marks: per-core cumulative instruction
+	// snapshots taken after each parallel phase when a recorder is
+	// attached. Machine-owned scratch, reused across tasks.
+	marks   []phaseMark
+	markOps []uint64 // len(marks)*Cores snapshots
+	marksOn bool
 }
 
 // candBuf is one modeled core's candidate buffer, padded against false
@@ -96,6 +103,21 @@ type Machine struct {
 type candBuf struct {
 	cand []int32
 	_    [40]byte
+}
+
+// phaseMark names one parallel phase; its per-core cumulative
+// instruction snapshot lives at the matching offset of markOps.
+type phaseMark struct {
+	name string
+	arg  int32
+}
+
+// beginMarks clears the mark log and enables collection for the next
+// task (telemetry; see the platform adapter).
+func (m *Machine) beginMarks() {
+	m.marks = m.marks[:0]
+	m.markOps = m.markOps[:0]
+	m.marksOn = true
 }
 
 // New returns a machine for the profile.
@@ -235,7 +257,7 @@ func (t *tally) max() uint64 {
 // worker pool. Partitions — and so per-core instruction tallies and
 // the modeled critical path — depend only on the core count; the host
 // worker count affects wall-clock speed alone.
-func (m *Machine) parallel(t *tally, n int, body func(core, lo, hi int)) {
+func (m *Machine) parallel(t *tally, name string, arg int32, n int, body func(core, lo, hi int)) {
 	t.phases++
 	cores := m.prof.Cores
 	parexec.Resolve(m.pool).Run(cores, 1, func(_, clo, chi int) {
@@ -247,6 +269,10 @@ func (m *Machine) parallel(t *tally, n int, body func(core, lo, hi int)) {
 			}
 		}
 	})
+	if m.marksOn {
+		m.marks = append(m.marks, phaseMark{name: name, arg: arg})
+		m.markOps = append(m.markOps, t.vecInstr...)
+	}
 }
 
 // newTally resets and returns the machine's reusable tally.
@@ -303,7 +329,7 @@ func (m *Machine) Track(w *airspace.World, f *radar.Frame) (tasks.CorrelateStats
 	n := s.n
 
 	// Expected positions: pure vector adds over the whole database.
-	m.parallel(t, n, func(core, lo, hi int) {
+	m.parallel(t, "expected", 0, n, func(core, lo, hi int) {
 		var vi uint64
 		for base := lo; base < hi; base += Lanes {
 			end := base + Lanes
@@ -353,7 +379,7 @@ func (m *Machine) Track(w *airspace.World, f *radar.Frame) (tasks.CorrelateStats
 
 		// Census: every still-unmatched radar scans the database in
 		// lane blocks. Match state is frozen for the whole phase.
-		m.parallel(t, len(reps), func(core, lo, hi int) {
+		m.parallel(t, "census", int32(pass), len(reps), func(core, lo, hi int) {
 			var vi, comps uint64
 			for j := lo; j < hi; j++ {
 				rep := &reps[j]
@@ -398,7 +424,7 @@ func (m *Machine) Track(w *airspace.World, f *radar.Frame) (tasks.CorrelateStats
 
 		// Claim: ambiguous radars are discarded; unique candidates are
 		// claimed with a commutative counter.
-		m.parallel(t, len(reps), func(core, lo, hi int) {
+		m.parallel(t, "claim", int32(pass), len(reps), func(core, lo, hi int) {
 			var vi uint64
 			for j := lo; j < hi; j++ {
 				rep := &reps[j]
@@ -418,7 +444,7 @@ func (m *Machine) Track(w *airspace.World, f *radar.Frame) (tasks.CorrelateStats
 		})
 
 		// Arbitrate: contested aircraft are withdrawn.
-		m.parallel(t, n, func(core, lo, hi int) {
+		m.parallel(t, "arbitrate", int32(pass), n, func(core, lo, hi int) {
 			var vi uint64
 			for i := lo; i < hi; i++ {
 				if i%Lanes == 0 {
@@ -434,7 +460,7 @@ func (m *Machine) Track(w *airspace.World, f *radar.Frame) (tasks.CorrelateStats
 
 		// Finalize: surviving unique claims become matches; clear the
 		// claim counters for the next pass.
-		m.parallel(t, len(reps), func(core, lo, hi int) {
+		m.parallel(t, "finalize", int32(pass), len(reps), func(core, lo, hi int) {
 			var vi uint64
 			for j := lo; j < hi; j++ {
 				rep := &reps[j]
@@ -450,7 +476,7 @@ func (m *Machine) Track(w *airspace.World, f *radar.Frame) (tasks.CorrelateStats
 			}
 			t.vecInstr[core] += vi
 		})
-		m.parallel(t, n, func(core, lo, hi int) {
+		m.parallel(t, "clearClaims", int32(pass), n, func(core, lo, hi int) {
 			for i := lo; i < hi; i++ {
 				acClaims[i] = 0
 			}
@@ -464,7 +490,7 @@ func (m *Machine) Track(w *airspace.World, f *radar.Frame) (tasks.CorrelateStats
 	}
 
 	// Commit.
-	m.parallel(t, n, func(core, lo, hi int) {
+	m.parallel(t, "commit", 0, n, func(core, lo, hi int) {
 		var vi uint64
 		for i := lo; i < hi; i++ {
 			a := &w.Aircraft[i]
@@ -477,7 +503,7 @@ func (m *Machine) Track(w *airspace.World, f *radar.Frame) (tasks.CorrelateStats
 		t.vecInstr[core] += vi
 	})
 	var matched uint64
-	m.parallel(t, len(reps), func(core, lo, hi int) {
+	m.parallel(t, "commitRadar", 0, len(reps), func(core, lo, hi int) {
 		for j := lo; j < hi; j++ {
 			rep := &reps[j]
 			if rep.MatchWith >= 0 && s.rmatch[rep.MatchWith] == 1 {
@@ -494,7 +520,7 @@ func (m *Machine) Track(w *airspace.World, f *radar.Frame) (tasks.CorrelateStats
 			st.UnmatchedRadars++
 		}
 	}
-	m.parallel(t, n, func(core, lo, hi int) {
+	m.parallel(t, "wrap", 0, n, func(core, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			airspace.Wrap(&w.Aircraft[i])
 		}
@@ -533,7 +559,7 @@ func (m *Machine) DetectResolve(w *airspace.World) (tasks.DetectStats, time.Dura
 	// Broadphase index build, charged as one lane-blocked phase.
 	if m.src != nil {
 		m.src.Prepare(w)
-		m.parallel(t, n, func(core, lo, hi int) {
+		m.parallel(t, "index", 0, n, func(core, lo, hi int) {
 			t.vecInstr[core] += uint64((hi-lo+Lanes-1)/Lanes) * viIndex
 		})
 	}
@@ -602,7 +628,7 @@ func (m *Machine) DetectResolve(w *airspace.World) (tasks.DetectStats, time.Dura
 		return earliest, with, earliest < airspace.CriticalTime
 	}
 
-	m.parallel(t, n, func(core, lo, hi int) {
+	m.parallel(t, "scanresolve", 0, n, func(core, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			a := &w.Aircraft[i]
 			a.ResetConflict()
@@ -639,7 +665,7 @@ func (m *Machine) DetectResolve(w *airspace.World) (tasks.DetectStats, time.Dura
 		}
 	})
 
-	m.parallel(t, n, func(core, lo, hi int) {
+	m.parallel(t, "commit", 0, n, func(core, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			if resolved[i] {
 				a := &w.Aircraft[i]
