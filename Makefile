@@ -1,7 +1,7 @@
 GO ?= go
 ATMLINT := bin/atmlint
 
-.PHONY: all build test vet lint lint-fixtures bench-smoke fuzz clean
+.PHONY: all build test vet lint lint-fixtures bench-smoke fuzz serve serve-smoke clean
 
 all: build test
 
@@ -38,6 +38,19 @@ bench-smoke:
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzReadCSV -fuzztime=$(FUZZTIME) ./internal/trace
+
+# serve starts the simulation service on SERVE_ADDR (see cmd/atmserve;
+# curl 'localhost:8080/v1/simulate?platform=titanx&n=8000').
+SERVE_ADDR ?= localhost:8080
+serve:
+	$(GO) run ./cmd/atmserve -addr $(SERVE_ADDR)
+
+# serve-smoke builds atmserve, runs one request end to end, checks the
+# golden measurement row and a clean SIGTERM drain — the same script CI
+# runs.
+serve-smoke:
+	$(GO) build -o bin/atmserve ./cmd/atmserve
+	./scripts/serve-smoke.sh bin/atmserve
 
 clean:
 	rm -rf bin

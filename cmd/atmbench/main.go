@@ -18,9 +18,12 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/parexec"
+	"repro/internal/platform"
 	"repro/internal/report"
+	"repro/internal/sched"
 	"repro/internal/trace"
 )
 
@@ -37,6 +40,25 @@ func main() {
 			"host worker goroutines for sweeps and task execution (0 = GOMAXPROCS); results are identical at any count")
 	)
 	flag.Parse()
+	// Pre-flight validation shared with atmsim and atmserve. atmbench
+	// exposes only -cycles and -workers; the sweeps fix platform, N and
+	// pair source themselves, so those knobs are pinned to known-good
+	// values and only the real flags are checked (-cycles 0 selects the
+	// experiment default, negatives are usage errors).
+	cyc := *cycles
+	if cyc == 0 {
+		cyc = experiments.DefaultConfig.Cycles
+	}
+	params := core.RunParams{
+		Platform: platform.TitanXPascal,
+		N:        1,
+		Periods:  cyc * sched.PeriodsPerMajorCycle,
+		Workers:  *workers,
+	}
+	if err := params.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "atmbench:", err)
+		os.Exit(2)
+	}
 	parexec.SetDefaultWorkers(*workers)
 	cfg := experiments.Config{Cycles: *cycles, Seed: *seed, Quick: *quick}
 	if err := run(cfg, *figNum, *table, *outDir, !*noChart); err != nil {

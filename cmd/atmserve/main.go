@@ -1,0 +1,100 @@
+// Command atmserve serves the deterministic ATM simulation over
+// HTTP/JSON: requests name a canonical config (platform, N, seed,
+// periods, pair source, detail level) and the server answers with the
+// measurement rows, deduping concurrent identical requests onto one
+// execution, caching results (sound because runs are bit-deterministic)
+// and shedding load with 429 once its bounded run queue fills.
+//
+// Usage:
+//
+//	atmserve -addr localhost:8080
+//	curl 'localhost:8080/v1/simulate?platform=titanx&n=8000&periods=32'
+//	curl -X POST localhost:8080/v1/simulate -d '{"platform":"staran","n":16000}'
+//
+// Endpoints: /v1/simulate, /healthz, /readyz, /metrics, /telemetry/.
+// On SIGINT/SIGTERM the server stops admitting, finishes in-flight
+// runs, and exits cleanly.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/parexec"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "localhost:8080", "listen address")
+		workers = flag.Int("workers", 0,
+			"host worker goroutines per simulation (0 = GOMAXPROCS); responses are identical at any count")
+		runners      = flag.Int("runners", 2, "concurrent simulation executors")
+		queue        = flag.Int("queue", 64, "run queue depth; beyond it requests are shed with 429")
+		cache        = flag.Int("cache", 256, "result cache entries (LRU)")
+		timeout      = flag.Duration("timeout", 60*time.Second, "per-request deadline (queue wait + run)")
+		interactiveN = flag.Int("interactive-n", 4000,
+			"largest aircraft count served from the priority lane")
+		maxN  = flag.Int("max-n", 200000, "largest admissible aircraft count")
+		drain = flag.Duration("drain-timeout", 30*time.Second, "grace period to finish in-flight work on shutdown")
+	)
+	flag.Parse()
+	// The per-request knobs are validated per request; -workers is the
+	// only shared run knob this binary owns, checked through the same
+	// helper as atmsim and atmbench (exit 2 on usage errors).
+	params := core.RunParams{Platform: "", N: 1, Periods: 1, Workers: *workers}
+	if err := params.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "atmserve:", err)
+		os.Exit(2)
+	}
+	parexec.SetDefaultWorkers(*workers)
+
+	srv := serve.New(serve.Options{
+		Runners:      *runners,
+		QueueDepth:   *queue,
+		CacheEntries: *cache,
+		Timeout:      *timeout,
+		InteractiveN: *interactiveN,
+		MaxN:         *maxN,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		fmt.Println("atmserve: draining (stop admitting, finishing in-flight runs)")
+		// Stop admission first so handlers already waiting on runs can
+		// finish while http.Server.Shutdown waits for them, then wait
+		// for the executors to drain the queue.
+		srv.BeginDrain()
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(drainCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "atmserve: http shutdown:", err)
+		}
+		if err := srv.Shutdown(drainCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "atmserve:", err)
+		}
+	}()
+
+	fmt.Printf("atmserve: serving on http://%s/ (runners=%d queue=%d cache=%d)\n",
+		*addr, *runners, *queue, *cache)
+	err := httpSrv.ListenAndServe()
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "atmserve:", err)
+		os.Exit(1)
+	}
+	<-shutdownDone
+	fmt.Println("atmserve: drained, bye")
+}

@@ -14,12 +14,15 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/broadphase"
@@ -57,6 +60,19 @@ func main() {
 		capacity     = flag.Int("telemetry-cap", telemetry.DefaultCapacity, "telemetry ring-buffer capacity in events")
 	)
 	flag.Parse()
+	// Pre-flight validation shared with atmbench and atmserve; bad
+	// configurations are usage errors (exit 2), not runtime failures.
+	params := core.RunParams{
+		Platform:   *platformName,
+		N:          *n,
+		Periods:    *cycles * sched.PeriodsPerMajorCycle,
+		Workers:    *workers,
+		PairSource: *pairSource,
+	}
+	if err := params.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "atmsim:", err)
+		os.Exit(2)
+	}
 	parexec.SetDefaultWorkers(*workers)
 	tc := telemetryConfig{
 		enabled:  *useTelemetry || *events != "" || *chrome != "" || *metrics != "" || *httpAddr != "",
@@ -81,10 +97,12 @@ type telemetryConfig struct {
 	capacity                          int
 }
 
-// attach builds the recorder and live publisher when telemetry is on.
-func (tc telemetryConfig) attach(sys *core.System) (*telemetry.Recorder, *live.Publisher, error) {
+// attach builds the recorder, live publisher and telemetry HTTP server
+// when telemetry is on. The caller owns shutting down the returned
+// server (see shutdownTelemetryHTTP).
+func (tc telemetryConfig) attach(sys *core.System) (*telemetry.Recorder, *live.Publisher, *http.Server, error) {
 	if !tc.enabled {
-		return nil, nil, nil
+		return nil, nil, nil, nil
 	}
 	rec := telemetry.NewRecorder(tc.capacity)
 	switch tc.detail {
@@ -93,21 +111,36 @@ func (tc telemetryConfig) attach(sys *core.System) (*telemetry.Recorder, *live.P
 	case "block":
 		rec.SetDetail(telemetry.DetailBlock)
 	default:
-		return nil, nil, fmt.Errorf("unknown telemetry detail %q (have task, block)", tc.detail)
+		return nil, nil, nil, fmt.Errorf("unknown telemetry detail %q (have task, block)", tc.detail)
 	}
 	sys.SetTelemetry(rec)
 	var pub *live.Publisher
+	var srv *http.Server
 	if tc.httpAddr != "" {
 		pub = &live.Publisher{}
-		srv := &http.Server{Addr: tc.httpAddr, Handler: live.Handler(pub)}
+		srv = &http.Server{Addr: tc.httpAddr, Handler: live.Handler(pub)}
 		go func() {
-			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintln(os.Stderr, "atmsim: telemetry http:", err)
 			}
 		}()
 		fmt.Printf("telemetry: serving live metrics on http://%s/ (expvar at /debug/vars)\n", tc.httpAddr)
 	}
-	return rec, pub, nil
+	return rec, pub, srv, nil
+}
+
+// shutdownTelemetryHTTP closes the -http endpoint gracefully: in-flight
+// scrapes finish, then the listener closes, instead of the server being
+// torn down mid-response at process exit.
+func shutdownTelemetryHTTP(srv *http.Server) {
+	if srv == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "atmsim: telemetry http shutdown:", err)
+	}
 }
 
 // flush writes the configured telemetry outputs at the end of the run.
@@ -147,26 +180,22 @@ func (tc telemetryConfig) flush(rec *telemetry.Recorder) error {
 }
 
 func run(platformName string, n, cycles int, seed uint64, noise float64, pairSource string, verbose, watch bool, record string, tc telemetryConfig) error {
-	if n <= 0 {
-		return fmt.Errorf("need a positive aircraft count, got %d", n)
-	}
-	if cycles <= 0 {
-		return fmt.Errorf("need a positive cycle count, got %d", cycles)
-	}
+	// Flag validation already happened in main via core.RunParams.
 	p, err := platform.New(platformName, seed)
 	if err != nil {
 		return err
 	}
-	if pairSource != "" {
-		if _, err := broadphase.New(pairSource); err != nil {
-			return err
-		}
-	}
 	sys := core.NewSystem(p, core.Config{N: n, Seed: seed, Noise: noise, PairSource: pairSource})
-	rec, pub, err := tc.attach(sys)
+	rec, pub, telemetrySrv, err := tc.attach(sys)
 	if err != nil {
 		return err
 	}
+	defer shutdownTelemetryHTTP(telemetrySrv)
+	// SIGINT/SIGTERM stop the simulation at the next period boundary so
+	// telemetry flushes and the -http endpoint shuts down gracefully
+	// instead of the process dying mid-run.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if record != "" {
 		f, err := os.Create(record)
 		if err != nil {
@@ -188,9 +217,14 @@ func run(platformName string, n, cycles int, seed uint64, noise float64, pairSou
 	// pprof labels tag host CPU samples with the modeled platform, so a
 	// host profile of the simulator can be cut per platform under study.
 	var runErr error
-	pprof.Do(context.Background(), pprof.Labels("atm.platform", p.Name(), "atm.n", fmt.Sprint(n)), func(context.Context) {
-		for c := 0; c < cycles; c++ {
+	interrupted := false
+	pprof.Do(ctx, pprof.Labels("atm.platform", p.Name(), "atm.n", fmt.Sprint(n)), func(ctx context.Context) {
+		for c := 0; c < cycles && !interrupted; c++ {
 			for period := 0; period < sched.PeriodsPerMajorCycle; period++ {
+				if ctx.Err() != nil {
+					interrupted = true
+					break
+				}
 				sys.RunPeriod()
 				if pub != nil {
 					pub.Update(rec)
@@ -201,7 +235,7 @@ func run(platformName string, n, cycles int, seed uint64, noise float64, pairSou
 						c, period, st.MaxLoad, st.PeriodMisses)
 				}
 			}
-			if watch {
+			if watch && !interrupted {
 				fmt.Printf("\nafter major cycle %d:\n", c+1)
 				if err := viz.Render(os.Stdout, sys.World, viz.Options{}); err != nil {
 					runErr = err
@@ -214,6 +248,9 @@ func run(platformName string, n, cycles int, seed uint64, noise float64, pairSou
 		return runErr
 	}
 	host := time.Since(start)
+	if interrupted {
+		fmt.Println("\ninterrupted — reporting the periods completed so far")
+	}
 
 	st := sys.Stats()
 	t1 := st.Task(core.Task1)

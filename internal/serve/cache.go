@@ -1,0 +1,125 @@
+package serve
+
+import "sync"
+
+// lruCache is the bounded result cache: canonical key -> rendered
+// response. Caching whole response bodies is sound because every run
+// is bit-deterministic — a cached answer is byte-identical to a fresh
+// one — so the cache can serve the exact bytes the first execution
+// produced, forever.
+//
+// The implementation is a hand-rolled doubly linked list over a
+// map so the hit path stays allocation-free: container/list would also
+// work, but owning the nodes keeps every hot-path step (map lookup,
+// unlink, push-front) pointer surgery on memory allocated at insert
+// time.
+type lruCache struct {
+	mu  sync.Mutex
+	max int
+	m   map[string]*cacheNode
+	// head is the most recently used node, tail the next eviction
+	// victim; both nil when empty.
+	head, tail *cacheNode
+	len        int
+}
+
+type cacheNode struct {
+	key        string
+	res        *Result
+	prev, next *cacheNode
+}
+
+// newLRUCache returns a cache bounded to max entries; max <= 0 disables
+// caching (every get misses, every put is dropped).
+func newLRUCache(max int) *lruCache {
+	return &lruCache{max: max, m: make(map[string]*cacheNode)}
+}
+
+// get returns the cached result for key and refreshes its recency.
+// This is the serving hot path: a hit performs one map lookup and a
+// constant number of pointer writes, no allocation.
+//
+//atm:noalloc
+func (c *lruCache) get(key string) (*Result, bool) {
+	c.mu.Lock()
+	n, ok := c.m[key]
+	if !ok {
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.moveToFront(n)
+	res := n.res
+	c.mu.Unlock()
+	return res, true
+}
+
+// put inserts or refreshes key, evicting the least recently used entry
+// when the cache is full.
+func (c *lruCache) put(key string, res *Result) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n, ok := c.m[key]; ok {
+		n.res = res
+		c.moveToFront(n)
+		return
+	}
+	if c.len >= c.max {
+		victim := c.tail
+		c.unlink(victim)
+		delete(c.m, victim.key)
+		c.len--
+	}
+	n := &cacheNode{key: key, res: res}
+	c.m[key] = n
+	c.pushFront(n)
+	c.len++
+}
+
+// entries returns the current entry count.
+func (c *lruCache) entries() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.len
+}
+
+// moveToFront makes n the most recently used node. Callers hold mu.
+//
+//atm:noalloc
+func (c *lruCache) moveToFront(n *cacheNode) {
+	if c.head == n {
+		return
+	}
+	c.unlink(n)
+	c.pushFront(n)
+}
+
+//atm:noalloc
+func (c *lruCache) unlink(n *cacheNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+//atm:noalloc
+func (c *lruCache) pushFront(n *cacheNode) {
+	n.next = c.head
+	n.prev = nil
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}

@@ -1,0 +1,26 @@
+//go:build !race
+
+// Allocation-count assertions live behind the !race tag: the race
+// detector's instrumentation allocates, which would fail them for the
+// wrong reason.
+
+package serve
+
+import "testing"
+
+// TestCacheHitPathZeroAlloc is the runtime counterpart of the
+// //atm:noalloc annotation on lruCache.get: serving a cached result
+// key must not allocate.
+func TestCacheHitPathZeroAlloc(t *testing.T) {
+	c := newLRUCache(4)
+	key := RunConfig{Platform: "titanx", N: 4000, Seed: 2018, Periods: 16, Detail: "task"}.Key()
+	c.put(key, &Result{Body: []byte("body"), ETag: `"tag"`})
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, ok := c.get(key); !ok {
+			t.Fatal("expected hit")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("cache hit path allocates %.1f times per lookup, want 0", allocs)
+	}
+}

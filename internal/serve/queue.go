@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+)
+
+// Admission errors mapped to HTTP statuses by the handler.
+var (
+	// ErrQueueFull is returned when the bounded run queue is at depth;
+	// the handler sheds the request with 429 + Retry-After.
+	ErrQueueFull = errors.New("serve: run queue full")
+	// ErrDraining is returned once the server has stopped admitting
+	// work; the handler answers 503.
+	ErrDraining = errors.New("serve: draining, not admitting new runs")
+)
+
+// runQueue is the admission-controlled run queue: bounded total depth,
+// two lanes. Interactive runs (small N) always pop before batch runs
+// (large sweeps), so a pile of 32k-aircraft jobs cannot starve a
+// dashboard's 1k-aircraft probe; within a lane order is FIFO.
+type runQueue struct {
+	mu       sync.Mutex
+	notEmpty *sync.Cond
+	high     []*job // interactive lane
+	low      []*job // batch lane
+	max      int
+	closed   bool
+}
+
+func newRunQueue(max int) *runQueue {
+	q := &runQueue{max: max}
+	q.notEmpty = sync.NewCond(&q.mu)
+	return q
+}
+
+// push admits j, or reports why it cannot: ErrDraining once closed,
+// ErrQueueFull at depth. push never blocks — backpressure is the
+// caller's 429, not a hidden wait.
+func (q *runQueue) push(j *job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrDraining
+	}
+	if len(q.high)+len(q.low) >= q.max {
+		return ErrQueueFull
+	}
+	if j.interactive {
+		q.high = append(q.high, j)
+	} else {
+		q.low = append(q.low, j)
+	}
+	q.notEmpty.Signal()
+	return nil
+}
+
+// pop blocks until a job is available or the queue is closed and
+// empty; ok=false tells the executor to exit. A closed queue still
+// drains: everything admitted before close is handed out.
+func (q *runQueue) pop() (*job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if len(q.high) > 0 {
+			return q.popLane(&q.high), true
+		}
+		if len(q.low) > 0 {
+			return q.popLane(&q.low), true
+		}
+		if q.closed {
+			return nil, false
+		}
+		q.notEmpty.Wait()
+	}
+}
+
+// popLane removes and returns the front of one lane. Callers hold mu.
+func (q *runQueue) popLane(lane *[]*job) *job {
+	j := (*lane)[0]
+	(*lane)[0] = nil
+	*lane = (*lane)[1:]
+	if len(*lane) == 0 {
+		*lane = nil // release the drained backing array
+	}
+	return j
+}
+
+// close stops admission and wakes every blocked pop so executors can
+// drain the remainder and exit. Idempotent.
+func (q *runQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.notEmpty.Broadcast()
+}
+
+// depth returns the number of queued (not yet executing) jobs.
+func (q *runQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.high) + len(q.low)
+}

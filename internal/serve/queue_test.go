@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func mkJob(n int, interactive bool) *job {
+	cfg := RunConfig{Platform: "titanx", N: n, Seed: 2018, Periods: 16, Detail: "task"}
+	return newJob(cfg, cfg.Key(), interactive)
+}
+
+func TestQueuePriorityLanes(t *testing.T) {
+	q := newRunQueue(8)
+	batch1 := mkJob(32000, false)
+	batch2 := mkJob(16000, false)
+	inter := mkJob(1000, true)
+	for _, j := range []*job{batch1, batch2, inter} {
+		if err := q.push(j); err != nil {
+			t.Fatalf("push: %v", err)
+		}
+	}
+	// The interactive job pops first despite arriving last; batch jobs
+	// keep FIFO order among themselves.
+	want := []*job{inter, batch1, batch2}
+	for i, wj := range want {
+		j, ok := q.pop()
+		if !ok || j != wj {
+			t.Fatalf("pop %d: got %v ok=%v, want job n=%d", i, j, ok, wj.cfg.N)
+		}
+	}
+}
+
+func TestQueueBoundsAndClose(t *testing.T) {
+	q := newRunQueue(2)
+	if err := q.push(mkJob(100, true)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(mkJob(101, false)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(mkJob(102, true)); !errors.Is(err, ErrQueueFull) {
+		t.Errorf("push beyond depth: err = %v, want ErrQueueFull", err)
+	}
+	if d := q.depth(); d != 2 {
+		t.Errorf("depth = %d, want 2", d)
+	}
+	q.close()
+	if err := q.push(mkJob(103, true)); !errors.Is(err, ErrDraining) {
+		t.Errorf("push after close: err = %v, want ErrDraining", err)
+	}
+	// A closed queue still drains what was admitted...
+	if _, ok := q.pop(); !ok {
+		t.Error("pop on closed non-empty queue should succeed")
+	}
+	if _, ok := q.pop(); !ok {
+		t.Error("second pop should drain the remaining job")
+	}
+	// ...and then reports exhaustion.
+	if j, ok := q.pop(); ok {
+		t.Errorf("pop on closed empty queue returned %v", j)
+	}
+}
+
+func TestLRUCacheEviction(t *testing.T) {
+	c := newLRUCache(2)
+	resFor := func(i int) *Result { return &Result{Body: []byte(fmt.Sprintf("r%d", i))} }
+	c.put("a", resFor(1))
+	c.put("b", resFor(2))
+	if _, ok := c.get("a"); !ok { // refresh a; b becomes the victim
+		t.Fatal("a should be cached")
+	}
+	c.put("c", resFor(3))
+	if _, ok := c.get("b"); ok {
+		t.Error("b should have been evicted as least recently used")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.get(k); !ok {
+			t.Errorf("%s should still be cached", k)
+		}
+	}
+	if n := c.entries(); n != 2 {
+		t.Errorf("entries = %d, want 2", n)
+	}
+	// Re-putting an existing key replaces in place, no eviction.
+	c.put("a", resFor(4))
+	if r, ok := c.get("a"); !ok || string(r.Body) != "r4" {
+		t.Errorf("re-put did not replace: %v %v", r, ok)
+	}
+	if n := c.entries(); n != 2 {
+		t.Errorf("entries after re-put = %d, want 2", n)
+	}
+}
+
+func TestLRUCacheDisabled(t *testing.T) {
+	c := newLRUCache(0)
+	c.put("a", &Result{Body: []byte("x")})
+	if _, ok := c.get("a"); ok {
+		t.Error("a zero-entry cache must not retain results")
+	}
+}
+
+func TestFlightsJoin(t *testing.T) {
+	f := newFlights()
+	j1 := mkJob(100, true)
+	j, created, err := f.join(j1.key, func() (*job, bool, error) { return j1, true, nil })
+	if err != nil || !created || j != j1 {
+		t.Fatalf("first join: %v %v %v", j, created, err)
+	}
+	j, created, err = f.join(j1.key, func() (*job, bool, error) {
+		t.Fatal("create must not run for an in-flight key")
+		return nil, false, nil
+	})
+	if err != nil || created || j != j1 {
+		t.Fatalf("second join: %v %v %v", j, created, err)
+	}
+	if n := f.inflight(); n != 1 {
+		t.Errorf("inflight = %d, want 1", n)
+	}
+	f.remove(j1.key)
+	wantErr := errors.New("no capacity")
+	if _, _, err := f.join(j1.key, func() (*job, bool, error) { return nil, false, wantErr }); !errors.Is(err, wantErr) {
+		t.Errorf("failed create: err = %v, want %v", err, wantErr)
+	}
+	if n := f.inflight(); n != 0 {
+		t.Errorf("inflight after failed create = %d, want 0", n)
+	}
+	// track=false jobs (pre-completed from cache) are not registered.
+	done := completedJob(&Result{Body: []byte("x")})
+	if _, created, _ := f.join("k2", func() (*job, bool, error) { return done, false, nil }); !created {
+		t.Error("completed job join should still report created")
+	}
+	if n := f.inflight(); n != 0 {
+		t.Errorf("completed job must not be tracked, inflight = %d", n)
+	}
+}

@@ -26,4 +26,10 @@ const (
 	// 2-3 run when a pair source is installed.
 	NameBroadphaseQueries    = "broadphase.queries"
 	NameBroadphaseCandidates = "broadphase.candidates"
+
+	// NameServeRun spans one whole served simulation (internal/serve):
+	// it starts at the schedule origin and covers the run's virtual
+	// elapsed time, so service-side exports carry the request envelope
+	// alongside the scheduler's per-period and per-task spans.
+	NameServeRun = "serve.run"
 )

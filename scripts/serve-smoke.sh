@@ -1,0 +1,63 @@
+#!/usr/bin/env sh
+# serve-smoke.sh: end-to-end smoke test for cmd/atmserve.
+#
+# Starts the server, waits for /healthz, issues one simulation request,
+# asserts the golden measurement row is present, then sends SIGTERM and
+# verifies the server drains and exits cleanly. Used by `make
+# serve-smoke` and the CI serve-smoke job.
+#
+# Usage: serve-smoke.sh <path-to-atmserve-binary>
+set -eu
+
+BIN=${1:?usage: serve-smoke.sh <atmserve-binary>}
+ADDR=${SERVE_ADDR:-localhost:18080}
+OUT=$(mktemp)
+trap 'rm -f "$OUT"' EXIT
+
+"$BIN" -addr "$ADDR" &
+PID=$!
+# Make sure a failed assertion never leaves the server running.
+trap 'kill "$PID" 2>/dev/null || true; rm -f "$OUT"' EXIT
+
+# Wait for readiness (the server binds before serving, so this is fast).
+i=0
+until curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "serve-smoke: server did not become healthy" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+STATUS=$(curl -s -o "$OUT" -w '%{http_code}' \
+    "http://$ADDR/v1/simulate?platform=titanx&n=4000&periods=16&seed=2018")
+if [ "$STATUS" != 200 ]; then
+    echo "serve-smoke: expected HTTP 200, got $STATUS" >&2
+    cat "$OUT" >&2
+    exit 1
+fi
+# Golden row: the response must carry the task1 measurement row and a
+# met-deadlines verdict for the canonical titanx/4000 configuration.
+grep -q '"task":"task1:track+correlate"' "$OUT"
+grep -q '"deadlines_met":true' "$OUT"
+
+# A repeated request must be byte-identical (served from cache).
+OUT2=$(mktemp)
+curl -s -o "$OUT2" \
+    "http://$ADDR/v1/simulate?platform=titanx&n=4000&periods=16&seed=2018"
+if ! cmp -s "$OUT" "$OUT2"; then
+    echo "serve-smoke: cached response differs from fresh response" >&2
+    rm -f "$OUT2"
+    exit 1
+fi
+rm -f "$OUT2"
+
+# Graceful drain: SIGTERM must lead to a clean exit (status 0).
+kill -TERM "$PID"
+if ! wait "$PID"; then
+    echo "serve-smoke: server did not exit cleanly on SIGTERM" >&2
+    exit 1
+fi
+trap 'rm -f "$OUT"' EXIT
+echo "serve-smoke: OK"
