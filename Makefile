@@ -1,7 +1,7 @@
 GO ?= go
 ATMLINT := bin/atmlint
 
-.PHONY: all build test vet lint lint-fixtures bench-smoke fuzz serve serve-smoke clean
+.PHONY: all build test vet lint lint-fixtures bench-smoke bench-diff fuzz serve serve-smoke clean
 
 all: build test
 
@@ -32,6 +32,14 @@ lint-fixtures:
 
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# bench-diff compares the hot-path benchmarks on HEAD against BASE_REF
+# (default: merge base with origin/main) and fails on a >5% time or any
+# allocs/op regression; `scripts/benchdiff.sh snapshot` refreshes the
+# checked-in BENCH_7.json. See scripts/benchdiff.sh for tunables.
+BASE_REF ?=
+bench-diff:
+	./scripts/benchdiff.sh $(BASE_REF)
 
 # fuzz runs the CSV round-trip fuzzer for a bounded interval on top of
 # the checked-in seed corpus (internal/trace/testdata/fuzz).

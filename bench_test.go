@@ -433,6 +433,49 @@ func BenchmarkBroadphase_Sweep_1000(b *testing.B)   { benchDetectWith(b, broadph
 func BenchmarkBroadphase_Sweep_10000(b *testing.B)  { benchDetectWith(b, broadphase.SweepName, 10000) }
 func BenchmarkBroadphase_Sweep_100000(b *testing.B) { benchDetectWith(b, broadphase.SweepName, 100000) }
 
+// Temporal coherence — the steady-state detection period at the
+// mid-sweep point (T-COH / results/coherence.csv). Unlike benchDetect,
+// the world is not restored between iterations: it advances one period
+// of dead reckoning per op, exactly the motion a persistent broad phase
+// sees in a real run, so the incremental lane measures the repair path
+// (the first iteration's full build is excluded by a warm-up pass).
+// Both lanes use a persistent sweep source; the only difference is the
+// coherent mode, so the pair is the rebuild-vs-incremental comparison
+// scripts/benchdiff.sh and DESIGN.md §10 cite.
+func benchCoherentDetect(b *testing.B, incremental bool) {
+	b.Helper()
+	b.ReportAllocs()
+	w, _ := benchWorld(benchN)
+	var src broadphase.PairSource
+	if incremental {
+		src = broadphase.NewIncrementalSweep()
+	} else {
+		src = broadphase.MustNew(broadphase.SweepName)
+	}
+	pool := parexec.NewPool(1)
+	advance := func() {
+		for i := range w.Aircraft {
+			a := &w.Aircraft[i]
+			a.X += a.DX
+			a.Y += a.DY
+			airspace.Wrap(a)
+		}
+	}
+	// Warm-up: size every buffer and pay the initial full sort so the
+	// timed loop is pure steady state.
+	tasks.DetectResolveExec(w, src, pool)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		advance()
+		b.StartTimer()
+		tasks.DetectResolveExec(w, src, pool)
+	}
+}
+
+func BenchmarkCoherent_Task23_4000_Rebuild(b *testing.B)     { benchCoherentDetect(b, false) }
+func BenchmarkCoherent_Task23_4000_Incremental(b *testing.B) { benchCoherentDetect(b, true) }
+
 // Extension — radar-network report generation (multi-site coverage,
 // cones of silence, dropouts).
 func BenchmarkRadarNet_Generate(b *testing.B) {

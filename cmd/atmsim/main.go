@@ -46,6 +46,8 @@ func main() {
 		noise      = flag.Float64("noise", 0, "radar noise amplitude in nm (0 = default 0.25)")
 		pairSource = flag.String("pairsource", "",
 			"broad-phase pair source for collision detection ("+strings.Join(broadphase.Names(), ", ")+"; empty = all-pairs)")
+		coherent = flag.Bool("coherent", false,
+			"temporal-coherence mode: keep the broad-phase index across periods and repair it incrementally (needs -pairsource; results are bit-identical, only host time changes)")
 		verbose = flag.Bool("v", false, "print per-period detail")
 		watch   = flag.Bool("watch", false, "render an ASCII plan view of the airfield after each major cycle")
 		record  = flag.String("record", "", "record the run as JSON lines to this file")
@@ -68,6 +70,7 @@ func main() {
 		Periods:    *cycles * sched.PeriodsPerMajorCycle,
 		Workers:    *workers,
 		PairSource: *pairSource,
+		Coherent:   *coherent,
 	}
 	if err := params.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "atmsim:", err)
@@ -83,7 +86,7 @@ func main() {
 		detail:   *detail,
 		capacity: *capacity,
 	}
-	if err := run(*platformName, *n, *cycles, *seed, *noise, *pairSource, *verbose, *watch, *record, tc); err != nil {
+	if err := run(*platformName, *n, *cycles, *seed, *noise, *pairSource, *coherent, *verbose, *watch, *record, tc); err != nil {
 		fmt.Fprintln(os.Stderr, "atmsim:", err)
 		os.Exit(1)
 	}
@@ -179,13 +182,13 @@ func (tc telemetryConfig) flush(rec *telemetry.Recorder) error {
 	return write(tc.metrics, func(f *os.File) error { return telemetry.PeriodDataset(rec, "atmsim").WriteCSV(f) })
 }
 
-func run(platformName string, n, cycles int, seed uint64, noise float64, pairSource string, verbose, watch bool, record string, tc telemetryConfig) error {
+func run(platformName string, n, cycles int, seed uint64, noise float64, pairSource string, coherent, verbose, watch bool, record string, tc telemetryConfig) error {
 	// Flag validation already happened in main via core.RunParams.
 	p, err := platform.New(platformName, seed)
 	if err != nil {
 		return err
 	}
-	sys := core.NewSystem(p, core.Config{N: n, Seed: seed, Noise: noise, PairSource: pairSource})
+	sys := core.NewSystem(p, core.Config{N: n, Seed: seed, Noise: noise, PairSource: pairSource, Incremental: coherent})
 	rec, pub, telemetrySrv, err := tc.attach(sys)
 	if err != nil {
 		return err
@@ -209,7 +212,11 @@ func run(platformName string, n, cycles int, seed uint64, noise float64, pairSou
 
 	fmt.Printf("platform : %s (deterministic: %v)\n", p.Name(), p.Deterministic())
 	if pairSource != "" {
-		fmt.Printf("pruning  : broad-phase pair source %q\n", pairSource)
+		mode := "rebuild per task"
+		if coherent {
+			mode = "coherent (incremental repair)"
+		}
+		fmt.Printf("pruning  : broad-phase pair source %q, %s\n", pairSource, mode)
 	}
 	fmt.Printf("aircraft : %d   major cycles: %d   period: %v\n\n", n, cycles, sched.PeriodDur)
 

@@ -1,0 +1,59 @@
+package airspace
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestColumnsFillFrom(t *testing.T) {
+	w := NewWorld(137, rng.New(9))
+	var c Columns
+	c.FillFrom(w)
+	if c.N() != w.N() {
+		t.Fatalf("N: got %d, want %d", c.N(), w.N())
+	}
+	for i := range w.Aircraft {
+		a := &w.Aircraft[i]
+		if c.X[i] != a.X || c.Y[i] != a.Y || c.DX[i] != a.DX || c.DY[i] != a.DY || c.Alt[i] != a.Alt {
+			t.Fatalf("aircraft %d: columns diverge from record", i)
+		}
+	}
+
+	// Refresh after mutation, including shrink and regrow: the snapshot
+	// must track the world exactly and reuse capacity.
+	for i := range w.Aircraft {
+		w.Aircraft[i].X += 1.5
+		w.Aircraft[i].DY *= -1
+	}
+	c.FillFrom(w)
+	for i := range w.Aircraft {
+		a := &w.Aircraft[i]
+		if c.X[i] != a.X || c.DY[i] != a.DY {
+			t.Fatalf("aircraft %d: columns stale after refresh", i)
+		}
+	}
+
+	small := NewWorld(5, rng.New(10))
+	c.FillFrom(small)
+	if c.N() != 5 {
+		t.Fatalf("shrink: got %d, want 5", c.N())
+	}
+
+	c.SetVel(2, 0.25, -0.125)
+	if c.DX[2] != 0.25 || c.DY[2] != -0.125 {
+		t.Fatal("SetVel did not write through")
+	}
+}
+
+func TestColumnsFillFromNoAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; counts are only meaningful without -race")
+	}
+	w := NewWorld(800, rng.New(11))
+	var c Columns
+	c.FillFrom(w) // growth is the cold path
+	if avg := testing.AllocsPerRun(20, func() { c.FillFrom(w) }); avg > 0 {
+		t.Errorf("steady-state FillFrom allocates %.1f per call, want 0", avg)
+	}
+}

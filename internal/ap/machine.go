@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/airspace"
 	"repro/internal/parexec"
 )
 
@@ -127,6 +128,10 @@ type Machine struct {
 	candBuf []int32
 	// matchedRadar is TrackProgram's per-aircraft paired-radar table.
 	matchedRadar []int32
+	// cols is the machine's SoA mirror of the flight database, refreshed
+	// once per coherent detection program and kept in sync at heading
+	// commits; the wide scans read it instead of striding []Aircraft.
+	cols airspace.Columns
 
 	// Per-chunk reduction partials.
 	partBest []float64

@@ -180,7 +180,11 @@ func TrackProgram(m *Machine, w *airspace.World, f *radar.Frame) tasks.Correlate
 // processor: nothing on the wide path. Exactness is unaffected: pairs
 // outside a candidate set have tmin >= SafeTime and could never survive
 // the criticality mask anyway.
-func apScan(m *Machine, w *airspace.World, idx int, vx, vy float64, st *tasks.DetectStats, src broadphase.PairSource) (earliest float64, with int32, critical bool) {
+// In coherent mode (cols non-nil) the PE-memory reads come from the
+// machine's SoA mirror instead of the []Aircraft records: same values
+// (the mirror is refreshed each program run and updated at heading
+// commits), so the responder masks and reductions are bit-identical.
+func apScan(m *Machine, w *airspace.World, idx int, vx, vy float64, st *tasks.DetectStats, src broadphase.PairSource, cols *airspace.Columns) (earliest float64, with int32, critical bool) {
 	ac := w.Aircraft
 	track := &ac[idx]
 	m.Broadcast(5) // x, y, vx, vy, alt
@@ -206,12 +210,22 @@ func apScan(m *Machine, w *airspace.World, idx int, vx, vy float64, st *tasks.De
 		m.Scalar(len(cand))
 	}
 
-	m.Search(2, func(p int) bool {
-		if src != nil && !m.candMask[p] {
-			return false
-		}
-		return p != idx && tasks.AltOverlap(track, &ac[p])
-	})
+	if cols != nil {
+		talt := cols.Alt[idx]
+		m.Search(2, func(p int) bool {
+			if src != nil && !m.candMask[p] {
+				return false
+			}
+			return p != idx && tasks.AltOverlapAt(talt, cols.Alt[p])
+		})
+	} else {
+		m.Search(2, func(p int) bool {
+			if src != nil && !m.candMask[p] {
+				return false
+			}
+			return p != idx && tasks.AltOverlap(track, &ac[p])
+		})
+	}
 	if src != nil {
 		for _, p := range cand {
 			m.candMask[p] = false
@@ -227,17 +241,32 @@ func apScan(m *Machine, w *airspace.World, idx int, vx, vy float64, st *tasks.De
 
 	// Wide evaluation of Equations 1-6 (the 4 divisions, the interval
 	// intersection and the horizon clip): ~14 word operations.
-	m.ParallelOp(14, func(p int) {
-		if !m.mask[p] {
-			return
-		}
-		tmin, tmax, ok := tasks.PairConflict(track.X, track.Y, vx, vy, &ac[p])
-		if ok && tmin < tmax {
-			tm[p] = tmin
-		} else {
-			tm[p] = airspace.SafeTime
-		}
-	})
+	if cols != nil {
+		tx, ty := cols.X[idx], cols.Y[idx]
+		m.ParallelOp(14, func(p int) {
+			if !m.mask[p] {
+				return
+			}
+			tmin, tmax, ok := tasks.PairConflictAt(tx, ty, vx, vy, cols.X[p], cols.Y[p], cols.DX[p], cols.DY[p])
+			if ok && tmin < tmax {
+				tm[p] = tmin
+			} else {
+				tm[p] = airspace.SafeTime
+			}
+		})
+	} else {
+		m.ParallelOp(14, func(p int) {
+			if !m.mask[p] {
+				return
+			}
+			tmin, tmax, ok := tasks.PairConflict(track.X, track.Y, vx, vy, &ac[p])
+			if ok && tmin < tmax {
+				tm[p] = tmin
+			} else {
+				tm[p] = airspace.SafeTime
+			}
+		})
+	}
 	m.MaskAnd(func(p int) bool { return tm[p] < airspace.SafeTime })
 
 	earliest, arg := m.MinReduce(airspace.SafeTime, func(p int) float64 { return tm[p] })
@@ -273,7 +302,27 @@ func DetectResolveProgramWith(m *Machine, w *airspace.World, src broadphase.Pair
 	var st tasks.DetectStats
 	m.mark("ap.load", 0)
 	m.LoadDatabase(databaseFields)
-	if src != nil {
+	var cols *airspace.Columns
+	if im := broadphase.MaintainerOf(src); im != nil && im.Incremental() {
+		// Coherent mode: the wide scans read the machine's SoA mirror,
+		// and an incremental source repairs its order from it. The
+		// cycle charge is identical to the rebuild path; only the span
+		// name reports which path ran.
+		cols = &m.cols
+		cols.FillFrom(w)
+		name := "ap.index.rebuild"
+		if cp, ok := im.(broadphase.ColumnsPreparer); ok {
+			cp.PrepareColumns(cols)
+		} else {
+			src.Prepare(w)
+		}
+		if im.LastPrepareIncremental() {
+			name = "ap.index.update"
+		}
+		m.mark(name, 0)
+		// Control-unit index build over the database.
+		m.Scalar(w.N())
+	} else if src != nil {
 		src.Prepare(w)
 		// Control-unit index build over the database.
 		m.Scalar(w.N())
@@ -284,7 +333,7 @@ func DetectResolveProgramWith(m *Machine, w *airspace.World, src broadphase.Pair
 		track := &ac[i]
 		track.ResetConflict()
 		m.Scalar(4)
-		tmin, with, critical := apScan(m, w, i, track.DX, track.DY, &st, src)
+		tmin, with, critical := apScan(m, w, i, track.DX, track.DY, &st, src, cols)
 		if !critical {
 			continue
 		}
@@ -298,9 +347,12 @@ func DetectResolveProgramWith(m *Machine, w *airspace.World, src broadphase.Pair
 			m.Scalar(8) // rotate on the control unit
 			v := base.Rotate(deg)
 			track.BatX, track.BatY = v.X, v.Y
-			tmin, with, critical = apScan(m, w, i, v.X, v.Y, &st, src)
+			tmin, with, critical = apScan(m, w, i, v.X, v.Y, &st, src, cols)
 			if !critical {
 				track.DX, track.DY = v.X, v.Y
+				if cols != nil {
+					cols.SetVel(i, v.X, v.Y)
+				}
 				track.ResetConflict()
 				st.Resolved++
 				resolved = true

@@ -98,7 +98,13 @@ type PairSource interface {
 // pairwise separation bound (each member of a pair contributes half of
 // airspace.SepTotal).
 func Reach(a *airspace.Aircraft) float64 {
-	return math.Hypot(a.DX, a.DY)*PruneHorizon + airspace.SepTotal/2 + slack
+	return ReachAt(a.DX, a.DY)
+}
+
+// ReachAt is Reach on a scalar velocity, for callers holding the world
+// in column (SoA) form. Same expression, bit-identical result.
+func ReachAt(dx, dy float64) float64 {
+	return math.Hypot(dx, dy)*PruneHorizon + airspace.SepTotal/2 + slack
 }
 
 // Registry names of the three sources.

@@ -40,7 +40,10 @@ type Grid struct {
 	cells [][]int32
 	n     int
 
-	scratch sync.Pool // *gridScratch, for concurrent queries
+	// scratch pools *gridScratch for concurrent queries. Held by
+	// pointer so copying a Grid value cannot duplicate pool state (see
+	// the atmlint syncfield rule); the constructors initialize it.
+	scratch *sync.Pool
 }
 
 // gridScratch accumulates one query's candidate set as a bitmap: a set
@@ -54,7 +57,7 @@ type gridScratch struct {
 
 // NewGrid returns a grid source that derives its cell size from the
 // traffic on every Prepare.
-func NewGrid() *Grid { return &Grid{} }
+func NewGrid() *Grid { return &Grid{scratch: &sync.Pool{}} }
 
 // NewGridCell returns a grid source with a fixed cell size in nautical
 // miles. It panics if cellNM is not positive.
@@ -62,7 +65,7 @@ func NewGridCell(cellNM float64) *Grid {
 	if cellNM <= 0 {
 		panic("broadphase: grid cell size must be positive")
 	}
-	return &Grid{cellNM: cellNM}
+	return &Grid{cellNM: cellNM, scratch: &sync.Pool{}}
 }
 
 // Name returns "grid".

@@ -1,0 +1,81 @@
+package broadphase
+
+import "repro/internal/airspace"
+
+// UpdateStats counts the index-maintenance work an incremental pair
+// source performed since the last drain. The counters make temporal
+// coherence observable: a healthy steady state shows Updates climbing
+// with Rebuilds stuck at the initial build, and Moved staying well
+// under the repair budget.
+type UpdateStats struct {
+	// Updates counts Prepare calls that repaired the previous order in
+	// place; Rebuilds counts Prepare calls that ran a full sort (the
+	// initial build, a world-size change, or a budget-exceeded
+	// fallback).
+	Updates, Rebuilds int64
+	// Moved is the total insertion shifts spent by repairs; Resorted is
+	// the number of elements found out of place.
+	Moved, Resorted int64
+}
+
+// Maintainer is implemented by pair sources that can maintain their
+// index incrementally across Prepare calls. Sources that always rebuild
+// simply do not implement it.
+type Maintainer interface {
+	PairSource
+	// Incremental reports whether incremental maintenance is enabled on
+	// this instance.
+	Incremental() bool
+	// LastPrepareIncremental reports whether the most recent Prepare
+	// updated the index in place rather than rebuilding it.
+	LastPrepareIncremental() bool
+	// TakeUpdateStats drains the maintenance counters. Sequential, like
+	// Prepare.
+	TakeUpdateStats() UpdateStats
+}
+
+// ColumnsPreparer is implemented by pair sources whose index can be
+// built from a column (SoA) snapshot of the world. PrepareColumns is
+// Prepare on the same world state: bit-identical candidates, but the
+// build shares the dense arrays the caller's scan loops already use.
+type ColumnsPreparer interface {
+	PrepareColumns(c *airspace.Columns)
+}
+
+// Options selects pair-source variants in NewWith.
+type Options struct {
+	// Incremental requests temporal-coherence index maintenance:
+	// Prepare reuses the previous invocation's index and repairs it in
+	// place. Sources without an incremental mode (brute, grid) ignore
+	// the option — they already rebuild in O(N) — so the flag is safe
+	// to apply uniformly from a config switch.
+	Incremental bool
+}
+
+// NewWith constructs the named pair source with the given options. The
+// candidate sets produced are bit-identical to New's for every option
+// combination; options only change how the index is maintained.
+func NewWith(name string, opts Options) (PairSource, error) {
+	if opts.Incremental && name == SweepName {
+		return NewIncrementalSweep(), nil
+	}
+	return New(name)
+}
+
+// MaintainerOf returns the Maintainer behind src, unwrapping decorators
+// such as Counted, or nil if the underlying source has none. Callers
+// use it both to branch telemetry (update vs rebuild spans) and to
+// drain UpdateStats.
+func MaintainerOf(src PairSource) Maintainer {
+	for src != nil {
+		if m, ok := src.(Maintainer); ok {
+			return m
+		}
+		u, ok := src.(interface{ Unwrap() PairSource })
+		if !ok {
+			return nil
+		}
+		src = u.Unwrap()
+	}
+	return nil
+}

@@ -16,6 +16,19 @@ import (
 // x and y interval tests. The window [lo − maxWidth, hi] is sound
 // because no stored interval is wider than maxWidth: anything starting
 // earlier has necessarily ended before the query interval begins.
+//
+// In incremental mode (NewWith with Options.Incremental) the sorted
+// order persists across Prepare calls and is repaired with an
+// insertion-sort pass instead of re-sorted from scratch. Aircraft move
+// a tiny fraction of the airspace between consecutive detection
+// invocations (0.5 s tracking period, ~600 kt speeds), so the previous
+// order is nearly sorted and the repair is O(N) plus the few shifts
+// the motion actually caused; a shift budget bounds the pathological
+// case (mass teleports) by falling back to the full sort. Candidate
+// sets are bit-identical in both modes: the per-query bitmap emits
+// ascending aircraft indices regardless of how the sorted order
+// permutes aircraft with equal low-x keys, and window membership
+// depends only on the envelope values, which are computed identically.
 type Sweep struct {
 	n int
 	// order holds aircraft indices sorted by ascending envelope low-x;
@@ -25,15 +38,44 @@ type Sweep struct {
 	sortedLo []float64
 	// Envelope edges indexed by aircraft index.
 	lox, hix, loy, hiy []float64
-	// maxW is the widest x envelope in the world.
+	// maxW is the widest x envelope in the world. The envelope fill
+	// loop recomputes it as a running max every Prepare: the fill is
+	// already O(N) (every position changes every period), so the exact
+	// recompute costs nothing extra and can never go stale the way a
+	// shrink-tracking scheme could.
 	maxW float64
+
+	// incremental enables the persistent-order repair path and the
+	// sorted mirror arrays; prepared records that order holds a valid
+	// permutation from a previous Prepare of the same world size.
+	incremental bool
+	prepared    bool
+	// sortedBox, maintained only in incremental mode, interleaves the
+	// remaining envelope edges permuted into sorted order — hi-x, lo-y,
+	// hi-y at stride 3 — so the window walk reads one dense sequential
+	// stream instead of gathering through order (a dependent indexed
+	// load per visited element) or striding three parallel arrays.
+	sortedBox []float64
+
+	// lastIncremental records whether the most recent Prepare repaired
+	// the order in place (true) or fell back to / started from a full
+	// sort (false).
+	lastIncremental bool
+	// Update counters, drained by TakeUpdateStats. Prepare is
+	// sequential by contract, so plain fields suffice.
+	statUpdates, statRebuilds, statMoved, statResorted int64
 
 	// sorter is the reusable sort.Interface over order/lox: sort.Slice
 	// allocates its closure pair on every call, which made Prepare the
 	// only allocation left in a steady-state detection period.
 	sorter sweepOrder
 
-	scratch sync.Pool // *sweepScratch, for concurrent queries
+	// scratch pools *sweepScratch for concurrent queries. Held by
+	// pointer: sync.Pool contains a noCopy lock and per-P caches, so a
+	// by-value field would make any copy of the Sweep struct (even an
+	// accidental one) silently duplicate pool state. The constructor
+	// initializes it; see the atmlint syncfield rule.
+	scratch *sync.Pool
 }
 
 // sweepOrder sorts aircraft indices by ascending envelope low-x.
@@ -54,16 +96,88 @@ type sweepScratch struct {
 	words []uint64
 }
 
-// NewSweep returns a sweep-and-prune source.
-func NewSweep() *Sweep { return &Sweep{} }
+// NewSweep returns a sweep-and-prune source that rebuilds its index on
+// every Prepare.
+func NewSweep() *Sweep { return &Sweep{scratch: &sync.Pool{}} }
+
+// NewIncrementalSweep returns a sweep-and-prune source that keeps its
+// sorted order across Prepare calls and repairs it in place, exploiting
+// temporal coherence. Candidate sets are bit-identical to NewSweep's.
+func NewIncrementalSweep() *Sweep {
+	s := NewSweep()
+	s.incremental = true
+	return s
+}
 
 // Name returns "sweep".
 func (s *Sweep) Name() string { return SweepName }
 
-// Prepare computes every aircraft's reach envelope and sorts the x
-// intervals.
+// Incremental reports whether the persistent-order repair path is
+// enabled.
+func (s *Sweep) Incremental() bool { return s.incremental }
+
+// LastPrepareIncremental reports whether the most recent Prepare
+// repaired the previous order in place rather than running a full sort.
+func (s *Sweep) LastPrepareIncremental() bool { return s.lastIncremental }
+
+// TakeUpdateStats returns the update counters accumulated since the
+// last call and resets them. Like Prepare, it is not safe for
+// concurrent use.
+func (s *Sweep) TakeUpdateStats() UpdateStats {
+	st := UpdateStats{
+		Updates:  s.statUpdates,
+		Rebuilds: s.statRebuilds,
+		Moved:    s.statMoved,
+		Resorted: s.statResorted,
+	}
+	s.statUpdates, s.statRebuilds, s.statMoved, s.statResorted = 0, 0, 0, 0
+	return st
+}
+
+// Prepare computes every aircraft's reach envelope and establishes the
+// sorted x order — by full sort normally, by insertion repair of the
+// previous order in incremental mode.
 func (s *Sweep) Prepare(w *airspace.World) {
 	n := w.N()
+	reuse := s.growFor(n)
+	s.maxW = 0
+	for i := range w.Aircraft {
+		a := &w.Aircraft[i]
+		r := Reach(a)
+		s.lox[i], s.hix[i] = a.X-r, a.X+r
+		s.loy[i], s.hiy[i] = a.Y-r, a.Y+r
+		if 2*r > s.maxW {
+			s.maxW = 2 * r
+		}
+	}
+	s.finishPrepare(reuse)
+}
+
+// PrepareColumns is Prepare reading positions and velocities from a
+// column snapshot of the same world state instead of the aircraft
+// records. The envelope expressions evaluate on the same float64
+// values, so the index — and every candidate set — is bit-identical to
+// Prepare's; what changes is that the build walks five dense arrays
+// the caller has already made cache-hot for the scan that follows.
+func (s *Sweep) PrepareColumns(c *airspace.Columns) {
+	n := c.N()
+	reuse := s.growFor(n)
+	s.maxW = 0
+	for i := 0; i < n; i++ {
+		r := ReachAt(c.DX[i], c.DY[i])
+		s.lox[i], s.hix[i] = c.X[i]-r, c.X[i]+r
+		s.loy[i], s.hiy[i] = c.Y[i]-r, c.Y[i]+r
+		if 2*r > s.maxW {
+			s.maxW = 2 * r
+		}
+	}
+	s.finishPrepare(reuse)
+}
+
+// growFor sizes the per-aircraft arrays for n and reports whether the
+// previous sorted order may be repaired in place rather than rebuilt.
+func (s *Sweep) growFor(n int) (reuse bool) {
+	reuse = s.incremental && s.prepared && s.n == n && n > 1
 	s.n = n
 	if cap(s.order) < n {
 		s.order = make([]int32, n)
@@ -77,23 +191,106 @@ func (s *Sweep) Prepare(w *airspace.World) {
 	s.sortedLo = s.sortedLo[:n]
 	s.lox, s.hix = s.lox[:n], s.hix[:n]
 	s.loy, s.hiy = s.loy[:n], s.hiy[:n]
+	return reuse
+}
 
-	s.maxW = 0
-	for i := range w.Aircraft {
-		a := &w.Aircraft[i]
-		r := Reach(a)
-		s.lox[i], s.hix[i] = a.X-r, a.X+r
-		s.loy[i], s.hiy[i] = a.Y-r, a.Y+r
-		if 2*r > s.maxW {
-			s.maxW = 2 * r
+// finishPrepare establishes the sorted order over the freshly written
+// envelopes — repairing the previous order when reuse allows, sorting
+// otherwise — and rebuilds the sorted-axis views.
+func (s *Sweep) finishPrepare(reuse bool) {
+	n := s.n
+	repaired := false
+	if reuse {
+		repaired = s.repairOrder()
+		if repaired {
+			s.statUpdates++
 		}
-		s.order[i] = int32(i)
 	}
-	s.sorter.order, s.sorter.lox = s.order, s.lox
-	sort.Sort(&s.sorter)
-	for k, id := range s.order {
-		s.sortedLo[k] = s.lox[id]
+	if !repaired {
+		if !reuse {
+			// Fresh build (first Prepare, or the world size changed):
+			// start from the identity permutation like the rebuild
+			// path always has.
+			for i := range s.order {
+				s.order[i] = int32(i)
+			}
+		}
+		// On a budget-exceeded fallback the partially repaired order is
+		// still a valid permutation; sorting it as-is is correct (the
+		// candidate set does not depend on how equal keys permute).
+		s.sorter.order, s.sorter.lox = s.order, s.lox
+		sort.Sort(&s.sorter)
+		if s.incremental {
+			s.statRebuilds++
+		}
 	}
+	s.lastIncremental = repaired
+
+	if s.incremental {
+		if cap(s.sortedBox) < 3*n {
+			s.sortedBox = make([]float64, 3*n)
+		}
+		s.sortedBox = s.sortedBox[:3*n]
+		for k, id := range s.order {
+			s.sortedLo[k] = s.lox[id]
+			s.sortedBox[3*k] = s.hix[id]
+			s.sortedBox[3*k+1] = s.loy[id]
+			s.sortedBox[3*k+2] = s.hiy[id]
+		}
+	} else {
+		for k, id := range s.order {
+			s.sortedLo[k] = s.lox[id]
+		}
+	}
+	s.prepared = true
+}
+
+// repairBudget bounds the total insertion shifts Prepare may spend
+// repairing the previous order before falling back to the full sort.
+// ~4·N·log₂N shifts is the point where repair work rivals the
+// comparison sort it replaces; normal per-period motion costs well
+// under one shift per aircraft, so only mass disruption (a reseeded
+// world, wholesale teleports) trips it.
+func repairBudget(n int) int64 {
+	return 4 * int64(n) * int64(bits.Len(uint(n)))
+}
+
+// repairOrder restores sortedness of order (keyed by lox) with a
+// bounded insertion sort, counting how many elements were out of place
+// (resorted) and how far they shifted (moved). It returns false if the
+// shift budget was exceeded; order is then still a valid permutation
+// and the caller falls back to the full sort.
+//
+//atm:noalloc
+func (s *Sweep) repairOrder() bool {
+	order, lox := s.order, s.lox
+	budget := repairBudget(len(order))
+	var shifts, resorted int64
+	for k := 1; k < len(order); k++ {
+		id := order[k]
+		key := lox[id]
+		j := k
+		for j > 0 && lox[order[j-1]] > key {
+			order[j] = order[j-1]
+			j--
+		}
+		if j == k {
+			continue
+		}
+		order[j] = id
+		resorted++
+		shifts += int64(k - j)
+		// Checked only after the element is fully inserted so that an
+		// abort always leaves order a valid permutation.
+		if shifts > budget {
+			s.statMoved += shifts
+			s.statResorted += resorted
+			return false
+		}
+	}
+	s.statMoved += shifts
+	s.statResorted += resorted
+	return true
 }
 
 // Candidates returns the aircraft whose envelopes overlap the track's
@@ -132,15 +329,46 @@ func (s *Sweep) AppendCandidates(dst []int32, w *airspace.World, track *airspace
 	sc := s.getScratch(nw)
 	words := sc.words
 	start := sort.SearchFloat64s(s.sortedLo, qloX-s.maxW)
-	for k := start; k < s.n && s.sortedLo[k] <= qhiX; k++ {
-		j := s.order[k]
-		if s.hix[j] < qloX {
-			continue
+	if s.incremental {
+		// Dense walk over the sorted mirror: identical comparisons on
+		// identical values, so the bitmap — and therefore the emitted
+		// candidate set — matches the gather path bit for bit. The
+		// window end is resolved by binary search up front (first
+		// sorted low-x above qhiX — exactly where the rebuild path's
+		// walk stops) so the walk spends no comparison on it.
+		lo, hi := start, s.n
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if s.sortedLo[mid] <= qhiX {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
 		}
-		if s.loy[j] > qhiY || s.hiy[j] < qloY {
-			continue
+		end := lo
+		box := s.sortedBox
+		for k := start; k < end; k++ {
+			b := 3 * k
+			if box[b] < qloX {
+				continue
+			}
+			if box[b+1] > qhiY || box[b+2] < qloY {
+				continue
+			}
+			j := s.order[k]
+			words[j>>6] |= 1 << (uint(j) & 63)
 		}
-		words[j>>6] |= 1 << (uint(j) & 63)
+	} else {
+		for k := start; k < s.n && s.sortedLo[k] <= qhiX; k++ {
+			j := s.order[k]
+			if s.hix[j] < qloX {
+				continue
+			}
+			if s.loy[j] > qhiY || s.hiy[j] < qloY {
+				continue
+			}
+			words[j>>6] |= 1 << (uint(j) & 63)
+		}
 	}
 	for wi := 0; wi < nw; wi++ {
 		word := words[wi]

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/broadphase"
+	"repro/internal/platform"
+	"repro/internal/replay"
+)
+
+// TestCoherentBitIdentical pins the tentpole contract of the
+// temporal-coherence mode on every registered platform: a run with the
+// incremental sweep broad phase produces byte-identical replay output —
+// same worlds, same per-period modeled task times, same deadline record
+// — as the same run with the per-task rebuild sweep. Three major cycles
+// give the incremental path two Prepare calls that repair a previous
+// order (periods 31 and 47) on top of the initial rebuild (period 15).
+func TestCoherentBitIdentical(t *testing.T) {
+	record := func(name string, incremental bool) []byte {
+		p := platform.MustNew(name, 2018)
+		p.(platform.Workered).SetWorkers(1)
+		sys := NewSystem(p, Config{N: 500, Seed: 2018, PairSource: "sweep", Incremental: incremental})
+		var buf bytes.Buffer
+		rec := replay.NewRecorder(&buf)
+		sys.SetRecorder(rec)
+		sys.RunMajorCycles(3)
+		if err := rec.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	for _, name := range append(platform.Names(), platform.ExtensionNames()...) {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			rebuild := record(name, false)
+			coherent := record(name, true)
+			if !bytes.Equal(rebuild, coherent) {
+				t.Fatalf("%s: coherent run diverged from rebuild run (replay bytes differ, %d vs %d bytes)",
+					name, len(rebuild), len(coherent))
+			}
+		})
+	}
+}
+
+// TestCoherentMaintainerWired verifies NewSystem actually installs an
+// incremental source when asked: the maintainer is discoverable, and a
+// run that crosses two Tasks 2-3 invocations records at least one
+// in-place update.
+func TestCoherentMaintainerWired(t *testing.T) {
+	p := platform.MustNew(platform.Xeon16, 7)
+	p.(platform.Workered).SetWorkers(1)
+	sys := NewSystem(p, Config{N: 300, Seed: 7, PairSource: "sweep", Incremental: true})
+	if sys.maintainer == nil {
+		t.Fatal("Incremental config produced no broadphase.Maintainer")
+	}
+	sys.RunMajorCycles(2)
+	u := sys.maintainer.TakeUpdateStats()
+	if u.Rebuilds < 1 {
+		t.Fatalf("first Prepare should rebuild, stats %+v", u)
+	}
+	if u.Updates < 1 {
+		t.Fatalf("second Tasks 2-3 invocation should repair in place, stats %+v", u)
+	}
+	if got := sys.maintainer.TakeUpdateStats(); got != (broadphase.UpdateStats{}) {
+		t.Fatalf("TakeUpdateStats did not drain: %+v", got)
+	}
+}
+
+// TestCoherentWithoutSourcePanicsAtValidation is covered by
+// RunParams.Validate; Config itself tolerates Incremental without a
+// source (it simply has nothing to make incremental).
+func TestCoherentConfigWithoutSource(t *testing.T) {
+	p := platform.MustNew(platform.TitanXPascal, 1)
+	sys := NewSystem(p, Config{N: 50, Seed: 1, Incremental: true})
+	if sys.maintainer != nil {
+		t.Fatal("maintainer present without a pair source")
+	}
+	sys.RunMajorCycles(1)
+}

@@ -45,6 +45,13 @@ type Config struct {
 	// empty string keeps the paper's all-pairs kernels. Unknown names
 	// panic.
 	PairSource string
+	// Incremental turns on the temporal-coherence mode: the sweep pair
+	// source keeps its sorted order across periods and repairs it
+	// incrementally, and the platforms feed it (and their own inner
+	// loops) from a structure-of-arrays snapshot. Results are
+	// bit-identical to the rebuild mode; only host time changes.
+	// Sources other than "sweep" accept and ignore the flag.
+	Incremental bool
 }
 
 func (c Config) noise() float64 {
@@ -67,8 +74,11 @@ type System struct {
 	rec                         *telemetry.Recorder
 	pairSrc                     broadphase.PairSource // as installed on the platform
 	counted                     *broadphase.Counted   // non-nil while telemetry is attached
+	maintainer                  broadphase.Maintainer // non-nil when the source runs incrementally
 	schedObs                    telemetry.SchedObserver
 	idBPQueries, idBPCandidates telemetry.NameID
+	idBPUpdates, idBPRebuilds   telemetry.NameID
+	idBPMoved, idBPResorted     telemetry.NameID
 }
 
 // SetRecorder attaches a replay recorder; every subsequent period is
@@ -108,11 +118,20 @@ func (s *System) SetTelemetry(rec *telemetry.Recorder) {
 			ps.SetPairSource(s.counted)
 			s.idBPQueries = rec.Intern(telemetry.NameBroadphaseQueries)
 			s.idBPCandidates = rec.Intern(telemetry.NameBroadphaseCandidates)
+			if s.maintainer != nil {
+				s.idBPUpdates = rec.Intern(telemetry.NameBroadphaseUpdates)
+				s.idBPRebuilds = rec.Intern(telemetry.NameBroadphaseRebuilds)
+				s.idBPMoved = rec.Intern(telemetry.NameBroadphaseMoved)
+				s.idBPResorted = rec.Intern(telemetry.NameBroadphaseResorted)
+			}
 		}
 	}
 	rec.Meta("platform", s.Platform.Name())
 	if s.cfg.PairSource != "" {
 		rec.Meta("pairsource", s.cfg.PairSource)
+	}
+	if s.cfg.Incremental {
+		rec.Meta("coherent", "true")
 	}
 	rec.Meta("n", fmt.Sprintf("%d", s.World.N()))
 	rec.Meta("seed", fmt.Sprintf("%d", s.cfg.Seed))
@@ -132,12 +151,13 @@ func NewSystem(p platform.Platform, cfg Config) *System {
 	setupRng := root.Split()
 	radarRng := root.Split()
 	return &System{
-		Platform: p,
-		World:    airspace.NewWorld(cfg.N, setupRng),
-		cfg:      cfg,
-		radarRng: radarRng,
-		tracker:  sched.NewTracker(cfg.PeriodDur),
-		pairSrc:  src,
+		Platform:   p,
+		World:      airspace.NewWorld(cfg.N, setupRng),
+		cfg:        cfg,
+		radarRng:   radarRng,
+		tracker:    sched.NewTracker(cfg.PeriodDur),
+		pairSrc:    src,
+		maintainer: broadphase.MaintainerOf(src),
 	}
 }
 
@@ -149,12 +169,13 @@ func NewSystemWithWorld(p platform.Platform, w *airspace.World, cfg Config) *Sys
 	root.Split() // keep the stream layout of NewSystem
 	radarRng := root.Split()
 	return &System{
-		Platform: p,
-		World:    w,
-		cfg:      cfg,
-		radarRng: radarRng,
-		tracker:  sched.NewTracker(cfg.PeriodDur),
-		pairSrc:  src,
+		Platform:   p,
+		World:      w,
+		cfg:        cfg,
+		radarRng:   radarRng,
+		tracker:    sched.NewTracker(cfg.PeriodDur),
+		pairSrc:    src,
+		maintainer: broadphase.MaintainerOf(src),
 	}
 }
 
@@ -166,7 +187,7 @@ func applyPairSource(p platform.Platform, cfg Config) broadphase.PairSource {
 	if cfg.PairSource == "" {
 		return nil
 	}
-	src, err := broadphase.New(cfg.PairSource)
+	src, err := broadphase.NewWith(cfg.PairSource, broadphase.Options{Incremental: cfg.Incremental})
 	if err != nil {
 		panic(fmt.Sprintf("core: %v", err))
 	}
@@ -202,6 +223,15 @@ func (s *System) RunPeriod() {
 			if q != 0 || c != 0 {
 				s.rec.Counter(s.idBPQueries, q)
 				s.rec.Counter(s.idBPCandidates, c)
+			}
+			if s.maintainer != nil {
+				u := s.maintainer.TakeUpdateStats()
+				if u.Updates != 0 || u.Rebuilds != 0 {
+					s.rec.Counter(s.idBPUpdates, u.Updates)
+					s.rec.Counter(s.idBPRebuilds, u.Rebuilds)
+					s.rec.Counter(s.idBPMoved, u.Moved)
+					s.rec.Counter(s.idBPResorted, u.Resorted)
+				}
 			}
 		}
 	}

@@ -46,6 +46,9 @@ type RunParams struct {
 	// PairSource is empty (the paper's all-pairs kernels) or a
 	// registered broad-phase source name.
 	PairSource string
+	// Coherent asks for the temporal-coherence incremental broad phase
+	// (-coherent). It is only meaningful with a pair source configured.
+	Coherent bool
 }
 
 // Validate checks every knob and returns a *ValidationError describing
@@ -70,6 +73,9 @@ func (p RunParams) Validate() error {
 			return validationErrorf("unknown pair source %q (known: %s; empty = all-pairs)",
 				p.PairSource, strings.Join(broadphase.Names(), ", "))
 		}
+	}
+	if p.Coherent && p.PairSource == "" {
+		return validationErrorf("-coherent needs a pair source (-pairsource; \"sweep\" runs incrementally, others ignore the flag)")
 	}
 	return nil
 }

@@ -54,11 +54,12 @@ type deviceState struct {
 	radarHits []int32
 	radarCand []int32
 
-	// Snapshot of committed courses for CheckCollisionPath: threads
-	// read these while writing proposed courses to newDX/newDY.
-	snapX, snapY, snapDX, snapDY, snapAlt []float64
-	newDX, newDY                          []float64
-	resolved                              []int32
+	// Snapshot of committed courses for CheckCollisionPath, in column
+	// (SoA) form: threads read these dense arrays while writing
+	// proposed courses to newDX/newDY.
+	snap         airspace.Columns
+	newDX, newDY []float64
+	resolved     []int32
 
 	// src, when set, prunes the pair scan to its candidate sets; the
 	// all-pairs kernel of the paper is the src == nil path.
@@ -399,11 +400,7 @@ func (e *Engine) ResolveOnly(w *airspace.World) DetectResult {
 func (e *Engine) prepareDetect(w *airspace.World, res *DetectResult) *deviceState {
 	n := w.N()
 	s := e.resetState(w, nil)
-	s.snapX = growFloat64(s.snapX, n)
-	s.snapY = growFloat64(s.snapY, n)
-	s.snapDX = growFloat64(s.snapDX, n)
-	s.snapDY = growFloat64(s.snapDY, n)
-	s.snapAlt = growFloat64(s.snapAlt, n)
+	s.snap.Resize(n)
 	s.newDX = growFloat64(s.newDX, n)
 	s.newDY = growFloat64(s.newDY, n)
 	s.resolved = growInt32(s.resolved, n)
@@ -413,11 +410,11 @@ func (e *Engine) prepareDetect(w *airspace.World, res *DetectResult) *deviceStat
 	ac := w.Aircraft
 	res.add(e.dev.Launch("snapshot", n, func(t *Thread) {
 		a := &ac[t.ID]
-		s.snapX[t.ID] = a.X
-		s.snapY[t.ID] = a.Y
-		s.snapDX[t.ID] = a.DX
-		s.snapDY[t.ID] = a.DY
-		s.snapAlt[t.ID] = a.Alt
+		s.snap.X[t.ID] = a.X
+		s.snap.Y[t.ID] = a.Y
+		s.snap.DX[t.ID] = a.DX
+		s.snap.DY[t.ID] = a.DY
+		s.snap.Alt[t.ID] = a.Alt
 		s.newDX[t.ID] = a.DX
 		s.newDY[t.ID] = a.DY
 		s.resolved[t.ID] = 0
@@ -426,10 +423,28 @@ func (e *Engine) prepareDetect(w *airspace.World, res *DetectResult) *deviceStat
 	}))
 	if e.src != nil {
 		// Host-side index build over the committed snapshot, modeled as
-		// one launch of per-aircraft insertion work.
-		e.src.Prepare(w)
+		// one launch of per-aircraft insertion work. An incremental
+		// source builds straight from the snapshot columns and reports
+		// whether it repaired in place; only the span name changes —
+		// the modeled charge is identical in both modes, as the
+		// bit-identity contract requires.
+		name := "broadphase"
+		if m := broadphase.MaintainerOf(e.src); m != nil && m.Incremental() {
+			if cp, ok := m.(broadphase.ColumnsPreparer); ok {
+				cp.PrepareColumns(&s.snap)
+			} else {
+				e.src.Prepare(w)
+			}
+			if m.LastPrepareIncremental() {
+				name = "broadphase.update"
+			} else {
+				name = "broadphase.rebuild"
+			}
+		} else {
+			e.src.Prepare(w)
+		}
 		s.src = e.src
-		res.add(e.dev.Launch("broadphase", n, func(t *Thread) {
+		res.add(e.dev.Launch(name, n, func(t *Thread) {
 			t.Ops(opsIndexBuild)
 			t.Mem(16)
 		}))
@@ -454,12 +469,12 @@ type scanAcc struct {
 //atm:noalloc
 func (s *deviceState) scanOne(acc *scanAcc, i, p int, vx, vy float64) {
 	acc.visited++
-	if p == i || math.Abs(s.snapAlt[p]-s.snapAlt[i]) >= airspace.AltBandFeet {
+	if p == i || math.Abs(s.snap.Alt[p]-s.snap.Alt[i]) >= airspace.AltBandFeet {
 		return
 	}
 	acc.checks++
-	trial := airspace.Aircraft{X: s.snapX[p], Y: s.snapY[p], DX: s.snapDX[p], DY: s.snapDY[p]}
-	tmin, tmax, ok := tasks.PairConflict(s.snapX[i], s.snapY[i], vx, vy, &trial)
+	tmin, tmax, ok := tasks.PairConflictAt(s.snap.X[i], s.snap.Y[i], vx, vy,
+		s.snap.X[p], s.snap.Y[p], s.snap.DX[p], s.snap.DY[p])
 	if ok && tmin < tmax && tmin < acc.earliest {
 		acc.earliest = tmin
 		acc.with = int32(p)
@@ -474,7 +489,7 @@ func (s *deviceState) scanOne(acc *scanAcc, i, p int, vx, vy float64) {
 func (s *deviceState) scanSnapshot(t *Thread, i int, vx, vy float64) (earliest float64, with int32, critical bool) {
 	acc := scanAcc{earliest: airspace.SafeTime, with: airspace.NoConflict}
 	if s.src == nil {
-		for p := 0; p < len(s.snapX); p++ {
+		for p := 0; p < s.snap.N(); p++ {
 			s.scanOne(&acc, i, p, vx, vy)
 		}
 	} else {
@@ -503,7 +518,7 @@ func (e *Engine) detectResolveKernel(w *airspace.World, s *deviceState, res *Det
 		i := t.ID
 		a := &ac[i]
 		a.ResetConflict()
-		tmin, with, critical := s.scanSnapshot(t, i, s.snapDX[i], s.snapDY[i])
+		tmin, with, critical := s.scanSnapshot(t, i, s.snap.DX[i], s.snap.DY[i])
 		if !critical {
 			return
 		}
@@ -535,7 +550,7 @@ func (e *Engine) resolveKernel(w *airspace.World, s *deviceState, res *DetectRes
 //atm:noalloc
 //atm:allow atomic -- rotation/resolution counters are order-independent sums read only after the launch barrier
 func (s *deviceState) resolveTrack(t *Thread, e *Engine, i int, a *airspace.Aircraft) {
-	base := geom.Vec2{X: s.snapDX[i], Y: s.snapDY[i]}
+	base := geom.Vec2{X: s.snap.DX[i], Y: s.snap.DY[i]}
 	for _, deg := range rotationSchedule {
 		atomic.AddInt64(&s.rotations, 1)
 		t.Ops(opsRotate)

@@ -596,6 +596,91 @@ func sixteenthPeriodFits(name string, n int, cfg Config) bool {
 	return true
 }
 
+// CoherenceTable — the temporal-coherence ablation behind
+// results/coherence.csv: host wall time of one fused Tasks 2+3 pass
+// with the sweep broad phase rebuilding from scratch every pass
+// ("rebuild") versus repairing the previous period's sorted order
+// ("incremental", the -coherent mode). Both lanes run the same world
+// through the same dead-reckoned motion, so the pair sets — and the
+// modeled device times — are bit-identical; the table measures only
+// what coherence buys the host.
+//
+// The motion axis matters: the m-series advance the world by m radar
+// periods between detection passes (m=1 is back-to-back detection,
+// m=16 is the real schedule's major cycle, m=64 is a stress case where
+// displacements approach the sort window). The incremental lane also
+// reports how many aircraft actually moved in the sorted order per
+// repair ("moved:mN"), the quantity the insertion-sort budget is
+// keyed to.
+//
+// Wall times are host measurements and vary run to run; the moved
+// counts are exact and reproducible.
+//
+// This experiment is not part of atmbench's default run; invoke it
+// with -table coherence.
+func CoherenceTable(cfg Config) (*trace.Dataset, error) {
+	d := &trace.Dataset{
+		ID:     "coherence",
+		Title:  "Temporal coherence: rebuild vs incremental sweep, wall ms per detection pass",
+		XLabel: "aircraft",
+		YLabel: "value",
+	}
+	ns := []int{1000, 4000}
+	iters := 8
+	if cfg.Quick {
+		ns = []int{300, 600}
+		iters = 2
+	}
+	motions := []int{1, 16, 64}
+	pool := parexec.NewPool(1)
+	for _, n := range ns {
+		for _, periods := range motions {
+			for _, mode := range []struct {
+				name string
+				src  broadphase.PairSource
+			}{
+				{"rebuild", broadphase.MustNew(broadphase.SweepName)},
+				{"incremental", broadphase.NewIncrementalSweep()},
+			} {
+				w := airspace.NewWorld(n, rng.New(cfg.Seed))
+				tasks.DetectResolveExec(w, mode.src, pool) // warm scratch + seed the sorted order
+				if m := broadphase.MaintainerOf(mode.src); m != nil {
+					m.TakeUpdateStats() // exclude the warm-up rebuild from the stats
+				}
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				mallocs := ms.Mallocs
+				var wall time.Duration
+				for it := 0; it < iters; it++ {
+					for p := 0; p < periods; p++ {
+						for i := range w.Aircraft {
+							a := &w.Aircraft[i]
+							a.X += a.DX
+							a.Y += a.DY
+							airspace.Wrap(a)
+						}
+					}
+					start := time.Now()
+					tasks.DetectResolveExec(w, mode.src, pool)
+					wall += time.Since(start)
+				}
+				runtime.ReadMemStats(&ms)
+				tag := fmt.Sprintf("%s:m%d", mode.name, periods)
+				d.Add("ms:"+tag, float64(n), wall.Seconds()*1000/float64(iters))
+				d.Add("allocs:"+tag, float64(n), float64(ms.Mallocs-mallocs)/float64(iters))
+				if m := broadphase.MaintainerOf(mode.src); m != nil && m.Incremental() {
+					st := m.TakeUpdateStats()
+					if reps := st.Updates + st.Rebuilds; reps > 0 {
+						d.Add(fmt.Sprintf("moved:m%d", periods), float64(n), float64(st.Moved)/float64(reps))
+					}
+					d.Add(fmt.Sprintf("fallbacks:m%d", periods), float64(n), float64(st.Rebuilds))
+				}
+			}
+		}
+	}
+	return d, nil
+}
+
 // MeasurementDuration is a tiny helper for callers formatting results.
 func MeasurementDuration(s float64) time.Duration {
 	return time.Duration(s * float64(time.Second))

@@ -365,3 +365,52 @@ func TestBroadphaseTable(t *testing.T) {
 		}
 	}
 }
+
+func TestCoherenceTable(t *testing.T) {
+	d, err := CoherenceTable(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ID != "coherence" {
+		t.Fatalf("dataset id %q", d.ID)
+	}
+	// Both lanes report wall times at every sweep point, and the
+	// incremental lane's repair statistics come with them. Wall times
+	// are host noise, so the test asserts shape, not speedups.
+	for _, m := range []string{"m1", "m16", "m64"} {
+		reb := d.Get("ms:rebuild:" + m)
+		inc := d.Get("ms:incremental:" + m)
+		if reb == nil || inc == nil {
+			t.Fatalf("missing wall-time series for %s: %+v", m, d.Series)
+		}
+		if len(reb.Points) != len(inc.Points) || len(reb.Points) == 0 {
+			t.Fatalf("%s: rebuild has %d points, incremental %d", m, len(reb.Points), len(inc.Points))
+		}
+		if fb := d.Get("fallbacks:" + m); fb == nil {
+			t.Fatalf("missing fallbacks series for %s", m)
+		}
+		moved := d.Get("moved:" + m)
+		if moved == nil {
+			t.Fatalf("missing moved series for %s", m)
+		}
+		// More motion between passes moves more aircraft in the order.
+		if prev := d.Get("moved:m1"); m != "m1" && prev != nil {
+			for i := range moved.Points {
+				if moved.Points[i].Y < prev.Points[i].Y {
+					t.Errorf("moved:%s at n=%v is %v, below moved:m1 %v",
+						m, moved.Points[i].X, moved.Points[i].Y, prev.Points[i].Y)
+				}
+			}
+		}
+	}
+	// Steady-state passes allocate nothing in either lane.
+	for _, s := range d.Series {
+		if len(s.Label) > 6 && s.Label[:6] == "allocs" {
+			for _, p := range s.Points {
+				if p.Y > 0.5 {
+					t.Errorf("%s at n=%v: %v allocs per pass", s.Label, p.X, p.Y)
+				}
+			}
+		}
+	}
+}

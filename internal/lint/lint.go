@@ -7,7 +7,7 @@
 // every platform computes bit-identical task results under a strict
 // modeled-time accounting discipline. Those guarantees were previously
 // defended only by runtime property tests, which cannot see a bad
-// `range` over a map or a stray time.Now until it flakes. The four
+// `range` over a map or a stray time.Now until it flakes. The
 // analyzers in this package encode the invariants structurally:
 //
 //   - determinism: inside the designated deterministic packages, flags
@@ -21,6 +21,8 @@
 //   - orderedmerge: functions marked //atm:ordered-merge must consume
 //     per-chunk partials with index-ascending loops and no map
 //     intermediaries.
+//   - syncfield: struct fields in deterministic packages must not hold
+//     sync primitives by value (copies fork their state silently).
 //
 // The analyzers run under `go vet -vettool` via cmd/atmlint (see that
 // package for the driver protocol) and in-process via linttest. The
@@ -134,6 +136,7 @@ const (
 	RuleSync        = "sync"
 	RuleAtomic      = "atomic"
 	RuleMultiSelect = "multiselect"
+	RuleSyncField   = "syncfield"
 )
 
 var knownRules = map[string]bool{
@@ -144,6 +147,7 @@ var knownRules = map[string]bool{
 	RuleSync:        true,
 	RuleAtomic:      true,
 	RuleMultiSelect: true,
+	RuleSyncField:   true,
 }
 
 // A Directive is one parsed //atm: comment.
@@ -206,7 +210,7 @@ func parseDirective(c *ast.Comment) (Directive, error, bool) {
 					continue
 				}
 				if !knownRules[r] {
-					return d, fmt.Errorf("atm:allow: unknown rule %q (known: maprange, globalrand, wallclock, gostmt, sync, atomic, multiselect)", r), true
+					return d, fmt.Errorf("atm:allow: unknown rule %q (known: maprange, globalrand, wallclock, gostmt, sync, atomic, multiselect, syncfield)", r), true
 				}
 				d.Rules = append(d.Rules, r)
 			}

@@ -47,6 +47,19 @@ func TestOrderedMerge(t *testing.T) {
 	linttest.Run(t, "testdata/src/orderedmerge", "repro/internal/tasks", lint.OrderedMerge)
 }
 
+func TestSyncField(t *testing.T) {
+	linttest.Run(t, "testdata/src/syncfield", "repro/internal/broadphase", lint.SyncField)
+}
+
+// TestSyncFieldNonDesignated checks the gate: by-value sync fields are
+// idiomatic for pointer-only structs, so outside the deterministic
+// packages (and inside parexec, which owns synchronization) the
+// analyzer reports nothing.
+func TestSyncFieldNonDesignated(t *testing.T) {
+	linttest.Run(t, "testdata/src/syncfield_clean", "repro/internal/serve", lint.SyncField)
+	linttest.Run(t, "testdata/src/syncfield_clean", "repro/internal/parexec", lint.SyncField)
+}
+
 // TestDirectiveErrors checks that malformed and dangling directives
 // are surfaced: a typoed directive must never silently stop enforcing
 // its contract. The diagnostics land on the directive comments
@@ -82,7 +95,7 @@ func TestDirectiveErrors(t *testing.T) {
 // TestSuiteComplete pins the analyzer roster: the vettool's flag
 // protocol and CI both key off these names.
 func TestSuiteComplete(t *testing.T) {
-	want := []string{"atmdirective", "determinism", "modeledtime", "noalloc", "orderedmerge"}
+	want := []string{"atmdirective", "determinism", "modeledtime", "noalloc", "orderedmerge", "syncfield"}
 	got := lint.Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(got), len(want))

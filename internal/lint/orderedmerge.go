@@ -98,5 +98,5 @@ func checkOrderedMerge(pass *Pass, fn ast.Node) {
 
 // Analyzers returns the full atmlint suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{DirectiveCheck, Determinism, ModeledTime, Noalloc, OrderedMerge}
+	return []*Analyzer{DirectiveCheck, Determinism, ModeledTime, Noalloc, OrderedMerge, SyncField}
 }

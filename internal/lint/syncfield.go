@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// syncValueTypes are the sync primitives that are corrupted (or
+// silently forked, for Pool) when a containing struct is copied by
+// value: each embeds state tied to the original's identity.
+var syncValueTypes = map[string]bool{
+	"Pool":      true,
+	"Mutex":     true,
+	"RWMutex":   true,
+	"Once":      true,
+	"WaitGroup": true,
+	"Map":       true,
+	"Cond":      true,
+}
+
+// SyncField is the copylocks-style structural check: inside the
+// deterministic packages, struct fields must not hold a sync primitive
+// by value. go vet's copylocks only fires at a copy site; this rule
+// forbids the field shape itself, because the packages it covers hand
+// struct values to the parexec engine and to scratch-reuse paths where
+// an accidental copy is easy and a forked sync.Pool (the bug this rule
+// was born from: broadphase.Sweep embedded its pool by value) is
+// silent. Hold the primitive by pointer, or keep a slice whose backing
+// array is shared across copies. internal/parexec, which owns
+// synchronization, is exempt, as are test files.
+var SyncField = &Analyzer{
+	Name: "syncfield",
+	Doc: "flag struct fields holding sync primitives (Pool, Mutex, RWMutex, Once, WaitGroup, Map, Cond) " +
+		"by value in deterministic packages; copies fork their state silently (waive with //atm:allow syncfield -- why)",
+	Run: runSyncField,
+}
+
+func runSyncField(pass *Pass) error {
+	if !DeterministicPackages[pass.PkgPath] || pass.PkgPath == parexecPath {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		WalkFuncStack(f, func(n ast.Node, stack []ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				tv, ok := pass.TypesInfo.Types[fld.Type]
+				if !ok || tv.Type == nil {
+					continue
+				}
+				if name := syncValueField(tv.Type); name != "" && !pass.Dirs.Allowed(RuleSyncField, fld.Pos(), stack) {
+					pass.Reportf(fld.Pos(), "struct field holds %s by value; a struct copy forks its state silently — hold it by pointer (waive with //atm:allow syncfield -- why)", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// syncValueField reports the sync primitive t embeds by value: t itself,
+// or the element type of a (possibly nested) array. Pointers and slices
+// are fine — copies of the containing struct share the pointee/backing
+// array — so they terminate the unwrap.
+func syncValueField(t types.Type) string {
+	for {
+		arr, ok := t.Underlying().(*types.Array)
+		if !ok {
+			break
+		}
+		t = arr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && syncValueTypes[obj.Name()] {
+		return "sync." + obj.Name()
+	}
+	return ""
+}

@@ -1,0 +1,49 @@
+// Fixture for the syncfield analyzer, analyzed as the designated
+// package repro/internal/broadphase.
+package fixture
+
+import "sync"
+
+type poolByValue struct {
+	scratch sync.Pool // want "struct field holds sync.Pool by value"
+}
+
+type poolByPointer struct {
+	scratch *sync.Pool // clean: copies share the pointee
+}
+
+type mutexByValue struct {
+	mu sync.Mutex // want "struct field holds sync.Mutex by value"
+}
+
+type mutexArray struct {
+	locks [4]sync.Mutex // want "struct field holds sync.Mutex by value"
+}
+
+type mutexSlice struct {
+	locks []sync.Mutex // clean: copies share the backing array
+}
+
+type onceAndFriends struct {
+	once sync.Once      // want "struct field holds sync.Once by value"
+	wg   sync.WaitGroup // want "struct field holds sync.WaitGroup by value"
+	m    sync.Map       // want "struct field holds sync.Map by value"
+}
+
+type allowed struct {
+	//atm:allow syncfield -- fixture: the struct is never copied
+	mu sync.Mutex // no diagnostic: line-scoped allow
+}
+
+// Package-level variables are not struct fields: a by-value pool var is
+// never copied, so it is fine.
+var pkgPool sync.Pool
+
+func localStruct() {
+	type inner struct {
+		mu sync.RWMutex // want "struct field holds sync.RWMutex by value"
+	}
+	var v inner
+	_ = v
+	_ = pkgPool
+}

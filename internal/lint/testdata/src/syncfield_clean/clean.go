@@ -1,0 +1,14 @@
+// Fixture for the syncfield analyzer analyzed as a non-designated
+// package: by-value sync fields are idiomatic Go for structs used only
+// by pointer (HTTP handlers, caches), so outside the deterministic
+// packages the analyzer reports nothing.
+package fixture
+
+import "sync"
+
+type server struct {
+	mu sync.Mutex
+	wg sync.WaitGroup
+}
+
+var _ server

@@ -139,9 +139,10 @@ type scratch struct {
 	state     []int32
 	matchedBy []int32
 
-	snapX, snapY, snapDX, snapDY, snapAlt []float64
-	newDX, newDY                          []float64
-	resolved                              []bool
+	// snap is the committed-course snapshot in column (SoA) form.
+	snap         airspace.Columns
+	newDX, newDY []float64
+	resolved     []bool
 
 	bufs []candBuf
 }
@@ -487,11 +488,7 @@ func (m *Machine) DetectResolve(w *airspace.World) (tasks.DetectStats, time.Dura
 	phases := 0
 
 	scr := &m.scr
-	scr.snapX = growF(scr.snapX, n)
-	scr.snapY = growF(scr.snapY, n)
-	scr.snapDX = growF(scr.snapDX, n)
-	scr.snapDY = growF(scr.snapDY, n)
-	scr.snapAlt = growF(scr.snapAlt, n)
+	scr.snap.Resize(n)
 	scr.newDX = growF(scr.newDX, n)
 	scr.newDY = growF(scr.newDY, n)
 	if cap(scr.resolved) < n {
@@ -500,9 +497,9 @@ func (m *Machine) DetectResolve(w *airspace.World) (tasks.DetectStats, time.Dura
 	if len(scr.bufs) < m.prof.Cores {
 		scr.bufs = make([]candBuf, m.prof.Cores)
 	}
-	snapX, snapY := scr.snapX, scr.snapY
-	snapDX, snapDY := scr.snapDX, scr.snapDY
-	snapAlt := scr.snapAlt
+	snapX, snapY := scr.snap.X, scr.snap.Y
+	snapDX, snapDY := scr.snap.DX, scr.snap.DY
+	snapAlt := scr.snap.Alt
 	newDX, newDY := scr.newDX, scr.newDY
 	resolved := scr.resolved[:n]
 
@@ -527,12 +524,29 @@ func (m *Machine) DetectResolve(w *airspace.World) (tasks.DetectStats, time.Dura
 	// already committed, and courses only rotate (same speed) during
 	// resolution, so the index stays valid for the whole task.
 	if m.src != nil {
-		m.src.Prepare(w)
+		// An incremental source builds straight from the snapshot
+		// columns; only the phase mark's name changes between update and
+		// rebuild — the charge is identical, as bit-identity requires.
+		name := "index"
+		if im := broadphase.MaintainerOf(m.src); im != nil && im.Incremental() {
+			if cp, ok := im.(broadphase.ColumnsPreparer); ok {
+				cp.PrepareColumns(&scr.snap)
+			} else {
+				m.src.Prepare(w)
+			}
+			if im.LastPrepareIncremental() {
+				name = "index.update"
+			} else {
+				name = "index.rebuild"
+			}
+		} else {
+			m.src.Prepare(w)
+		}
 		phases++
 		m.parallel(n, func(core, lo, hi int) {
 			tally.ops[core] += uint64(hi-lo) * opsIndexBuild
 		})
-		m.markPhase(tally, "index", 0)
+		m.markPhase(tally, name, 0)
 	}
 
 	var conflicts, rotations, resolvedCount, unresolvedCount, pairChecks uint64
@@ -543,8 +557,8 @@ func (m *Machine) DetectResolve(w *airspace.World) (tasks.DetectStats, time.Dura
 			return
 		}
 		*checks++
-		trial := airspace.Aircraft{X: snapX[p], Y: snapY[p], DX: snapDX[p], DY: snapDY[p]}
-		tmin, tmax, ok := tasks.PairConflict(snapX[i], snapY[i], vx, vy, &trial)
+		tmin, tmax, ok := tasks.PairConflictAt(snapX[i], snapY[i], vx, vy,
+			snapX[p], snapY[p], snapDX[p], snapDY[p])
 		if ok && tmin < tmax && tmin < *earliest {
 			*earliest = tmin
 			*with = int32(p)

@@ -41,6 +41,11 @@ type RunRequest struct {
 	// source ("brute", "grid", "sweep"); empty keeps the paper's
 	// all-pairs kernels.
 	PairSource string `json:"pair_source,omitempty"`
+	// Coherent turns on the temporal-coherence incremental broad phase
+	// (needs a pair source). Results are bit-identical to the rebuild
+	// mode — the flag is still part of the run identity because it
+	// changes the telemetry export (span names, maintenance counters).
+	Coherent bool `json:"coherent,omitempty"`
 	// Detail is the telemetry detail level: "task" (default) or
 	// "block".
 	Detail string `json:"detail,omitempty"`
@@ -59,6 +64,7 @@ type RunConfig struct {
 	Seed       uint64 `json:"seed"`
 	Periods    int    `json:"periods"`
 	PairSource string `json:"pair_source,omitempty"`
+	Coherent   bool   `json:"coherent,omitempty"`
 	Detail     string `json:"detail"`
 	Telemetry  string `json:"telemetry,omitempty"`
 }
@@ -73,6 +79,7 @@ func (r RunRequest) Canonicalize() (RunConfig, error) {
 		Seed:       r.Seed,
 		Periods:    r.Periods,
 		PairSource: r.PairSource,
+		Coherent:   r.Coherent,
 		Detail:     r.Detail,
 		Telemetry:  r.Telemetry,
 	}
@@ -97,6 +104,7 @@ func (r RunRequest) Canonicalize() (RunConfig, error) {
 		Periods:    cfg.Periods,
 		Workers:    0, // host workers are a server setting, not part of the run identity
 		PairSource: cfg.PairSource,
+		Coherent:   cfg.Coherent,
 	}
 	if err := params.Validate(); err != nil {
 		return RunConfig{}, err
@@ -118,8 +126,8 @@ func (r RunRequest) Canonicalize() (RunConfig, error) {
 // (worker count, queue position, cache state) are deliberately absent:
 // they change wall-clock speed only, never the answer.
 func (c RunConfig) Key() string {
-	return fmt.Sprintf("platform=%s&n=%d&seed=%d&periods=%d&pairsource=%s&detail=%s&telemetry=%s",
-		c.Platform, c.N, c.Seed, c.Periods, c.PairSource, c.Detail, c.Telemetry)
+	return fmt.Sprintf("platform=%s&n=%d&seed=%d&periods=%d&pairsource=%s&coherent=%t&detail=%s&telemetry=%s",
+		c.Platform, c.N, c.Seed, c.Periods, c.PairSource, c.Coherent, c.Detail, c.Telemetry)
 }
 
 // Hash returns the short content hash of the canonical key, used as
@@ -162,6 +170,13 @@ func requestFromQuery(q url.Values) (RunRequest, error) {
 	}
 	if req.PairSource == "" {
 		req.PairSource = q.Get("pairsource")
+	}
+	if s := q.Get("coherent"); s != "" {
+		v, err := strconv.ParseBool(s)
+		if err != nil {
+			return RunRequest{}, &core.ValidationError{Msg: fmt.Sprintf("bad coherent %q: %v", s, err)}
+		}
+		req.Coherent = v
 	}
 	var err error
 	if req.N, err = intParam(q, "n"); err != nil {

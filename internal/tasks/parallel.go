@@ -94,6 +94,9 @@ type detectScratch struct {
 	parts []scanResult
 	dirty []int32
 	bufs  []workerBuf
+	// cols is the column snapshot used by the coherent (SoA) scan path
+	// in soa.go; the record path never touches it.
+	cols airspace.Columns
 }
 
 var detectScratchPool sync.Pool
@@ -225,6 +228,9 @@ func scanPar(w *airspace.World, track *airspace.Aircraft, vx, vy float64, src br
 //atm:ordered-merge
 func DetectExec(w *airspace.World, src broadphase.PairSource, pool *parexec.Pool) DetectStats {
 	p := parexec.Resolve(pool)
+	if m := colsMaintainer(src); m != nil {
+		return detectCols(w, src, m, p)
+	}
 	if src != nil {
 		src.Prepare(w)
 	}
@@ -279,6 +285,9 @@ func DetectExec(w *airspace.World, src broadphase.PairSource, pool *parexec.Pool
 //atm:ordered-merge
 func DetectResolveExec(w *airspace.World, src broadphase.PairSource, pool *parexec.Pool) DetectStats {
 	p := parexec.Resolve(pool)
+	if m := colsMaintainer(src); m != nil {
+		return detectResolveCols(w, src, m, p)
+	}
 	if src != nil {
 		src.Prepare(w)
 	}

@@ -10,11 +10,19 @@ import (
 	"repro/internal/rng"
 )
 
+// incrementalSweepName selects the coherent-mode sweep in test tables;
+// it is not a registry name (the registry exposes the mode through
+// NewWith options, not a separate source).
+const incrementalSweepName = "incremental-sweep"
+
 // newTestSource builds a fresh pair source for a registry name, or nil
 // for the all-pairs scan.
 func newTestSource(name string) broadphase.PairSource {
 	if name == "" {
 		return nil
+	}
+	if name == incrementalSweepName {
+		return broadphase.NewIncrementalSweep()
 	}
 	return broadphase.MustNew(name)
 }
@@ -49,7 +57,7 @@ func framesEqual(t *testing.T, label string, want, got *radar.Frame) {
 // reference. Worker count 1 is the reference itself; the others
 // exercise the phased parallel paths.
 func TestParallelMatchesSerial(t *testing.T) {
-	sources := []string{"", broadphase.BruteName, broadphase.GridName, broadphase.SweepName}
+	sources := []string{"", broadphase.BruteName, broadphase.GridName, broadphase.SweepName, incrementalSweepName}
 	serial := parexec.NewPool(1)
 	pools := []*parexec.Pool{parexec.NewPool(2), parexec.NewPool(3), parexec.NewPool(8)}
 
@@ -193,7 +201,7 @@ func TestExecZeroAllocSteadyState(t *testing.T) {
 		if workers > 1 {
 			limit = 12
 		}
-		for _, srcName := range []string{"", broadphase.GridName, broadphase.SweepName} {
+		for _, srcName := range []string{"", broadphase.GridName, broadphase.SweepName, incrementalSweepName} {
 			src := newTestSource(srcName)
 			w := base.Clone()
 			f := frame.Clone()

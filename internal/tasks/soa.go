@@ -1,0 +1,280 @@
+// Column-form (SoA) execution of Detect/DetectResolve, used when the
+// pair source maintains its index incrementally (the coherent mode).
+//
+// The control flow in this file mirrors parallel.go statement for
+// statement; only the data layout changes. Every value the scan reads —
+// positions, velocities, altitudes — comes from an airspace.Columns
+// snapshot that FillFrom copied out of the aircraft records at
+// invocation start and that is updated in lockstep with every heading
+// commit, so each comparison evaluates on exactly the float64 the
+// record-walking path would have read and the results are bit-identical
+// at every worker count. What the layout buys: the altitude filter
+// rejects ~95% of candidates, and in column form that rejection touches
+// one dense 8-byte element instead of dragging a whole Aircraft record
+// through the cache.
+//
+// The self-skip compares indices (p == track index) where the record
+// path compares IDs; these are equivalent by the ID==index invariant
+// (SetupFlight assigns ID = index and no task reassigns it), which the
+// sweep source already relies on for its envelope arrays.
+package tasks
+
+import (
+	"repro/internal/airspace"
+	"repro/internal/broadphase"
+	"repro/internal/geom"
+	"repro/internal/parexec"
+)
+
+// colsMaintainer returns the Maintainer behind src when the coherent
+// column scan path applies — an incremental source — and nil otherwise
+// (the record path is the benchmark control and stays byte-identical).
+func colsMaintainer(src broadphase.PairSource) broadphase.Maintainer {
+	if m := broadphase.MaintainerOf(src); m != nil && m.Incremental() {
+		return m
+	}
+	return nil
+}
+
+// prepareCols refreshes the scratch columns and builds the pair-source
+// index, from the columns when the source supports it.
+func prepareCols(w *airspace.World, src broadphase.PairSource, m broadphase.Maintainer, sc *detectScratch) {
+	sc.cols.FillFrom(w)
+	if cp, ok := m.(broadphase.ColumnsPreparer); ok {
+		cp.PrepareColumns(&sc.cols)
+	} else {
+		src.Prepare(w)
+	}
+}
+
+// scanColsInto is scanPairInto on columns: fold candidate p into the
+// running scan minimum for the track at index ti flying (vx, vy) from
+// (tx, ty) at altitude talt.
+//
+//atm:noalloc
+func scanColsInto(c *airspace.Columns, ti, p int, tx, ty, vx, vy, talt float64, r *scanResult) {
+	if p == ti || !AltOverlapAt(talt, c.Alt[p]) {
+		return
+	}
+	r.checks++
+	tmin, tmax, ok := PairConflictAt(tx, ty, vx, vy, c.X[p], c.Y[p], c.DX[p], c.DY[p])
+	if !ok || tmin >= tmax {
+		return
+	}
+	if tmin < r.tmin {
+		r.tmin = tmin
+		r.with = int32(p)
+	}
+}
+
+// scanColsWith is scanWith on columns. The coherent path always has a
+// pair source (incremental mode requires one), so there is no full-scan
+// fallback here.
+//
+//atm:noalloc
+func scanColsWith(w *airspace.World, c *airspace.Columns, track *airspace.Aircraft, vx, vy float64, src broadphase.PairSource, buf *[]int32) scanResult {
+	r := scanResult{tmin: airspace.SafeTime, with: airspace.NoConflict}
+	ti := int(track.ID)
+	tx, ty, talt := c.X[ti], c.Y[ti], c.Alt[ti]
+	cand := src.AppendCandidates((*buf)[:0], w, track)
+	*buf = cand
+	for _, p := range cand {
+		scanColsInto(c, ti, int(p), tx, ty, vx, vy, talt, &r)
+	}
+	return r
+}
+
+// scanColsPar is scanPar on columns: the candidate walk fanned out in
+// fixed chunks whose partial minima merge in ascending chunk order,
+// preserving the strict-< first-wins tie-break exactly.
+//
+//atm:ordered-merge
+func scanColsPar(w *airspace.World, c *airspace.Columns, track *airspace.Aircraft, vx, vy float64, src broadphase.PairSource, p *parexec.Pool, sc *detectScratch) scanResult {
+	cand := src.AppendCandidates(sc.bufs[0].cand[:0], w, track)
+	sc.bufs[0].cand = cand
+	m := len(cand)
+	ti := int(track.ID)
+	tx, ty, talt := c.X[ti], c.Y[ti], c.Alt[ti]
+	if p.Workers() == 1 || m < 2*innerGrain {
+		r := scanResult{tmin: airspace.SafeTime, with: airspace.NoConflict}
+		for _, q := range cand {
+			scanColsInto(c, ti, int(q), tx, ty, vx, vy, talt, &r)
+		}
+		return r
+	}
+	chunks := (m + innerGrain - 1) / innerGrain
+	if cap(sc.parts) < chunks {
+		sc.parts = make([]scanResult, chunks)
+	}
+	parts := sc.parts[:chunks]
+	//atm:noalloc
+	p.Run(m, innerGrain, func(_, lo, hi int) {
+		pr := scanResult{tmin: airspace.SafeTime, with: airspace.NoConflict}
+		for _, q := range cand[lo:hi] {
+			scanColsInto(c, ti, int(q), tx, ty, vx, vy, talt, &pr)
+		}
+		parts[lo/innerGrain] = pr
+	})
+	out := scanResult{tmin: airspace.SafeTime, with: airspace.NoConflict}
+	for _, pr := range parts {
+		out.checks += pr.checks
+		if pr.tmin < out.tmin {
+			out.tmin = pr.tmin
+			out.with = pr.with
+		}
+	}
+	return out
+}
+
+// detectCols is DetectExec's coherent path.
+//
+//atm:ordered-merge
+func detectCols(w *airspace.World, src broadphase.PairSource, m broadphase.Maintainer, p *parexec.Pool) DetectStats {
+	var st DetectStats
+	n := w.N()
+	sc := getDetectScratch(n, p.Workers())
+	defer putDetectScratch(sc)
+	prepareCols(w, src, m, sc)
+	c := &sc.cols
+
+	if p.Workers() == 1 {
+		buf := &sc.bufs[0].cand
+		for i := range w.Aircraft {
+			track := &w.Aircraft[i]
+			track.ResetConflict()
+			r := scanColsWith(w, c, track, track.DX, track.DY, src, buf)
+			st.PairChecks += int(r.checks)
+			if r.tmin < airspace.CriticalTime {
+				st.Conflicts++
+				MarkConflict(w, track, r.with, r.tmin)
+			}
+		}
+		return st
+	}
+
+	//atm:noalloc
+	p.Run(n, scanGrain, func(worker, lo, hi int) {
+		buf := &sc.bufs[worker].cand
+		for i := lo; i < hi; i++ {
+			track := &w.Aircraft[i]
+			sc.res[i] = scanColsWith(w, c, track, track.DX, track.DY, src, buf)
+		}
+	})
+	for i := range w.Aircraft {
+		track := &w.Aircraft[i]
+		track.ResetConflict()
+		r := sc.res[i]
+		st.PairChecks += int(r.checks)
+		if r.tmin < airspace.CriticalTime {
+			st.Conflicts++
+			MarkConflict(w, track, r.with, r.tmin)
+		}
+	}
+	return st
+}
+
+// detectResolveCols is DetectResolveExec's coherent path. Heading
+// commits write through to the columns (SetVel) immediately after the
+// record, so later tracks' scans — and the dirty-replay rescans — read
+// exactly the velocities the record path would.
+//
+//atm:ordered-merge
+func detectResolveCols(w *airspace.World, src broadphase.PairSource, m broadphase.Maintainer, p *parexec.Pool) DetectStats {
+	var st DetectStats
+	n := w.N()
+	sc := getDetectScratch(n, p.Workers())
+	defer putDetectScratch(sc)
+	prepareCols(w, src, m, sc)
+	c := &sc.cols
+
+	if p.Workers() == 1 {
+		buf := &sc.bufs[0].cand
+		for i := range w.Aircraft {
+			resolveOneSerialCols(w, c, &w.Aircraft[i], &st, src, buf)
+		}
+		return st
+	}
+
+	//atm:noalloc
+	p.Run(n, scanGrain, func(worker, lo, hi int) {
+		buf := &sc.bufs[worker].cand
+		for i := lo; i < hi; i++ {
+			track := &w.Aircraft[i]
+			sc.reach[i] = broadphase.ReachAt(c.DX[i], c.DY[i])
+			sc.res[i] = scanColsWith(w, c, track, track.DX, track.DY, src, buf)
+		}
+	})
+
+	dirty := sc.dirty[:0]
+	for i := range w.Aircraft {
+		track := &w.Aircraft[i]
+		r := sc.res[i]
+		if dirtyInteracts(w, sc, track, dirty) {
+			r = scanColsPar(w, c, track, track.DX, track.DY, src, p, sc)
+		}
+		track.ResetConflict()
+		st.PairChecks += int(r.checks)
+		if !(r.tmin < airspace.CriticalTime) {
+			continue
+		}
+		st.Conflicts++
+		MarkConflict(w, track, r.with, r.tmin)
+
+		base := geom.Vec2{X: track.DX, Y: track.DY}
+		resolved := false
+		for _, deg := range rotationSchedule {
+			st.Rotations++
+			v := base.Rotate(deg)
+			track.BatX, track.BatY = v.X, v.Y
+			pr := scanColsPar(w, c, track, v.X, v.Y, src, p, sc)
+			st.PairChecks += int(pr.checks)
+			if !(pr.tmin < airspace.CriticalTime) {
+				track.DX, track.DY = v.X, v.Y
+				c.SetVel(i, v.X, v.Y)
+				track.ResetConflict()
+				st.Resolved++
+				resolved = true
+				dirty = append(dirty, int32(i))
+				break
+			}
+			MarkConflict(w, track, pr.with, pr.tmin)
+		}
+		if !resolved {
+			st.Unresolved++
+		}
+	}
+	sc.dirty = dirty[:0]
+	return st
+}
+
+// resolveOneSerialCols is resolveOneSerial on columns.
+//
+//atm:noalloc
+func resolveOneSerialCols(w *airspace.World, c *airspace.Columns, track *airspace.Aircraft, st *DetectStats, src broadphase.PairSource, buf *[]int32) {
+	track.ResetConflict()
+	r := scanColsWith(w, c, track, track.DX, track.DY, src, buf)
+	st.PairChecks += int(r.checks)
+	if !(r.tmin < airspace.CriticalTime) {
+		return
+	}
+	st.Conflicts++
+	MarkConflict(w, track, r.with, r.tmin)
+
+	base := geom.Vec2{X: track.DX, Y: track.DY}
+	for _, deg := range rotationSchedule {
+		st.Rotations++
+		v := base.Rotate(deg)
+		track.BatX, track.BatY = v.X, v.Y
+		pr := scanColsWith(w, c, track, v.X, v.Y, src, buf)
+		st.PairChecks += int(pr.checks)
+		if !(pr.tmin < airspace.CriticalTime) {
+			track.DX, track.DY = v.X, v.Y
+			c.SetVel(int(track.ID), v.X, v.Y)
+			track.ResetConflict()
+			st.Resolved++
+			return
+		}
+		MarkConflict(w, track, pr.with, pr.tmin)
+	}
+	st.Unresolved++
+}

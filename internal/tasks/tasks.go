@@ -205,11 +205,20 @@ func commit(w *airspace.World, f *radar.Frame, st *CorrelateStats) {
 // [0, HorizonPeriods], and whether the pair is on a collision course
 // within the horizon (timeMin < timeMax).
 func PairConflict(tx, ty, tvx, tvy float64, trial *airspace.Aircraft) (timeMin, timeMax float64, conflict bool) {
-	wx, openX := geom.AxisConflictWindow(tx, tvx, trial.X, trial.DX, airspace.SepTotal)
+	return PairConflictAt(tx, ty, tvx, tvy, trial.X, trial.Y, trial.DX, trial.DY)
+}
+
+// PairConflictAt is PairConflict with the trial aircraft's state passed
+// as scalars, for callers that hold the world in column (SoA) form and
+// have no Aircraft record to take the address of. The arithmetic is the
+// same expression on the same values, so the result is bit-identical to
+// PairConflict on the corresponding record.
+func PairConflictAt(tx, ty, tvx, tvy, px, py, pvx, pvy float64) (timeMin, timeMax float64, conflict bool) {
+	wx, openX := geom.AxisConflictWindow(tx, tvx, px, pvx, airspace.SepTotal)
 	if !openX && wx.Empty() {
 		return 0, 0, false
 	}
-	wy, openY := geom.AxisConflictWindow(ty, tvy, trial.Y, trial.DY, airspace.SepTotal)
+	wy, openY := geom.AxisConflictWindow(ty, tvy, py, pvy, airspace.SepTotal)
 	if !openY && wy.Empty() {
 		return 0, 0, false
 	}
@@ -226,7 +235,13 @@ func PairConflict(tx, ty, tvx, tvy float64, trial *airspace.Aircraft) (timeMin, 
 // AltOverlap reports whether two aircraft are within the vertical
 // separation band that makes a horizontal conflict meaningful.
 func AltOverlap(a, b *airspace.Aircraft) bool {
-	return math.Abs(a.Alt-b.Alt) < airspace.AltBandFeet
+	return AltOverlapAt(a.Alt, b.Alt)
+}
+
+// AltOverlapAt is AltOverlap on scalar altitudes, for column-form
+// callers. Same expression, bit-identical result.
+func AltOverlapAt(a, b float64) bool {
+	return math.Abs(a-b) < airspace.AltBandFeet
 }
 
 // DetectStats reports what Tasks 2-3 did.

@@ -27,6 +27,19 @@ const (
 	NameBroadphaseQueries    = "broadphase.queries"
 	NameBroadphaseCandidates = "broadphase.candidates"
 
+	// Incremental broad-phase maintenance counters, drained by core
+	// after each Tasks 2-3 run when the coherent mode is on. Updates
+	// and Rebuilds partition the Prepare calls (an update repaired the
+	// previous order in place; a rebuild fell back to a full sort);
+	// Moved and Resorted describe repair effort. The matching span
+	// names are the engines' per-phase kernel names suffixed with
+	// ".update" / ".rebuild" (e.g. "broadphase.update", "index.rebuild",
+	// "ap.index.update").
+	NameBroadphaseUpdates  = "broadphase.updates"
+	NameBroadphaseRebuilds = "broadphase.rebuilds"
+	NameBroadphaseMoved    = "broadphase.moved"
+	NameBroadphaseResorted = "broadphase.resorted"
+
 	// NameServeRun spans one whole served simulation (internal/serve):
 	// it starts at the schedule origin and covers the run's virtual
 	// elapsed time, so service-side exports carry the request envelope

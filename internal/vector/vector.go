@@ -556,10 +556,29 @@ func (m *Machine) DetectResolve(w *airspace.World) (tasks.DetectStats, time.Dura
 		resolved[i] = false
 	}
 
-	// Broadphase index build, charged as one lane-blocked phase.
+	// Broadphase index build, charged as one lane-blocked phase. An
+	// incremental source builds from the machine's SoA mirror (viewed
+	// as airspace.Columns — same backing arrays, no copy) and reports
+	// update vs rebuild in the phase name; the charge is identical in
+	// both modes, as bit-identity requires.
 	if m.src != nil {
-		m.src.Prepare(w)
-		m.parallel(t, "index", 0, n, func(core, lo, hi int) {
+		name := "index"
+		if im := broadphase.MaintainerOf(m.src); im != nil && im.Incremental() {
+			if cp, ok := im.(broadphase.ColumnsPreparer); ok {
+				cols := airspace.Columns{X: s.x, Y: s.y, DX: s.dx, DY: s.dy, Alt: s.alt}
+				cp.PrepareColumns(&cols)
+			} else {
+				m.src.Prepare(w)
+			}
+			if im.LastPrepareIncremental() {
+				name = "index.update"
+			} else {
+				name = "index.rebuild"
+			}
+		} else {
+			m.src.Prepare(w)
+		}
+		m.parallel(t, name, 0, n, func(core, lo, hi int) {
 			t.vecInstr[core] += uint64((hi-lo+Lanes-1)/Lanes) * viIndex
 		})
 	}
@@ -573,8 +592,7 @@ func (m *Machine) DetectResolve(w *airspace.World) (tasks.DetectStats, time.Dura
 			return
 		}
 		*checks++
-		trial := airspace.Aircraft{X: tx, Y: ty, DX: tdx, DY: tdy}
-		tmin, tmax, ok := tasks.PairConflict(s.x[i], s.y[i], vx, vy, &trial)
+		tmin, tmax, ok := tasks.PairConflictAt(s.x[i], s.y[i], vx, vy, tx, ty, tdx, tdy)
 		if ok && tmin < tmax && tmin < *earliest {
 			*earliest = tmin
 			*with = int32(p)
