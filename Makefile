@@ -1,7 +1,7 @@
 GO ?= go
 ATMLINT := bin/atmlint
 
-.PHONY: all build test vet lint lint-fixtures bench-smoke bench-diff fuzz serve serve-smoke clean
+.PHONY: all build test vet lint lint-flow lint-graph lint-fixtures gcdiag bench-smoke bench-diff fuzz serve serve-smoke clean
 
 all: build test
 
@@ -17,18 +17,42 @@ vet:
 # The vettool binary; rebuilt whenever the analyzer suite or driver
 # changes. go vet caches per-package results keyed on the binary hash
 # (-V=full), so a rebuilt tool automatically invalidates stale results.
-$(ATMLINT): $(wildcard cmd/atmlint/*.go internal/lint/*.go) go.mod
+$(ATMLINT): $(wildcard cmd/atmlint/*.go internal/lint/*.go internal/lint/gcdiag/*.go) go.mod
 	$(GO) build -o $(ATMLINT) ./cmd/atmlint
 
-# lint runs the atmlint analyzer suite (determinism, modeledtime,
-# noalloc, orderedmerge, atmdirective) over every package.
+# lint runs the per-package atmlint analyzer suite (determinism,
+# noalloc, orderedmerge, atmdirective, syncfield) over every package.
 lint: $(ATMLINT)
 	$(GO) vet -vettool=$(abspath $(ATMLINT)) ./...
+
+# lint-flow runs the interprocedural flow suite (noallocflow,
+# modeledtimeflow, stalewaiver) over the whole module at once: it loads
+# every package, builds the static call graph, and propagates the
+# //atm:noalloc and //atm:modeled-time contracts across package
+# boundaries. `make lint-flow FLOWFLAGS=-fix` lists stale waivers with
+# removal instructions.
+FLOWFLAGS ?=
+lint-flow: $(ATMLINT)
+	$(ATMLINT) flow $(FLOWFLAGS) ./...
+
+# lint-graph dumps the static call graph of one package as DOT for
+# debugging the flow analyses; pipe to dot -Tsvg to render. Example:
+#   make lint-graph PKG=repro/internal/tasks
+PKG ?= repro/internal/tasks
+lint-graph: $(ATMLINT)
+	$(ATMLINT) graph -pkg $(PKG)
 
 # lint-fixtures runs the analyzers' own unit tests: each analyzer is
 # exercised against testdata fixtures with // want expectations.
 lint-fixtures:
 	$(GO) test ./internal/lint/...
+
+# gcdiag verifies the //atm:inline, //atm:noescape and //atm:nobce
+# directives against the gc compiler's own diagnostics (-m -m and the
+# BCE debug pass): every annotated hot function must actually inline,
+# keep its locals on the stack, and compile without bounds checks.
+gcdiag: $(ATMLINT)
+	./scripts/gcdiag.sh
 
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/lint"
+	"repro/internal/lint/gcdiag"
+)
+
+// runFlowCmd implements `atmlint flow [-fix] [patterns...]`: load the
+// module, build the whole-program call graph, and run the complete
+// suite — per-package analyzers plus the interprocedural ones
+// (noallocflow, modeledtimeflow, stalewaiver). Diagnostics print in
+// (file, offset, analyzer) order; exit status mirrors go vet (0 clean,
+// 1 tool failure, 2 findings).
+func runFlowCmd(args []string) int {
+	fs := flag.NewFlagSet("flow", flag.ExitOnError)
+	fix := fs.Bool("fix", false, "print a deletion listing for stale //atm:allow waivers")
+	fs.Parse(args)
+
+	fset, pkgs, err := lint.LoadPackages(fs.Args()...)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	g := lint.BuildGraph(fset, pkgs)
+	results := lint.RunFlowSuite(g)
+
+	exit := 0
+	for _, res := range results {
+		if res.Err != nil {
+			log.Printf("analyzer %s failed: %v", res.Analyzer, res.Err)
+			exit = 1
+		}
+	}
+	ordered := lint.OrderDiagnostics(fset, results)
+	for _, d := range ordered {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", d.Position, d.Message, d.Analyzer)
+		if exit == 0 {
+			exit = 2
+		}
+	}
+	if *fix {
+		printed := false
+		for _, d := range ordered {
+			if d.Analyzer != "stalewaiver" {
+				continue
+			}
+			if !printed {
+				fmt.Println("# stale waivers — delete the //atm:allow comment (or the trailing clause) at:")
+				printed = true
+			}
+			fmt.Printf("%s:%d\n", d.Position.Filename, d.Position.Line)
+		}
+	}
+	return exit
+}
+
+// runGraphCmd implements `atmlint graph -pkg <import path> [patterns...]`:
+// dump the computed call graph for one package as Graphviz DOT.
+func runGraphCmd(args []string) int {
+	fs := flag.NewFlagSet("graph", flag.ExitOnError)
+	pkg := fs.String("pkg", "", "import path of the package whose call graph to dump (required)")
+	fs.Parse(args)
+	if *pkg == "" {
+		log.Print("graph: -pkg is required (e.g. -pkg repro/internal/tasks)")
+		return 1
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	fset, pkgs, err := lint.LoadPackages(patterns...)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	g := lint.BuildGraph(fset, pkgs)
+	found := false
+	for _, p := range pkgs {
+		if p.Path == *pkg {
+			found = true
+			break
+		}
+	}
+	if !found {
+		log.Printf("graph: package %s not in the loaded set", *pkg)
+		return 1
+	}
+	if err := g.WriteDOT(os.Stdout, *pkg); err != nil {
+		log.Print(err)
+		return 1
+	}
+	return 0
+}
+
+// runGcdiagCmd implements `atmlint gcdiag [-diag file] [roots...]`:
+// enforce //atm:inline, //atm:noescape, and //atm:nobce against the
+// compiler output produced by scripts/gcdiag.sh.
+func runGcdiagCmd(args []string) int {
+	fs := flag.NewFlagSet("gcdiag", flag.ExitOnError)
+	diagPath := fs.String("diag", "", "file holding `go build -gcflags='-m -m -d=ssa/check_bce/debug=1'` stderr (default: stdin)")
+	fs.Parse(args)
+	roots := fs.Args()
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+
+	directives, err := gcdiag.Collect(roots)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	in := os.Stdin
+	if *diagPath != "" {
+		f, err := os.Open(*diagPath)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		defer f.Close()
+		in = f
+	}
+	diags, err := gcdiag.ParseDiagnostics(in)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	if len(directives) > 0 && len(diags) == 0 {
+		log.Print("gcdiag: no compiler diagnostics parsed; run via scripts/gcdiag.sh (the build must use -gcflags='-m -m -d=ssa/check_bce/debug=1')")
+		return 1
+	}
+	violations := gcdiag.Check(directives, diags)
+	for _, v := range violations {
+		fmt.Fprintln(os.Stderr, v)
+	}
+	if len(violations) > 0 {
+		return 2
+	}
+	fmt.Printf("gcdiag: %d directives verified against %d compiler diagnostics\n", len(directives), len(diags))
+	return 0
+}

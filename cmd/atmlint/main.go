@@ -70,6 +70,22 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("atmlint: ")
 
+	// Subcommands run outside the vet-tool protocol: `flow` loads the
+	// whole module and runs the interprocedural suite, `graph` dumps a
+	// package's call graph as DOT, `gcdiag` enforces the compiler
+	// diagnostics gate. cmd/go never passes a bare word first, so the
+	// dispatch cannot collide with the vet protocol.
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "flow":
+			os.Exit(runFlowCmd(os.Args[2:]))
+		case "graph":
+			os.Exit(runGraphCmd(os.Args[2:]))
+		case "gcdiag":
+			os.Exit(runGcdiagCmd(os.Args[2:]))
+		}
+	}
+
 	enabled := make(map[string]bool)
 	for _, a := range lint.Analyzers() {
 		enabled[a.Name] = true
@@ -236,13 +252,19 @@ func run(cfgPath string, analyzers []*lint.Analyzer, jsonOut bool) int {
 		return printJSON(&cfg, fset, results)
 	}
 	exit := 0
+	flat := make([]lint.FlowResult, 0, len(results))
 	for _, res := range results {
 		if res.Err != nil {
 			log.Printf("analyzer %s failed: %v", res.Analyzer.Name, res.Err)
 			exit = 1
 		}
-		for _, d := range res.Diagnostics {
-			fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, res.Analyzer.Name)
+		flat = append(flat, lint.FlowResult{Analyzer: res.Analyzer.Name, Diagnostics: res.Diagnostics})
+	}
+	// Diagnostics print in (file, offset, analyzer) order so output is
+	// byte-stable across runs and analyzer interleavings.
+	for _, d := range lint.OrderDiagnostics(fset, flat) {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", d.Position, d.Message, d.Analyzer)
+		if exit == 0 {
 			exit = 2
 		}
 	}

@@ -97,12 +97,16 @@ type PairSource interface {
 // PruneHorizon at its current speed under any heading, plus half the
 // pairwise separation bound (each member of a pair contributes half of
 // airspace.SepTotal).
+//
+//atm:inline
 func Reach(a *airspace.Aircraft) float64 {
 	return ReachAt(a.DX, a.DY)
 }
 
 // ReachAt is Reach on a scalar velocity, for callers holding the world
 // in column (SoA) form. Same expression, bit-identical result.
+//
+//atm:inline
 func ReachAt(dx, dy float64) float64 {
 	return math.Hypot(dx, dy)*PruneHorizon + airspace.SepTotal/2 + slack
 }

@@ -179,7 +179,7 @@ func (g *Grid) AppendCandidates(dst []int32, w *airspace.World, track *airspace.
 	cy0, cyn := g.cellSpan(track.Y-r, track.Y+r)
 
 	nw := (g.n + 63) / 64
-	sc := g.getScratch(nw)
+	sc := g.getScratch(nw) //atm:allow noallocflow -- scratch acquisition allocates only on pool miss or fleet growth; steady state reuses pooled words
 	words := sc.words
 	for yi := 0; yi < cyn; yi++ {
 		row := g.fold(cy0+yi) * g.nx

@@ -262,6 +262,7 @@ func repairBudget(n int) int64 {
 // and the caller falls back to the full sort.
 //
 //atm:noalloc
+//atm:noescape
 func (s *Sweep) repairOrder() bool {
 	order, lox := s.order, s.lox
 	budget := repairBudget(len(order))
@@ -326,7 +327,7 @@ func (s *Sweep) AppendCandidates(dst []int32, w *airspace.World, track *airspace
 	qloY, qhiY := s.loy[i], s.hiy[i]
 
 	nw := (s.n + 63) / 64
-	sc := s.getScratch(nw)
+	sc := s.getScratch(nw) //atm:allow noallocflow -- scratch acquisition allocates only on pool miss or fleet growth; steady state reuses pooled words
 	words := sc.words
 	start := sort.SearchFloat64s(s.sortedLo, qloX-s.maxW)
 	if s.incremental {

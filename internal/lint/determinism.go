@@ -90,6 +90,20 @@ func runDeterminism(pass *Pass) error {
 					pass.Reportf(n.Pos(), "select with %d comm cases picks pseudo-randomly among ready cases; restructure so at most one case can be ready (waive with //atm:allow multiselect -- why)", comm)
 				}
 			case *ast.SelectorExpr:
+				// Methods on sync/atomic value types (atomic.Int64.Add,
+				// ...) are the same scheduler-dependent primitive as the
+				// package-level funcs; the qualifier switch below cannot
+				// see them because the receiver is a field or local, so
+				// they are matched through the selection's method object.
+				if !inParexec {
+					if sel, ok := pass.TypesInfo.Selections[n]; ok && sel.Kind() == types.MethodVal {
+						if m, ok := sel.Obj().(*types.Func); ok && m.Pkg() != nil && m.Pkg().Path() == "sync/atomic" {
+							if !pass.Dirs.Allowed(RuleAtomic, n.Pos(), stack) {
+								pass.Reportf(n.Pos(), "sync/atomic method %s.%s outside internal/parexec: atomic update order is scheduler-dependent; only order-independent reductions (sums, maxima) are safe, and those belong in per-chunk partials (waive with //atm:allow atomic -- why)", sel.Recv().String(), n.Sel.Name)
+							}
+						}
+					}
+				}
 				switch pkg := pkgNameOf(pass.TypesInfo, n.X); pkg {
 				case "math/rand", "math/rand/v2":
 					if !pass.Dirs.Allowed(RuleGlobalRand, n.Pos(), stack) {

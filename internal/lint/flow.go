@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// A FlowAnalyzer is an interprocedural analyzer: it runs once over the
+// whole-module call graph instead of once per package.
+type FlowAnalyzer struct {
+	Name string
+	Doc  string
+	Run  func(*FlowPass) error
+}
+
+// A FlowPass is one flow analyzer's view of the graph.
+type FlowPass struct {
+	Analyzer *FlowAnalyzer
+	Graph    *Graph
+
+	diagnostics []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *FlowPass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diagnostics = append(p.diagnostics, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostics returns the findings sorted by position.
+func (p *FlowPass) Diagnostics() []Diagnostic {
+	sort.SliceStable(p.diagnostics, func(i, j int) bool {
+		return p.diagnostics[i].Pos < p.diagnostics[j].Pos
+	})
+	return p.diagnostics
+}
+
+// FlowAnalyzers returns the interprocedural suite in run order.
+// StaleWaiver must run last: it reports //atm:allow directives that no
+// earlier analyzer consumed, so every waiver-consuming analyzer has to
+// have run over the same directive indexes first.
+func FlowAnalyzers() []*FlowAnalyzer {
+	return []*FlowAnalyzer{NoallocFlow, ModeledTimeFlow, StaleWaiver}
+}
+
+// A FlowResult pairs one analyzer name with its findings.
+type FlowResult struct {
+	Analyzer    string
+	Diagnostics []Diagnostic
+	Err         error
+}
+
+// RunFlowSuite runs the complete atmlint suite over a loaded module
+// graph: first the per-package analyzers on every package (sharing
+// each package's directive index, so waiver consumption is recorded),
+// then the flow analyzers over the whole graph. Per-package analyzer
+// results are merged across packages under one entry per analyzer.
+func RunFlowSuite(g *Graph) []FlowResult {
+	var out []FlowResult
+	for _, a := range Analyzers() {
+		merged := FlowResult{Analyzer: a.Name}
+		for _, pkg := range g.Packages {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      g.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Pkg,
+				TypesInfo: pkg.Info,
+				PkgPath:   pkg.Path,
+				Dirs:      pkg.Dirs,
+			}
+			if err := a.Run(pass); err != nil && merged.Err == nil {
+				merged.Err = err
+			}
+			merged.Diagnostics = append(merged.Diagnostics, pass.Diagnostics()...)
+		}
+		out = append(out, merged)
+	}
+	for _, fa := range FlowAnalyzers() {
+		pass := &FlowPass{Analyzer: fa, Graph: g}
+		err := fa.Run(pass)
+		out = append(out, FlowResult{Analyzer: fa.Name, Diagnostics: pass.Diagnostics(), Err: err})
+	}
+	return out
+}
+
+// An OutputDiagnostic is one finding resolved to a printable position,
+// tagged with its analyzer.
+type OutputDiagnostic struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+// OrderDiagnostics flattens per-analyzer results into a single list
+// sorted by (file, offset, analyzer) — the one true output order, so
+// CI diffs are stable no matter how packages and analyzers interleave.
+func OrderDiagnostics(fset *token.FileSet, results []FlowResult) []OutputDiagnostic {
+	var out []OutputDiagnostic
+	for _, res := range results {
+		for _, d := range res.Diagnostics {
+			out = append(out, OutputDiagnostic{
+				Position: fset.Position(d.Pos),
+				Analyzer: res.Analyzer,
+				Message:  d.Message,
+			})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Offset != b.Position.Offset {
+			return a.Position.Offset < b.Position.Offset
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// allowedAt reports whether a rule is waived at a position inside node
+// n: by a line-scoped //atm:allow in n's package, or by a
+// function-scoped allow on n or any enclosing function.
+func allowedAt(n *Node, rule string, pos token.Pos) bool {
+	if n.Pkg == nil || n.Pkg.Dirs == nil {
+		return false
+	}
+	return n.Pkg.Dirs.Allowed(rule, pos, n.FuncStack())
+}
+
+// hasDirective reports whether node n carries the given directive kind.
+func hasDirective(n *Node, kind string) bool {
+	return n.Pkg != nil && n.Pkg.Dirs != nil && n.Decl != nil && n.Pkg.Dirs.HasDirective(n.Decl, kind)
+}
+
+// pkgOf names the package a node belongs to, for via-chains.
+func pkgOf(n *Node) string {
+	if n.Pkg != nil {
+		return n.Pkg.Path
+	}
+	if n.Obj != nil && n.Obj.Pkg() != nil {
+		return n.Obj.Pkg().Path()
+	}
+	return ""
+}

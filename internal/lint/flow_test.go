@@ -1,0 +1,171 @@
+package lint_test
+
+import (
+	"go/token"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestNoallocFlow(t *testing.T) {
+	linttest.RunFlow(t, "testdata/src/noallocflow", []linttest.FlowPackage{
+		{Dir: "util", Path: "repro/fixture/util"},
+		{Dir: "hot", Path: "repro/fixture/hot"},
+	})
+}
+
+func TestModeledTimeFlow(t *testing.T) {
+	linttest.RunFlow(t, "testdata/src/modeledtimeflow", []linttest.FlowPackage{
+		{Dir: "timeutil", Path: "repro/fixture/timeutil"},
+		{Dir: "platform", Path: "repro/internal/platform"},
+	})
+}
+
+// TestModeledTimeFlowNonPlatform checks that Track/DetectResolve
+// methods root the analysis only inside the platform packages: outside
+// them, with no //atm:modeled-time directive, nothing is reachable
+// from a root and wall-clock reads are fine (host benchmarking code).
+func TestModeledTimeFlowNonPlatform(t *testing.T) {
+	linttest.RunFlow(t, "testdata/src/modeledtimeflow_nonplatform", []linttest.FlowPackage{
+		{Dir: "report", Path: "repro/internal/report"},
+	})
+}
+
+// TestStaleWaiver checks both halves of waiver accounting over one
+// fixture: the consumed waiver (determinism's globalrand fires and is
+// suppressed) stays quiet, the waiver that suppresses nothing is
+// reported at its own line.
+func TestStaleWaiver(t *testing.T) {
+	fset, g := linttest.LoadFlow(t, "testdata/src/stalewaiver", []linttest.FlowPackage{
+		{Dir: "w", Path: "repro/internal/tasks"},
+	})
+	src, err := os.ReadFile("testdata/src/stalewaiver/w/w.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	staleLine := 0
+	for i, line := range strings.Split(string(src), "\n") {
+		if strings.Contains(line, "nothing to waive") {
+			staleLine = i + 1
+		}
+	}
+	if staleLine == 0 {
+		t.Fatal("fixture marker line not found")
+	}
+
+	for _, res := range lint.RunFlowSuite(g) {
+		if res.Err != nil {
+			t.Fatalf("analyzer %s: %v", res.Analyzer, res.Err)
+		}
+		switch res.Analyzer {
+		case "stalewaiver":
+			if len(res.Diagnostics) != 1 {
+				t.Fatalf("stalewaiver reported %d diagnostics, want 1", len(res.Diagnostics))
+			}
+			d := res.Diagnostics[0]
+			if got := fset.Position(d.Pos).Line; got != staleLine {
+				t.Errorf("stale waiver reported at line %d, want %d", got, staleLine)
+			}
+			if !strings.Contains(d.Message, "atm:allow maprange waives zero diagnostics") {
+				t.Errorf("unexpected message: %s", d.Message)
+			}
+		default:
+			for _, d := range res.Diagnostics {
+				t.Errorf("%s: unexpected diagnostic [%s]: %s", fset.Position(d.Pos), res.Analyzer, d.Message)
+			}
+		}
+	}
+}
+
+// TestCallGraphDOT pins the exact edge set the builder derives for one
+// construct per edge kind: interface dispatch fan-out, generic origin
+// resolution, method values, and closures stored in struct fields.
+func TestCallGraphDOT(t *testing.T) {
+	_, g := linttest.LoadFlow(t, "testdata/src/callgraph", []linttest.FlowPackage{
+		{Dir: "cg", Path: "repro/fixture/cg"},
+	})
+	var buf strings.Builder
+	if err := g.WriteDOT(&buf, "repro/fixture/cg"); err != nil {
+		t.Fatal(err)
+	}
+	want := `digraph "repro/fixture/cg" {
+  "repro/fixture/cg.Run" -> "(*repro/fixture/cg.A).Tick" [label="iface"];
+  "repro/fixture/cg.Run" -> "(repro/fixture/cg.B).Tick" [label="iface"];
+  "repro/fixture/cg.UseGenerics" -> "repro/fixture/cg.Map" [label="call"];
+  "repro/fixture/cg.UseGenerics" -> "repro/fixture/cg.double" [label="funcval"];
+  "repro/fixture/cg.closureField" -> "repro/fixture/cg.closureField.func1" [label="closure"];
+  "repro/fixture/cg.closureField.func1" -> "(*repro/fixture/cg.A).Tick" [label="call"];
+  "repro/fixture/cg.makeHandler" -> "(*repro/fixture/cg.A).Tick" [label="funcval"];
+}
+`
+	if got := buf.String(); got != want {
+		t.Errorf("WriteDOT mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	// Calls through func-typed values (Map's parameter, Handler's
+	// field) have no resolvable target: the callers must be Dynamic.
+	wantDynamic := map[string]bool{
+		"repro/fixture/cg.Map":    true,
+		"repro/fixture/cg.invoke": true,
+	}
+	for _, n := range g.Nodes {
+		if n.External() {
+			continue
+		}
+		if n.Dynamic != wantDynamic[n.Name()] {
+			t.Errorf("node %s: Dynamic = %v, want %v", n.Name(), n.Dynamic, wantDynamic[n.Name()])
+		}
+	}
+}
+
+// TestFlowSuiteComplete pins the flow-analyzer roster and its order:
+// stalewaiver must run last so every waiver-consuming analyzer has
+// recorded its usage first.
+func TestFlowSuiteComplete(t *testing.T) {
+	want := []string{"noallocflow", "modeledtimeflow", "stalewaiver"}
+	got := lint.FlowAnalyzers()
+	if len(got) != len(want) {
+		t.Fatalf("FlowAnalyzers() returned %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("FlowAnalyzers()[%d].Name = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no Doc", a.Name)
+		}
+	}
+}
+
+// TestOrderDiagnostics pins the output contract: diagnostics print in
+// (file, offset, analyzer) order regardless of how analyzers and
+// packages interleaved during the run.
+func TestOrderDiagnostics(t *testing.T) {
+	fset := token.NewFileSet()
+	fb := fset.AddFile("b.go", -1, 100)
+	fa := fset.AddFile("a.go", -1, 100)
+
+	results := []lint.FlowResult{
+		{Analyzer: "zeta", Diagnostics: []lint.Diagnostic{
+			{Pos: fa.Pos(10), Message: "za10"},
+			{Pos: fb.Pos(5), Message: "zb5"},
+		}},
+		{Analyzer: "alpha", Diagnostics: []lint.Diagnostic{
+			{Pos: fa.Pos(10), Message: "aa10"},
+			{Pos: fa.Pos(2), Message: "aa2"},
+		}},
+	}
+	got := lint.OrderDiagnostics(fset, results)
+	want := []string{"aa2", "aa10", "za10", "zb5"}
+	if len(got) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d", len(got), len(want))
+	}
+	for i, d := range got {
+		if d.Message != want[i] {
+			t.Errorf("position %d: got %q, want %q", i, d.Message, want[i])
+		}
+	}
+}

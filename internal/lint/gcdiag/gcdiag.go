@@ -1,0 +1,323 @@
+// Package gcdiag is the compiler-diagnostics gate: it enforces the
+// //atm:inline, //atm:noescape, and //atm:nobce directives against the
+// gc compiler's own analysis output.
+//
+// The AST-level analyzers in internal/lint can prove a hot path free
+// of *constructs* that allocate, but only the compiler knows whether a
+// value actually escapes to the heap, whether a call was inlined, and
+// whether a bounds check survived BCE. The gate closes that loop:
+//
+//	go build -gcflags='-m -m -d=ssa/check_bce/debug=1' ./... 2> diag.txt
+//	atmlint gcdiag -diag diag.txt
+//
+// (scripts/gcdiag.sh wires the two together; cmd/go replays cached
+// compiler diagnostics, so repeat runs are cheap.)
+//
+// Enforcement per directive, matched by source position:
+//
+//   - //atm:inline — the compiler must report "can inline F" at the
+//     function's declaration line. A "cannot inline" verdict fails the
+//     gate with the compiler's reason (cost over budget, unhandled
+//     op); no verdict at all fails too, which catches a build that ran
+//     without -m.
+//   - //atm:noescape — no "escapes to heap" or "moved to heap"
+//     diagnostic may fall inside the function's line range. Parameter
+//     escapes land on the declaration line and are covered.
+//   - //atm:nobce — no "Found IsInBounds" / "Found IsSliceInBounds"
+//     may fall inside the function's line range.
+//
+// The output is toolchain-sensitive by design — that is the point of
+// the gate — so CI pins the Go version for the gcdiag job; see
+// DESIGN.md §12 for the version-bump procedure.
+package gcdiag
+
+import (
+	"bufio"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// A Directive is one gcdiag annotation bound to a function declaration.
+type Directive struct {
+	Kind string // lint.KindInline | KindNoescape | KindNobce
+	Func string // function name for messages
+	File string // slash-separated path as collected
+	// DeclLine is the line of the func keyword; the compiler anchors
+	// its "can inline" / "cannot inline" verdicts there.
+	DeclLine int
+	// StartLine..EndLine span the declaration through the closing
+	// brace; escape and bounds-check diagnostics are matched inside it.
+	StartLine, EndLine int
+}
+
+// Collect walks the given roots for non-test .go files (skipping
+// testdata and hidden directories) and returns every gcdiag directive,
+// sorted by (file, decl line). Directives attached to func literals
+// are rejected: the compiler names literals positionally, so the gate
+// anchors only to declarations.
+func Collect(roots []string) ([]Directive, error) {
+	fset := token.NewFileSet()
+	var out []Directive
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				name := d.Name()
+				if name == "testdata" || (len(name) > 1 && (name[0] == '.' || name[0] == '_')) {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			ds, err := collectFile(fset, path)
+			if err != nil {
+				return err
+			}
+			out = append(out, ds...)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].DeclLine < out[j].DeclLine
+	})
+	return out, nil
+}
+
+var gateKinds = []string{lint.KindInline, lint.KindNoescape, lint.KindNobce}
+
+func collectFile(fset *token.FileSet, path string) ([]Directive, error) {
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	dirs := lint.BuildDirectives(fset, []*ast.File{f})
+	var out []Directive
+	for _, kind := range gateKinds {
+		for _, fn := range dirs.AnnotatedFuncs(kind) {
+			fd, ok := fn.(*ast.FuncDecl)
+			if !ok {
+				return nil, fmt.Errorf("%s: atm:%s must be attached to a function declaration, not a literal (the compiler names literals positionally)", fset.Position(fn.Pos()), kind)
+			}
+			if fd.Body == nil {
+				return nil, fmt.Errorf("%s: atm:%s on a bodyless declaration", fset.Position(fn.Pos()), kind)
+			}
+			out = append(out, Directive{
+				Kind:      kind,
+				Func:      fd.Name.Name,
+				File:      filepath.ToSlash(path),
+				DeclLine:  fset.Position(fd.Pos()).Line,
+				StartLine: fset.Position(fd.Pos()).Line,
+				EndLine:   fset.Position(fd.Body.Rbrace).Line,
+			})
+		}
+	}
+	return out, nil
+}
+
+// DiagKind classifies one compiler diagnostic line.
+type DiagKind int
+
+const (
+	// CanInline is "can inline F ..." at a declaration.
+	CanInline DiagKind = iota
+	// CannotInline is "cannot inline F: reason".
+	CannotInline
+	// Escape is "... escapes to heap" or "moved to heap: x".
+	Escape
+	// BoundsCheck is "Found IsInBounds" / "Found IsSliceInBounds".
+	BoundsCheck
+)
+
+// A Diag is one parsed compiler diagnostic.
+type Diag struct {
+	File string // slash-separated, as the compiler printed it
+	Line int
+	Col  int
+	Kind DiagKind
+	Text string
+}
+
+// ParseDiagnostics scans `go build -gcflags='-m -m
+// -d=ssa/check_bce/debug=1'` stderr and keeps the four diagnostic
+// shapes the gate enforces; everything else (inlining call sites,
+// leaking params, "does not escape", flow explanations) is dropped.
+func ParseDiagnostics(r io.Reader) ([]Diag, error) {
+	var out []Diag
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		file, ln, col, msg, ok := splitPosLine(line)
+		if !ok {
+			continue
+		}
+		var kind DiagKind
+		switch {
+		case strings.HasPrefix(msg, "can inline "):
+			kind = CanInline
+		case strings.HasPrefix(msg, "cannot inline "):
+			kind = CannotInline
+		case strings.HasPrefix(msg, "moved to heap:") || strings.Contains(msg, "escapes to heap"):
+			kind = Escape
+		case strings.HasPrefix(msg, "Found IsInBounds") || strings.HasPrefix(msg, "Found IsSliceInBounds"):
+			kind = BoundsCheck
+		default:
+			continue
+		}
+		out = append(out, Diag{File: filepath.ToSlash(file), Line: ln, Col: col, Kind: kind, Text: msg})
+	}
+	return out, sc.Err()
+}
+
+// splitPosLine splits "file.go:12:34: message". Indented flow
+// explanations and bare notes have no position prefix and are skipped.
+func splitPosLine(line string) (file string, ln, col int, msg string, ok bool) {
+	if line == "" || line[0] == ' ' || line[0] == '\t' || line[0] == '#' {
+		return "", 0, 0, "", false
+	}
+	rest := line
+	i := strings.Index(rest, ".go:")
+	if i < 0 {
+		return "", 0, 0, "", false
+	}
+	file = rest[:i+3]
+	rest = rest[i+4:]
+	parts := strings.SplitN(rest, ":", 3)
+	if len(parts) < 3 {
+		return "", 0, 0, "", false
+	}
+	ln, err1 := strconv.Atoi(parts[0])
+	col, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil {
+		return "", 0, 0, "", false
+	}
+	return file, ln, col, strings.TrimSpace(parts[2]), true
+}
+
+// A Violation is one directive the compiler output contradicts.
+type Violation struct {
+	Directive Directive
+	// Message explains the failure, quoting the compiler where it has
+	// an opinion.
+	Message string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s:%d: atm:%s %s: %s", v.Directive.File, v.Directive.DeclLine, v.Directive.Kind, v.Directive.Func, v.Message)
+}
+
+// Check matches directives against compiler diagnostics and returns
+// the violations sorted by (file, decl line, kind).
+func Check(directives []Directive, diags []Diag) []Violation {
+	// Index diagnostics by compiler-printed file path; directive files
+	// are matched by path-suffix so the collection root and the build's
+	// working directory need not agree.
+	byFile := make(map[string][]Diag)
+	var files []string
+	for _, d := range diags {
+		if _, ok := byFile[d.File]; !ok {
+			files = append(files, d.File)
+		}
+		byFile[d.File] = append(byFile[d.File], d)
+	}
+
+	fileDiags := func(file string) []Diag {
+		if ds, ok := byFile[file]; ok {
+			return ds
+		}
+		for _, f := range files {
+			if sameFile(f, file) {
+				return byFile[f]
+			}
+		}
+		return nil
+	}
+
+	var out []Violation
+	for _, dir := range directives {
+		ds := fileDiags(dir.File)
+		switch dir.Kind {
+		case lint.KindInline:
+			out = append(out, checkInline(dir, ds)...)
+		case lint.KindNoescape:
+			out = append(out, checkRange(dir, ds, Escape, "value escapes to the heap")...)
+		case lint.KindNobce:
+			out = append(out, checkRange(dir, ds, BoundsCheck, "bounds check not eliminated")...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Directive, out[j].Directive
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.DeclLine != b.DeclLine {
+			return a.DeclLine < b.DeclLine
+		}
+		return a.Kind < b.Kind
+	})
+	return out
+}
+
+func checkInline(dir Directive, ds []Diag) []Violation {
+	for _, d := range ds {
+		if d.Line != dir.DeclLine {
+			continue
+		}
+		switch d.Kind {
+		case CanInline:
+			return nil
+		case CannotInline:
+			return []Violation{{dir, fmt.Sprintf("compiler says %q", d.Text)}}
+		}
+	}
+	return []Violation{{dir, "no inlining verdict in the compiler output (was the build run with -gcflags='-m -m -d=ssa/check_bce/debug=1' from the module root?)"}}
+}
+
+func checkRange(dir Directive, ds []Diag, kind DiagKind, what string) []Violation {
+	var out []Violation
+	seen := make(map[string]bool)
+	for _, d := range ds {
+		if d.Kind != kind || d.Line < dir.StartLine || d.Line > dir.EndLine {
+			continue
+		}
+		// -m -m prints some escape diagnostics twice (once with a flow
+		// explanation); dedupe on position.
+		key := fmt.Sprintf("%d:%d:%s", d.Line, d.Col, strings.TrimSuffix(d.Text, ":"))
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, Violation{dir, fmt.Sprintf("%s at %s:%d:%d (%s)", what, d.File, d.Line, d.Col, strings.TrimSuffix(d.Text, ":"))})
+	}
+	return out
+}
+
+// sameFile reports whether two printed paths plausibly name the same
+// file: equal, or one is a path-suffix of the other at a separator
+// boundary.
+func sameFile(a, b string) bool {
+	if a == b {
+		return true
+	}
+	return strings.HasSuffix(a, "/"+b) || strings.HasSuffix(b, "/"+a)
+}

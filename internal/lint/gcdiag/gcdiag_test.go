@@ -1,0 +1,145 @@
+package gcdiag_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/gcdiag"
+)
+
+func collectFixture(t *testing.T) []gcdiag.Directive {
+	t.Helper()
+	dirs, err := gcdiag.Collect([]string{"testdata/fix"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct{ kind, fn string }{
+		{"inline", "add"},
+		{"noescape", "fill"},
+		{"nobce", "sum3"},
+	}
+	if len(dirs) != len(want) {
+		t.Fatalf("collected %d directives, want %d: %v", len(dirs), len(want), dirs)
+	}
+	for i, w := range want {
+		d := dirs[i]
+		if d.Kind != w.kind || d.Func != w.fn {
+			t.Fatalf("directive %d = %s %s, want %s %s", i, d.Kind, d.Func, w.kind, w.fn)
+		}
+		if d.File != "testdata/fix/fix.go" || d.DeclLine == 0 || d.EndLine < d.StartLine {
+			t.Fatalf("directive %d has bad position: %+v", i, d)
+		}
+	}
+	return dirs
+}
+
+func TestCollect(t *testing.T) {
+	collectFixture(t)
+}
+
+func TestParseDiagnostics(t *testing.T) {
+	input := strings.Join([]string{
+		"# repro/internal/tasks",
+		"tasks.go:10:6: can inline scanPairInto with cost 42 as: ...",
+		"tasks.go:20:6: cannot inline scanPar: function too complex: cost 90 exceeds budget 80",
+		"tasks.go:31:12: s escapes to heap:",
+		"  flow: explanation lines are indented and skipped",
+		"tasks.go:32:9: moved to heap: buf",
+		"tasks.go:33:2: dst does not escape",
+		"tasks.go:40:14: Found IsInBounds",
+		"tasks.go:41:14: Found IsSliceInBounds",
+		"not a position line",
+	}, "\n")
+	diags, err := gcdiag.ParseDiagnostics(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKinds := []gcdiag.DiagKind{
+		gcdiag.CanInline, gcdiag.CannotInline, gcdiag.Escape,
+		gcdiag.Escape, gcdiag.BoundsCheck, gcdiag.BoundsCheck,
+	}
+	if len(diags) != len(wantKinds) {
+		t.Fatalf("parsed %d diagnostics, want %d: %v", len(diags), len(wantKinds), diags)
+	}
+	for i, k := range wantKinds {
+		if diags[i].Kind != k {
+			t.Errorf("diag %d kind = %v, want %v (%s)", i, diags[i].Kind, k, diags[i].Text)
+		}
+		if diags[i].File != "tasks.go" {
+			t.Errorf("diag %d file = %q", i, diags[i].File)
+		}
+	}
+}
+
+// TestCheckClean feeds compiler output that upholds all three
+// directives: an inline verdict at add's declaration and no escape or
+// bounds-check diagnostics anywhere.
+func TestCheckClean(t *testing.T) {
+	dirs := collectFixture(t)
+	output := fmt.Sprintf("testdata/fix/fix.go:%d:6: can inline add with cost 4 as: func(int, int) int { return a + b }\n", dirs[0].DeclLine)
+	diags, err := gcdiag.ParseDiagnostics(strings.NewReader(output))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := gcdiag.Check(dirs, diags); len(vs) != 0 {
+		t.Fatalf("clean output produced violations: %v", vs)
+	}
+}
+
+// TestCheckBroken is the deliberately-broken fixture: the compiler
+// contradicts every directive, and the gate must fail each one with a
+// position-anchored violation.
+func TestCheckBroken(t *testing.T) {
+	dirs := collectFixture(t)
+	add, fill, sum3 := dirs[0], dirs[1], dirs[2]
+	output := strings.Join([]string{
+		fmt.Sprintf("testdata/fix/fix.go:%d:6: cannot inline add: function too complex: cost 90 exceeds budget 80", add.DeclLine),
+		fmt.Sprintf("testdata/fix/fix.go:%d:11: moved to heap: v", fill.StartLine),
+		fmt.Sprintf("testdata/fix/fix.go:%d:12: Found IsInBounds", sum3.EndLine),
+	}, "\n")
+	diags, err := gcdiag.ParseDiagnostics(strings.NewReader(output))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := gcdiag.Check(dirs, diags)
+	if len(vs) != 3 {
+		t.Fatalf("broken output produced %d violations, want 3: %v", len(vs), vs)
+	}
+	wantSubstrings := []string{
+		`compiler says "cannot inline add`,
+		"value escapes to the heap",
+		"bounds check not eliminated",
+	}
+	for i, want := range wantSubstrings {
+		if !strings.Contains(vs[i].String(), want) {
+			t.Errorf("violation %d = %q, want substring %q", i, vs[i], want)
+		}
+	}
+}
+
+// TestCheckMissingVerdict: an //atm:inline directive with no inlining
+// verdict at all must fail — that is how the gate catches a build run
+// without -gcflags=-m.
+func TestCheckMissingVerdict(t *testing.T) {
+	dirs := collectFixture(t)
+	vs := gcdiag.Check(dirs[:1], nil)
+	if len(vs) != 1 || !strings.Contains(vs[0].String(), "no inlining verdict") {
+		t.Fatalf("got %v, want one missing-verdict violation", vs)
+	}
+}
+
+// TestCheckSuffixMatch: the compiler prints paths relative to its own
+// working directory; directives collected from a different root must
+// still match by path suffix.
+func TestCheckSuffixMatch(t *testing.T) {
+	dirs := collectFixture(t)
+	output := fmt.Sprintf("fix/fix.go:%d:6: can inline add with cost 4 as: func(int, int) int { return a + b }\n", dirs[0].DeclLine)
+	diags, err := gcdiag.ParseDiagnostics(strings.NewReader(output))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := gcdiag.Check(dirs[:1], diags); len(vs) != 0 {
+		t.Fatalf("suffix-matched path produced violations: %v", vs)
+	}
+}

@@ -1,0 +1,19 @@
+// Fixture for gcdiag.Collect and gcdiag.Check: one function per gate
+// directive, small enough that every supported Go toolchain inlines
+// add and keeps fill's parameters on the stack.
+package fix
+
+//atm:inline
+func add(a, b int) int { return a + b }
+
+//atm:noescape
+func fill(dst []int, v int) {
+	for i := range dst {
+		dst[i] = v
+	}
+}
+
+//atm:nobce
+func sum3(xs []int) int {
+	return xs[0] + xs[1] + xs[2]
+}

@@ -36,18 +36,38 @@
 //
 //	//atm:<kind> [args] [-- justification]
 //
-// with four kinds:
+// with seven kinds:
 //
 //	//atm:noalloc                  — the function must not contain
-//	                                 heap-allocating constructs
+//	                                 heap-allocating constructs, and
+//	                                 (checked by noallocflow) every
+//	                                 function it transitively calls
+//	                                 must be annotated, waived, or a
+//	                                 proven alloc-free leaf
 //	//atm:ordered-merge            — the function must merge partials
 //	                                 in ascending index order
 //	//atm:modeled-time             — the function is a modeled-time
-//	                                 root for the modeledtime analyzer
+//	                                 root for the modeledtimeflow
+//	                                 analyzer
+//	//atm:inline                   — the compiler must report the
+//	                                 function inlinable ("can inline");
+//	                                 enforced by the gcdiag gate
+//	//atm:noescape                 — the compiler's escape analysis
+//	                                 must report no value escaping to
+//	                                 the heap inside the function body;
+//	                                 enforced by the gcdiag gate
+//	//atm:nobce                    — the compiler must eliminate every
+//	                                 bounds check in the function body
+//	                                 (no "Found IsInBounds"); enforced
+//	                                 by the gcdiag gate
 //	//atm:allow <rule>[,<rule>...] -- <justification>
-//	                               — waives the named determinism or
-//	                                 modeledtime rules; the
-//	                                 justification is mandatory
+//	                               — waives the named determinism,
+//	                                 modeledtimeflow, or noallocflow
+//	                                 rules; the justification is
+//	                                 mandatory. Waivers that suppress
+//	                                 zero diagnostics are themselves
+//	                                 flagged by the stalewaiver
+//	                                 analyzer.
 //
 // noalloc, ordered-merge, and modeled-time attach to the function
 // declaration whose doc comment contains them, or — for inline
@@ -124,6 +144,9 @@ const (
 	KindNoalloc      = "noalloc"
 	KindOrderedMerge = "ordered-merge"
 	KindModeledTime  = "modeled-time"
+	KindInline       = "inline"
+	KindNoescape     = "noescape"
+	KindNobce        = "nobce"
 	KindAllow        = "allow"
 )
 
@@ -137,6 +160,7 @@ const (
 	RuleAtomic      = "atomic"
 	RuleMultiSelect = "multiselect"
 	RuleSyncField   = "syncfield"
+	RuleNoallocFlow = "noallocflow"
 )
 
 var knownRules = map[string]bool{
@@ -148,6 +172,7 @@ var knownRules = map[string]bool{
 	RuleAtomic:      true,
 	RuleMultiSelect: true,
 	RuleSyncField:   true,
+	RuleNoallocFlow: true,
 }
 
 // A Directive is one parsed //atm: comment.
@@ -164,6 +189,10 @@ type Directives struct {
 	fset  *token.FileSet
 	funcs map[ast.Node][]Directive       // *ast.FuncDecl | *ast.FuncLit
 	lines map[string]map[int][]Directive // filename -> line -> allows
+	// used records, keyed by directive position, every //atm:allow that
+	// actually suppressed a diagnostic. The stalewaiver analyzer reports
+	// allows that stay unused after the whole suite has run.
+	used map[token.Pos]bool
 	// Errors lists malformed or unattached directives; the driver
 	// reports them as diagnostics so a typoed contract cannot silently
 	// stop being checked.
@@ -196,7 +225,7 @@ func parseDirective(c *ast.Comment) (Directive, error, bool) {
 	d.Kind = fields[0]
 	args := fields[1:]
 	switch d.Kind {
-	case KindNoalloc, KindOrderedMerge, KindModeledTime:
+	case KindNoalloc, KindOrderedMerge, KindModeledTime, KindInline, KindNoescape, KindNobce:
 		if len(args) > 0 {
 			return d, fmt.Errorf("atm:%s takes no arguments (got %q); justification goes after --", d.Kind, args), true
 		}
@@ -210,7 +239,7 @@ func parseDirective(c *ast.Comment) (Directive, error, bool) {
 					continue
 				}
 				if !knownRules[r] {
-					return d, fmt.Errorf("atm:allow: unknown rule %q (known: maprange, globalrand, wallclock, gostmt, sync, atomic, multiselect, syncfield)", r), true
+					return d, fmt.Errorf("atm:allow: unknown rule %q (known: maprange, globalrand, wallclock, gostmt, sync, atomic, multiselect, syncfield, noallocflow)", r), true
 				}
 				d.Rules = append(d.Rules, r)
 			}
@@ -219,7 +248,7 @@ func parseDirective(c *ast.Comment) (Directive, error, bool) {
 			return d, fmt.Errorf("atm:allow requires a justification after \" -- \""), true
 		}
 	default:
-		return d, fmt.Errorf("unknown atm: directive kind %q (known: noalloc, ordered-merge, modeled-time, allow)", d.Kind), true
+		return d, fmt.Errorf("unknown atm: directive kind %q (known: noalloc, ordered-merge, modeled-time, inline, noescape, nobce, allow)", d.Kind), true
 	}
 	return d, nil, true
 }
@@ -230,6 +259,7 @@ func BuildDirectives(fset *token.FileSet, files []*ast.File) *Directives {
 		fset:  fset,
 		funcs: make(map[ast.Node][]Directive),
 		lines: make(map[string]map[int][]Directive),
+		used:  make(map[token.Pos]bool),
 	}
 	for _, f := range files {
 		d.buildFile(f)
@@ -377,12 +407,28 @@ func (d *Directives) AnnotatedFuncs(kind string) []ast.Node {
 // on any enclosing function in stack.
 func (d *Directives) Allowed(rule string, pos token.Pos, stack []ast.Node) bool {
 	posn := d.fset.Position(pos)
+	// Prefer a waiver written on the diagnostic's own line over one
+	// spilling from the line above: with two consecutive trailing
+	// waivers, each must claim (and be credited for) its own line, or
+	// the second reads as stale.
+	matched := token.NoPos
 	for _, dir := range d.lines[posn.Filename][posn.Line] {
 		for _, r := range dir.Rules {
-			if r == rule {
+			if r != rule {
+				continue
+			}
+			if d.fset.Position(dir.Pos).Line == posn.Line {
+				d.used[dir.Pos] = true
 				return true
 			}
+			if matched == token.NoPos {
+				matched = dir.Pos
+			}
 		}
+	}
+	if matched != token.NoPos {
+		d.used[matched] = true
+		return true
 	}
 	for _, fn := range stack {
 		for _, dir := range d.funcs[fn] {
@@ -391,12 +437,44 @@ func (d *Directives) Allowed(rule string, pos token.Pos, stack []ast.Node) bool 
 			}
 			for _, r := range dir.Rules {
 				if r == rule {
+					d.used[dir.Pos] = true
 					return true
 				}
 			}
 		}
 	}
 	return false
+}
+
+// UnusedAllows returns, in position order, every //atm:allow directive
+// that has not suppressed a single diagnostic since BuildDirectives.
+// Meaningful only after every analyzer that consumes waivers has run
+// over this index — which is why stalewaiver runs last in the flow
+// suite, never per package under go vet.
+func (d *Directives) UnusedAllows() []Directive {
+	byPos := make(map[token.Pos]Directive)
+	for _, dirs := range d.funcs {
+		for _, dir := range dirs {
+			if dir.Kind == KindAllow && !d.used[dir.Pos] {
+				byPos[dir.Pos] = dir
+			}
+		}
+	}
+	for _, byLine := range d.lines {
+		for _, dirs := range byLine {
+			for _, dir := range dirs {
+				if dir.Kind == KindAllow && !d.used[dir.Pos] {
+					byPos[dir.Pos] = dir
+				}
+			}
+		}
+	}
+	out := make([]Directive, 0, len(byPos))
+	for _, dir := range byPos {
+		out = append(out, dir)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
 }
 
 // isFuncNode reports whether n introduces a function scope.

@@ -27,18 +27,6 @@ func TestDeterminismNonDesignated(t *testing.T) {
 	linttest.Run(t, "testdata/src/determinism_clean", "repro/internal/viz", lint.Determinism)
 }
 
-func TestModeledTime(t *testing.T) {
-	linttest.Run(t, "testdata/src/modeledtime", "repro/internal/cuda", lint.ModeledTime)
-}
-
-// TestModeledTimeNonPlatform checks that Track/DetectResolve methods
-// root the analysis only inside the platform packages: outside them,
-// with no //atm:modeled-time directive, nothing is reachable from a
-// root and wall-clock reads are fine (that is host benchmarking code).
-func TestModeledTimeNonPlatform(t *testing.T) {
-	linttest.Run(t, "testdata/src/modeledtime_nonplatform", "repro/internal/report", lint.ModeledTime)
-}
-
 func TestNoalloc(t *testing.T) {
 	linttest.Run(t, "testdata/src/noalloc", "repro/internal/tasks", lint.Noalloc)
 }
@@ -92,10 +80,12 @@ func TestDirectiveErrors(t *testing.T) {
 	}
 }
 
-// TestSuiteComplete pins the analyzer roster: the vettool's flag
-// protocol and CI both key off these names.
+// TestSuiteComplete pins the per-package analyzer roster: the
+// vettool's flag protocol and CI both key off these names. The
+// interprocedural analyzers (noallocflow, modeledtimeflow,
+// stalewaiver) are pinned by TestFlowSuiteComplete.
 func TestSuiteComplete(t *testing.T) {
-	want := []string{"atmdirective", "determinism", "modeledtime", "noalloc", "orderedmerge", "syncfield"}
+	want := []string{"atmdirective", "determinism", "noalloc", "orderedmerge", "syncfield"}
 	got := lint.Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(got), len(want))

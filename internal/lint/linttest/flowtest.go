@@ -1,0 +1,166 @@
+package linttest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// A FlowPackage names one package of a multi-package flow fixture: a
+// subdirectory of the fixture root plus the import path it is
+// type-checked as. Order matters — list a package before the packages
+// that import it.
+type FlowPackage struct {
+	Dir  string
+	Path string
+}
+
+// LoadFlow parses and type-checks a multi-package fixture and builds
+// its call graph. Fixture packages may import the standard library
+// (resolved from GOROOT source) and each other (by declared Path).
+func LoadFlow(t *testing.T, root string, pkgs []FlowPackage) (*token.FileSet, *lint.Graph) {
+	t.Helper()
+
+	fset := token.NewFileSet()
+	checked := make(map[string]*types.Package)
+	source := importer.ForCompiler(fset, "source", nil)
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if pkg, ok := checked[path]; ok {
+			return pkg, nil
+		}
+		return source.Import(path)
+	})
+
+	var gps []*lint.GraphPackage
+	for _, p := range pkgs {
+		dir := filepath.Join(root, p.Dir)
+		files := parseFixtureDir(t, fset, dir)
+		info := lint.NewInfo()
+		cfg := types.Config{
+			Importer: imp,
+			Error:    func(err error) { t.Errorf("fixture type error: %v", err) },
+		}
+		pkg, err := cfg.Check(p.Path, fset, files, info)
+		if err != nil {
+			t.Fatalf("type-checking fixture package %s: %v", p.Path, err)
+		}
+		checked[p.Path] = pkg
+		gps = append(gps, &lint.GraphPackage{
+			Path:  p.Path,
+			Files: files,
+			Pkg:   pkg,
+			Info:  info,
+			Dirs:  lint.BuildDirectives(fset, files),
+		})
+	}
+	return fset, lint.BuildGraph(fset, gps)
+}
+
+// RunFlow loads a multi-package fixture, runs the complete suite
+// exactly as `atmlint flow` does — per-package analyzers first (their
+// waiver consumption feeds stalewaiver), then the flow analyzers —
+// and checks every diagnostic from every analyzer against the
+// fixture's // want comments.
+func RunFlow(t *testing.T, root string, pkgs []FlowPackage) {
+	t.Helper()
+
+	fset, g := LoadFlow(t, root, pkgs)
+	var files []*ast.File
+	for _, p := range g.Packages {
+		files = append(files, p.Files...)
+	}
+	wants := collectWants(t, fset, files)
+
+	for _, res := range lint.RunFlowSuite(g) {
+		if res.Err != nil {
+			t.Errorf("analyzer %s: %v", res.Analyzer, res.Err)
+		}
+		for _, d := range res.Diagnostics {
+			posn := fset.Position(d.Pos)
+			if !claim(wants, posn.Filename, posn.Line, d.Message) {
+				t.Errorf("%s: unexpected diagnostic [%s]: %s", posn, res.Analyzer, d.Message)
+			}
+		}
+	}
+	reportUnmatched(t, wants)
+}
+
+// parseFixtureDir parses every .go file in one directory.
+func parseFixtureDir(t *testing.T, fset *token.FileSet, dir string) []*ast.File {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no .go files in fixture dir %s", dir)
+	}
+	return files
+}
+
+// collectWants gathers the // want expectations of a file set.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(strings.TrimPrefix(text, "/*"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", posn, m[1], err)
+					}
+					wants = append(wants, &expectation{file: posn.Filename, line: posn.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// reportUnmatched fails the test for every want no diagnostic claimed.
+func reportUnmatched(t *testing.T, wants []*expectation) {
+	t.Helper()
+	sort.SliceStable(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

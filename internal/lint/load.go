@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// LoadPackages loads, parses, and type-checks every module package
+// matched by patterns (plus, transitively, every in-module dependency)
+// for whole-module flow analysis. Out-of-module dependencies — the
+// standard library; this module has no others — are imported from
+// compiler export data, so only module source is parsed.
+//
+// It shells out to `go list -export -deps` for package discovery and
+// export-data paths: that keeps the loader on the standard library
+// while inheriting cmd/go's build cache, so repeat runs cost one
+// metadata query.
+func LoadPackages(patterns ...string) (*token.FileSet, []*GraphPackage, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	metas, err := goList(patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	exports := make(map[string]string) // import path -> export data file
+	inModule := make(map[string]*listPackage)
+	for _, m := range metas {
+		if m.Standard || m.Module == nil {
+			exports[m.ImportPath] = m.Export
+			continue
+		}
+		inModule[m.ImportPath] = m
+	}
+
+	order, err := topoOrder(inModule)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	fset := token.NewFileSet()
+	checked := make(map[string]*types.Package)
+	gcImporter := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if pkg, ok := checked[path]; ok {
+			return pkg, nil
+		}
+		return gcImporter.Import(path)
+	})
+
+	var out []*GraphPackage
+	for _, path := range order {
+		m := inModule[path]
+		var files []*ast.File
+		for _, name := range m.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(m.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, nil, fmt.Errorf("parsing %s: %w", name, err)
+			}
+			files = append(files, f)
+		}
+		var typeErrs []error
+		cfg := &types.Config{
+			Importer: imp,
+			Error:    func(err error) { typeErrs = append(typeErrs, err) },
+		}
+		info := NewInfo()
+		pkg, _ := cfg.Check(path, fset, files, info)
+		if len(typeErrs) > 0 {
+			return nil, nil, fmt.Errorf("type-checking %s: %v", path, typeErrs[0])
+		}
+		checked[path] = pkg
+		out = append(out, &GraphPackage{
+			Path:  path,
+			Files: files,
+			Pkg:   pkg,
+			Info:  info,
+			Dirs:  BuildDirectives(fset, files),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return fset, out, nil
+}
+
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Imports    []string
+	Standard   bool
+	Module     *struct{ Path string }
+}
+
+func goList(patterns []string) ([]*listPackage, error) {
+	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Dir,Export,GoFiles,Imports,Standard,Module"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	outPipe, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("go list: %w", err)
+	}
+	dec := json.NewDecoder(outPipe)
+	var metas []*listPackage
+	for {
+		var m listPackage
+		if err := dec.Decode(&m); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		metas = append(metas, &m)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go list %v: %w\n%s", patterns, err, stderr.String())
+	}
+	return metas, nil
+}
+
+// topoOrder orders the in-module packages dependencies-first.
+func topoOrder(pkgs map[string]*listPackage) ([]string, error) {
+	paths := make([]string, 0, len(pkgs))
+	for p := range pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make(map[string]int, len(pkgs))
+	var order []string
+	var visit func(p string) error
+	visit = func(p string) error {
+		m, ok := pkgs[p]
+		if !ok {
+			return nil // external
+		}
+		switch state[p] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("import cycle through %s", p)
+		}
+		state[p] = visiting
+		for _, dep := range m.Imports {
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[p] = done
+		order = append(order, p)
+		return nil
+	}
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ModeledTimePackages are the packages that charge modeled device
+// time. Methods named Track or DetectResolve in these packages are
+// modeled-time roots automatically (they implement the
+// platform.Platform contract); additional roots — kernel-launch and
+// program entry points — carry //atm:modeled-time.
+var ModeledTimePackages = map[string]bool{
+	"repro/internal/cuda":     true,
+	"repro/internal/ap":       true,
+	"repro/internal/mimd":     true,
+	"repro/internal/vector":   true,
+	"repro/internal/platform": true,
+}
+
+// ModeledTimeFlow proves the separation of host timing from modeled
+// timing: no function reachable from a modeled-time root may read the
+// wall clock. It replaces the original single-package modeledtime
+// analyzer — reachability now runs over the whole-module call graph,
+// so a platform executor that charges modeled time cannot launder a
+// time.Now through a helper in broadphase, telemetry, or any other
+// package. Dispatch follows the graph's approximations: interface
+// calls fan out to method-set implementations, closures and method
+// values are charged at their creation site.
+var ModeledTimeFlow = &FlowAnalyzer{
+	Name: "modeledtimeflow",
+	Doc:  "flag wall-clock calls reachable (across packages) from functions that charge modeled device time",
+	Run:  runModeledTimeFlow,
+}
+
+func runModeledTimeFlow(pass *FlowPass) error {
+	g := pass.Graph
+
+	rootOf := make(map[*Node]*Node)
+	parent := make(map[*Node]*Node)
+	var queue []*Node
+	for _, n := range g.Nodes {
+		if n.Pkg == nil || g.InTestFile(n) {
+			continue
+		}
+		isRoot := hasDirective(n, KindModeledTime)
+		if !isRoot && ModeledTimePackages[n.Pkg.Path] {
+			if fd, ok := n.Decl.(*ast.FuncDecl); ok && fd.Recv != nil &&
+				(fd.Name.Name == "Track" || fd.Name.Name == "DetectResolve") {
+				isRoot = true
+			}
+		}
+		if isRoot {
+			rootOf[n] = n
+			queue = append(queue, n)
+		}
+	}
+
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.Out {
+			c := e.To
+			if c.Pkg == nil || g.InTestFile(c) {
+				continue
+			}
+			if _, seen := rootOf[c]; !seen {
+				rootOf[c] = rootOf[n]
+				parent[c] = n
+				queue = append(queue, c)
+			}
+		}
+	}
+
+	// Flag wall-clock selector uses in every reachable function. The
+	// scan covers only statements owned by the node itself: nested
+	// literals are their own nodes, reached (or not) via closure edges.
+	for _, n := range g.Nodes {
+		root, reached := rootOf[n]
+		if !reached || n.Decl == nil {
+			continue
+		}
+		body := funcBody(n.Decl)
+		if body == nil {
+			continue
+		}
+		info := n.Pkg.Info
+		node := n
+		WalkFuncStack(n.Decl, func(x ast.Node, stack []ast.Node) bool {
+			if lit, ok := x.(*ast.FuncLit); ok && lit != n.Decl {
+				return false // separate node
+			}
+			sel, ok := x.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if pkgNameOf(info, sel.X) == "time" && wallClockFuncs[sel.Sel.Name] {
+				if !node.Pkg.Dirs.Allowed(RuleWallClock, sel.Pos(), node.FuncStack()) {
+					via := viaChain(node, root, parent)
+					pass.Reportf(sel.Pos(), "time.%s is reachable from modeled-time root %s%s; modeled device time must be a pure function of operation tallies, never the host clock (waive with //atm:allow wallclock -- why)", sel.Sel.Name, root.Name(), via)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// viaChain renders the call path from root to n (exclusive of both)
+// for diagnostics, e.g. " via repro/internal/telemetry.(*Recorder).emit".
+func viaChain(n, root *Node, parent map[*Node]*Node) string {
+	if n == root {
+		return ""
+	}
+	var hops []string
+	for cur := n; cur != nil && cur != root; cur = parent[cur] {
+		hops = append(hops, cur.Name())
+	}
+	// reverse into root→n order
+	for i, j := 0, len(hops)-1; i < j; i, j = i+1, j-1 {
+		hops[i], hops[j] = hops[j], hops[i]
+	}
+	return " via " + strings.Join(hops, " -> ")
+}

@@ -96,7 +96,10 @@ func checkOrderedMerge(pass *Pass, fn ast.Node) {
 	}
 }
 
-// Analyzers returns the full atmlint suite in stable order.
+// Analyzers returns the per-package atmlint suite in stable order.
+// Wall-clock reachability from modeled-time roots lives in the
+// interprocedural suite (FlowAnalyzers) since it crossed package
+// boundaries; see modeledtimeflow.go.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{DirectiveCheck, Determinism, ModeledTime, Noalloc, OrderedMerge, SyncField}
+	return []*Analyzer{DirectiveCheck, Determinism, Noalloc, OrderedMerge, SyncField}
 }

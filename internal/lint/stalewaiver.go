@@ -1,0 +1,36 @@
+package lint
+
+import "strings"
+
+// StaleWaiver reports //atm:allow directives that waived nothing. A
+// waiver is load-bearing documentation — "this rule fires here, and
+// here is why that is acceptable" — so one that suppresses zero
+// diagnostics is actively misleading: either the offending code was
+// refactored away and the waiver is dead weight, or the rule name is
+// wrong and the author believes something is waived that is not.
+//
+// The analyzer must run after every waiver-consuming analyzer
+// (determinism, noalloc-family, modeledtimeflow, syncfield) over the
+// same directive indexes, which is why it is part of the flow suite
+// only: under per-package go vet the flow analyzers have not run, and
+// their waivers would be falsely reported stale.
+var StaleWaiver = &FlowAnalyzer{
+	Name: "stalewaiver",
+	Doc:  "report //atm:allow waivers that suppress zero diagnostics",
+	Run:  runStaleWaiver,
+}
+
+func runStaleWaiver(pass *FlowPass) error {
+	for _, pkg := range pass.Graph.Packages {
+		if pkg.Dirs == nil {
+			continue
+		}
+		for _, dir := range pkg.Dirs.UnusedAllows() {
+			if pass.Graph.Fset.Position(dir.Pos).Filename == "" {
+				continue
+			}
+			pass.Reportf(dir.Pos, "atm:allow %s waives zero diagnostics; remove the stale waiver (was: %q)", strings.Join(dir.Rules, ","), dir.Justification)
+		}
+	}
+	return nil
+}

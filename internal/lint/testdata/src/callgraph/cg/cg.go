@@ -1,0 +1,58 @@
+// Fixture for the call-graph builder: one construct per edge kind the
+// graph approximates. TestCallGraphDOT asserts the exact edge set via
+// WriteDOT, so every declaration here maps to known golden lines.
+package cg
+
+// Ticker is dispatched through an interface: the call in Run must fan
+// out to both method-set implementations.
+type Ticker interface{ Tick() }
+
+type A struct{ n int }
+
+func (a *A) Tick() { a.n++ }
+
+type B struct{}
+
+func (B) Tick() {}
+
+// Run dispatches through the interface: iface edges to (*A).Tick and
+// (B).Tick.
+func Run(t Ticker) { t.Tick() }
+
+// Map is generic; calls edge to this origin declaration, covering all
+// instantiations. The call through f is dynamic.
+func Map[T any](xs []T, f func(T) T) {
+	for i := range xs {
+		xs[i] = f(xs[i])
+	}
+}
+
+func double(x int) int { return 2 * x }
+
+// UseGenerics instantiates Map: a call edge to the generic origin plus
+// a funcval edge for double passed as a value.
+func UseGenerics(xs []int) {
+	Map(xs, double)
+}
+
+// Handler captures behaviour in a struct field; invoking it later is a
+// dynamic call.
+type Handler struct {
+	fn func()
+}
+
+// makeHandler takes a method value: funcval edge to (*A).Tick.
+func makeHandler(a *A) Handler {
+	return Handler{fn: a.Tick}
+}
+
+// closureField stores a closure in a struct field: a closure edge to
+// the literal, whose own body holds the call edge.
+func closureField(a *A) Handler {
+	h := Handler{fn: func() { a.Tick() }}
+	return h
+}
+
+// invoke calls through the func-typed field: no edge, but the node is
+// marked Dynamic so leaf proving refuses to vouch for it.
+func invoke(h Handler) { h.fn() }

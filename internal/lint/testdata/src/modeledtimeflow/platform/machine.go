@@ -1,10 +1,15 @@
-// Fixture for the modeledtime analyzer, analyzed as the platform
-// package repro/internal/cuda. Track/DetectResolve methods are
-// modeled-time roots automatically; kernelTime is reachable from both
-// and from the annotated Launch.
-package fixture
+// Fixture for the modeledtimeflow analyzer, analyzed as
+// repro/internal/platform: Track/DetectResolve methods are
+// modeled-time roots automatically, kernelTime is reachable from every
+// root, and DetectResolve launders a wall-clock read through
+// repro/fixture/timeutil across the package boundary.
+package platform
 
-import "time"
+import (
+	"time"
+
+	"repro/fixture/timeutil"
+)
 
 type machine struct {
 	ops uint64
@@ -23,33 +28,24 @@ func (m *machine) Track(n int) time.Duration {
 	return m.kernelTime()
 }
 
-// DetectResolve is a root by name (platform contract method).
+// DetectResolve is a root by name; it reaches the wall clock through
+// another package.
 func (m *machine) DetectResolve(n int) time.Duration {
 	d := m.kernelTime()
-	stamp() // reachable helper that reads the clock
+	timeutil.Stamp()
 	return d
 }
 
 // kernelTime is reachable from all three roots; the wall-clock read
-// inside it must be flagged.
+// inside it must be flagged (once, not once per root).
 func (m *machine) kernelTime() time.Duration {
 	t0 := time.Now() // want "reachable from modeled-time root"
 	_ = t0
 	return time.Duration(m.ops) * time.Microsecond // clean: Duration arithmetic
 }
 
-func stamp() {
-	_ = time.Since(time.Time{}) // want "reachable from modeled-time root"
-}
-
-// hostSide is NOT reachable from any root: wall-clock reads are fine
-// (host benchmarking code measures real elapsed time).
-func hostSide() time.Duration {
-	t0 := time.Now()
-	return time.Since(t0)
-}
-
-// waived is reachable but carries a line-scoped allow.
+// waived is reachable but carries a line-scoped allow; the waiver is
+// consumed, so stalewaiver stays quiet about it.
 //
 //atm:modeled-time
 func waived() {

@@ -1,0 +1,17 @@
+// Fixture helper package: wall-clock reads here are fine on their own
+// — only reachability from a modeled-time root makes them findings.
+package timeutil
+
+import "time"
+
+// Stamp reads the wall clock; the platform fixture reaches it from a
+// modeled-time root across the package boundary.
+func Stamp() {
+	_ = time.Since(time.Time{}) // want "via repro/fixture/timeutil.Stamp"
+}
+
+// HostElapsed is never reached from a root: host benchmarking code may
+// read the clock freely.
+func HostElapsed(t0 time.Time) time.Duration {
+	return time.Since(t0)
+}

@@ -1,9 +1,9 @@
-// Fixture for the modeledtime analyzer analyzed OUTSIDE the platform
-// packages: Track and DetectResolve are ordinary method names there,
-// not modeled-time roots, and there is no //atm:modeled-time
+// Fixture for the modeledtimeflow analyzer analyzed OUTSIDE the
+// platform packages: Track and DetectResolve are ordinary method names
+// there, not modeled-time roots, and there is no //atm:modeled-time
 // directive — so nothing is reachable from a root and nothing may be
 // flagged.
-package fixture
+package report
 
 import "time"
 

@@ -1,0 +1,43 @@
+// Fixture root package for the noallocflow analyzer: //atm:noalloc
+// roots here reach callees in repro/fixture/util across the package
+// boundary.
+package hot
+
+import (
+	"strconv"
+
+	"repro/fixture/util"
+)
+
+type Machine struct {
+	xs  []float64
+	src util.Source
+}
+
+// Step is a noalloc root: every callee must be annotated, waived, or a
+// provable alloc-free leaf.
+//
+//atm:noalloc
+func (m *Machine) Step() float64 {
+	if len(m.xs) == 0 {
+		m.xs = util.Grow(64) // want "call to repro/fixture/util.Grow"
+	}
+	util.Scale(m.xs, 1.01)               // clean: provable alloc-free leaf
+	return util.Sum(m.xs) + m.src.Next() // want "interface-dispatched call to"
+}
+
+// Reset regrows deliberately; the waiver is consumed, so stalewaiver
+// stays quiet about it.
+//
+//atm:noalloc
+func (m *Machine) Reset(n int) {
+	m.xs = util.Grow(n) //atm:allow noallocflow -- fixture: cold-path regrow outside the hot loop
+}
+
+// Label calls an external function that is not on the known alloc-free
+// list.
+//
+//atm:noalloc
+func (m *Machine) Label() string {
+	return strconv.Itoa(len(m.xs)) // want "outside the module and not on the known alloc-free list"
+}

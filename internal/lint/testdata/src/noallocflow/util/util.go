@@ -1,0 +1,61 @@
+// Fixture callee package for the noallocflow analyzer: the hot
+// fixture package reaches these functions across the package boundary.
+package util
+
+import "math"
+
+// Grow allocates a fresh buffer; hot-path callers must be flagged.
+func Grow(n int) []float64 {
+	return make([]float64, n)
+}
+
+// Scale is a provable alloc-free leaf: no allocating construct, no
+// dynamic calls, only safe external callees.
+func Scale(xs []float64, k float64) {
+	for i := range xs {
+		xs[i] *= k
+	}
+}
+
+// Sum is annotated, so the flow analyzer keeps traversing through it —
+// and catches the allocating helper it calls in its own package.
+//
+//atm:noalloc
+func Sum(xs []float64) float64 {
+	if len(xs) == 0 {
+		xs = pad() // want "call to repro/fixture/util.pad"
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += math.Sqrt(x)
+	}
+	return s
+}
+
+func pad() []float64 {
+	return make([]float64, 1)
+}
+
+// Source is dispatched through an interface by the hot fixture; the
+// graph fans the call out to every method-set implementation.
+type Source interface {
+	Next() float64
+}
+
+// Pooled allocates on every Next — the interface-dispatched callee the
+// flow analyzer must catch.
+type Pooled struct{ buf []float64 }
+
+func (p *Pooled) Next() float64 {
+	p.buf = make([]float64, 1)
+	return p.buf[0]
+}
+
+// Counter is a provable alloc-free implementation; dispatch to it is
+// clean.
+type Counter struct{ v float64 }
+
+func (c *Counter) Next() float64 {
+	c.v++
+	return c.v
+}

@@ -1,0 +1,20 @@
+// Fixture for the stalewaiver analyzer, checked by TestStaleWaiver
+// directly rather than through // want comments: a trailing line
+// comment cannot host both a directive and a want pattern, because the
+// directive comment runs to the end of the line.
+package w
+
+import "math/rand"
+
+// seeded uses the global generator deliberately; the determinism
+// analyzer fires here and the waiver is consumed.
+func seeded() int {
+	return rand.Intn(3) //atm:allow globalrand -- fixture: demonstrating a consumed waiver
+}
+
+// quiet carries a waiver for a rule that never fires in its body; the
+// stalewaiver analyzer must report it.
+func quiet() int {
+	x := 3 //atm:allow maprange -- fixture: nothing to waive
+	return x
+}

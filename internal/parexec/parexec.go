@@ -97,7 +97,7 @@ func (p *Pool) Run(n, grain int, body func(worker, lo, hi int)) {
 	}
 	defer p.mu.Unlock()
 	if !p.started {
-		p.start()
+		p.start() //atm:allow noallocflow -- one-time lazy startup: spawns the worker goroutines on the first parallel Run only
 		p.started = true
 	}
 
@@ -140,6 +140,7 @@ func (p *Pool) start() {
 // exhausted.
 //
 //atm:noalloc
+//atm:noescape
 func (p *Pool) drain(worker int) {
 	limit, grain := p.limit, p.grain
 	for {

@@ -128,6 +128,7 @@ func putDetectScratch(sc *detectScratch) { detectScratchPool.Put(sc) }
 // scanResult. buf is the caller's reusable candidate buffer.
 //
 //atm:noalloc
+//atm:noescape
 func scanWith(w *airspace.World, track *airspace.Aircraft, vx, vy float64, src broadphase.PairSource, buf *[]int32) scanResult {
 	r := scanResult{tmin: airspace.SafeTime, with: airspace.NoConflict}
 	if src == nil {
@@ -145,9 +146,12 @@ func scanWith(w *airspace.World, track *airspace.Aircraft, vx, vy float64, src b
 }
 
 // scanPairInto folds one trial aircraft into the running scan minimum
-// (the reference scanPair).
+// (the reference scanPair). This is the innermost fused Task 2+3 pair
+// kernel: the gate holds it escape-free and bounds-check-free.
 //
 //atm:noalloc
+//atm:noescape
+//atm:nobce
 func scanPairInto(track, trial *airspace.Aircraft, vx, vy float64, r *scanResult) {
 	if trial.ID == track.ID || !AltOverlap(track, trial) {
 		return
@@ -365,6 +369,7 @@ func DetectResolveExec(w *airspace.World, src broadphase.PairSource, pool *parex
 // aircraft, with a reusable candidate buffer.
 //
 //atm:noalloc
+//atm:noescape
 func resolveOneSerial(w *airspace.World, track *airspace.Aircraft, st *DetectStats, src broadphase.PairSource, buf *[]int32) {
 	track.ResetConflict()
 	r := scanWith(w, track, track.DX, track.DY, src, buf)
@@ -401,6 +406,7 @@ func resolveOneSerial(w *airspace.World, track *airspace.Aircraft, st *DetectSta
 // argument), and such pairs never touch the scan's strict-< fold.
 //
 //atm:noalloc
+//atm:noescape
 func dirtyInteracts(w *airspace.World, sc *detectScratch, track *airspace.Aircraft, dirty []int32) bool {
 	for _, j := range dirty {
 		o := &w.Aircraft[j]

@@ -52,6 +52,7 @@ func prepareCols(w *airspace.World, src broadphase.PairSource, m broadphase.Main
 // (tx, ty) at altitude talt.
 //
 //atm:noalloc
+//atm:noescape
 func scanColsInto(c *airspace.Columns, ti, p int, tx, ty, vx, vy, talt float64, r *scanResult) {
 	if p == ti || !AltOverlapAt(talt, c.Alt[p]) {
 		return
@@ -72,6 +73,7 @@ func scanColsInto(c *airspace.Columns, ti, p int, tx, ty, vx, vy, talt float64, 
 // fallback here.
 //
 //atm:noalloc
+//atm:noescape
 func scanColsWith(w *airspace.World, c *airspace.Columns, track *airspace.Aircraft, vx, vy float64, src broadphase.PairSource, buf *[]int32) scanResult {
 	r := scanResult{tmin: airspace.SafeTime, with: airspace.NoConflict}
 	ti := int(track.ID)

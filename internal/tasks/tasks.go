@@ -167,6 +167,8 @@ func releaseRadarOf(f *radar.Frame, id int32) {
 
 // inBox reports whether the radar lies strictly inside the boxHalf-sized
 // bounding box around the aircraft's expected position.
+//
+//atm:inline
 func inBox(rep *radar.Report, a *airspace.Aircraft, boxHalf float64) bool {
 	return rep.RX > a.ExpX-boxHalf && rep.RX < a.ExpX+boxHalf &&
 		rep.RY > a.ExpY-boxHalf && rep.RY < a.ExpY+boxHalf
@@ -234,12 +236,16 @@ func PairConflictAt(tx, ty, tvx, tvy, px, py, pvx, pvy float64) (timeMin, timeMa
 
 // AltOverlap reports whether two aircraft are within the vertical
 // separation band that makes a horizontal conflict meaningful.
+//
+//atm:inline
 func AltOverlap(a, b *airspace.Aircraft) bool {
 	return AltOverlapAt(a.Alt, b.Alt)
 }
 
 // AltOverlapAt is AltOverlap on scalar altitudes, for column-form
 // callers. Same expression, bit-identical result.
+//
+//atm:inline
 func AltOverlapAt(a, b float64) bool {
 	return math.Abs(a-b) < airspace.AltBandFeet
 }

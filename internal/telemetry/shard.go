@@ -50,14 +50,20 @@ func (s *ShardSet) Shard(w int) *Shard { return &s.shards[w] }
 
 // Counter records a delta contribution for the given chunk.
 //
+//atm:inline
 //atm:noalloc
+//atm:noescape
+//atm:nobce
 func (sh *Shard) Counter(id NameID, chunk int32, v int64) {
 	sh.events = append(sh.events, Event{Value: v, Name: id, Arg: chunk, Kind: KindCounter})
 }
 
 // Gauge records an instantaneous reading for the given chunk.
 //
+//atm:inline
 //atm:noalloc
+//atm:noescape
+//atm:nobce
 func (sh *Shard) Gauge(id NameID, chunk int32, v int64) {
 	sh.events = append(sh.events, Event{Value: v, Name: id, Arg: chunk, Kind: KindGauge})
 }
@@ -73,6 +79,7 @@ func (sh *Shard) Len() int { return len(sh.events) }
 //
 //atm:ordered-merge
 //atm:noalloc
+//atm:noescape
 func (r *Recorder) MergeShards(s *ShardSet) {
 	if r == nil {
 		return

@@ -214,6 +214,7 @@ func (r *Recorder) Period() int32 {
 // record writes one event slot, overwriting the oldest when full.
 //
 //atm:noalloc
+//atm:noescape
 func (r *Recorder) record(k Kind, id NameID, t time.Duration, v int64, arg int32) {
 	r.total++
 	r.counts[id]++
@@ -239,7 +240,9 @@ func (r *Recorder) record(k Kind, id NameID, t time.Duration, v int64, arg int32
 
 // Span records a completed span [start, start+dur) in modeled time.
 //
+//atm:inline
 //atm:noalloc
+//atm:noescape
 func (r *Recorder) Span(id NameID, start, dur time.Duration) {
 	if r == nil {
 		return
@@ -250,7 +253,9 @@ func (r *Recorder) Span(id NameID, start, dur time.Duration) {
 // SpanArg is Span with a per-event argument (kernel ordinal, box
 // pass).
 //
+//atm:inline
 //atm:noalloc
+//atm:noescape
 func (r *Recorder) SpanArg(id NameID, start, dur time.Duration, arg int32) {
 	if r == nil {
 		return
@@ -260,7 +265,9 @@ func (r *Recorder) SpanArg(id NameID, start, dur time.Duration, arg int32) {
 
 // Counter records a delta contribution at the current modeled time.
 //
+//atm:inline
 //atm:noalloc
+//atm:noescape
 func (r *Recorder) Counter(id NameID, v int64) {
 	if r == nil {
 		return
@@ -270,7 +277,9 @@ func (r *Recorder) Counter(id NameID, v int64) {
 
 // Gauge records an instantaneous reading at the current modeled time.
 //
+//atm:inline
 //atm:noalloc
+//atm:noescape
 func (r *Recorder) Gauge(id NameID, v int64) {
 	if r == nil {
 		return

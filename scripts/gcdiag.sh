@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# gcdiag.sh — the compiler-diagnostics gate.
+#
+# Rebuilds the module with the gc compiler's analysis output enabled
+# and feeds it to `atmlint gcdiag`, which enforces the //atm:inline,
+# //atm:noescape, and //atm:nobce directives (see internal/lint/gcdiag
+# and DESIGN.md §12). cmd/go replays cached compiler diagnostics, so
+# repeat runs cost no recompilation.
+#
+# Usage: scripts/gcdiag.sh [packages...]   (default ./...)
+#
+# The -m output is toolchain-sensitive: inlining budgets, escape
+# analysis, and BCE all improve across releases. CI pins the Go
+# version for this gate; when bumping the toolchain, re-run this
+# script and re-fit any directive the new compiler judges differently.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GO=${GO:-go}
+PKGS=("$@")
+if [ ${#PKGS[@]} -eq 0 ]; then
+  PKGS=(./...)
+fi
+
+$GO build -o bin/atmlint ./cmd/atmlint
+
+diag=$(mktemp)
+trap 'rm -f "$diag"' EXIT
+
+# The diagnostics land on stderr; a failing build must surface as a
+# build error, not as an empty gate pass.
+if ! $GO build -gcflags='-m -m -d=ssa/check_bce/debug=1' "${PKGS[@]}" 2> "$diag"; then
+  cat "$diag" >&2
+  echo "gcdiag: build failed" >&2
+  exit 1
+fi
+
+bin/atmlint gcdiag -diag "$diag" .
