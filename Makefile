@@ -1,7 +1,7 @@
 GO ?= go
 ATMLINT := bin/atmlint
 
-.PHONY: all build test vet lint lint-flow lint-graph lint-fixtures gcdiag bench-smoke bench-diff fuzz serve serve-smoke clean
+.PHONY: all build test vet lint lint-flow lint-graph lint-fixtures gcdiag bench-smoke bench-diff fuzz conformance serve serve-smoke clean
 
 all: build test
 
@@ -65,11 +65,20 @@ BASE_REF ?=
 bench-diff:
 	./scripts/benchdiff.sh $(BASE_REF)
 
-# fuzz runs the CSV round-trip fuzzer for a bounded interval on top of
-# the checked-in seed corpus (internal/trace/testdata/fuzz).
+# fuzz runs the fuzzers for a bounded interval each on top of their
+# checked-in seed corpora (internal/trace and internal/scenario
+# testdata/fuzz). go test allows one -fuzz target per invocation.
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzReadCSV -fuzztime=$(FUZZTIME) ./internal/trace
+	$(GO) test -run=NONE -fuzz=FuzzParseSpec -fuzztime=$(FUZZTIME) ./internal/scenario
+
+# conformance runs the full differential matrix: every scenario family
+# x platform x pair source x worker count, asserting the invariance
+# relations documented in internal/conformance. The trimmed matrix
+# already runs as part of `make test`; this is the exhaustive pass.
+conformance:
+	$(GO) test ./internal/conformance -run TestConformance -conformance.full -timeout 30m
 
 # serve starts the simulation service on SERVE_ADDR (see cmd/atmserve;
 # curl 'localhost:8080/v1/simulate?platform=titanx&n=8000').

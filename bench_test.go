@@ -30,6 +30,7 @@ import (
 	"repro/internal/radar"
 	"repro/internal/radarnet"
 	"repro/internal/rng"
+	"repro/internal/scenario"
 	"repro/internal/tasks"
 	"repro/internal/terrain"
 	"repro/internal/vector"
@@ -488,3 +489,52 @@ func BenchmarkRadarNet_Generate(b *testing.B) {
 		net.Generate(w, r)
 	}
 }
+
+// benchScenarioGenerate benchmarks world generation for one scenario
+// family — the //atm:noalloc fill loops plus the one World allocation.
+// Generation is pure CPU over (spec, n, rng), so these numbers are
+// stable enough for the bench-diff gate.
+func benchScenarioGenerate(b *testing.B, text string, n int) {
+	b.Helper()
+	b.ReportAllocs()
+	spec, err := scenario.ParseSpec(text)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec.Generate(n, rng.New(2018))
+	}
+}
+
+func BenchmarkScenario_Generate_Uniform(b *testing.B) { benchScenarioGenerate(b, "uniform", 1000) }
+func BenchmarkScenario_Generate_Circle(b *testing.B)  { benchScenarioGenerate(b, "circle", 1000) }
+func BenchmarkScenario_Generate_Streams(b *testing.B) { benchScenarioGenerate(b, "streams", 1000) }
+func BenchmarkScenario_Generate_Dense(b *testing.B)   { benchScenarioGenerate(b, "dense", 1000) }
+func BenchmarkScenario_Generate_Layers(b *testing.B)  { benchScenarioGenerate(b, "layers", 1000) }
+func BenchmarkScenario_Generate_Burst(b *testing.B)   { benchScenarioGenerate(b, "burst", 1000) }
+
+// benchScenarioDetect benchmarks Tasks 2+3 under structured traffic:
+// the conflict-dense families load the detect/resolve kernels very
+// differently from the paper's uniform world at the same N.
+func benchScenarioDetect(b *testing.B, text string, n int) {
+	b.Helper()
+	b.ReportAllocs()
+	spec, err := scenario.ParseSpec(text)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := platform.MustNew(platform.TitanXPascal, 1)
+	w := spec.Generate(n, rng.New(2018))
+	wc := &airspace.World{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		w.CloneInto(wc)
+		b.StartTimer()
+		p.DetectResolve(wc)
+	}
+}
+
+func BenchmarkScenario_Task23_Circle_1000(b *testing.B) { benchScenarioDetect(b, "circle", 1000) }
+func BenchmarkScenario_Task23_Dense_1000(b *testing.B)  { benchScenarioDetect(b, "dense", 1000) }

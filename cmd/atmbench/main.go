@@ -23,6 +23,7 @@ import (
 	"repro/internal/parexec"
 	"repro/internal/platform"
 	"repro/internal/report"
+	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/trace"
 )
@@ -30,7 +31,7 @@ import (
 func main() {
 	var (
 		figNum  = flag.Int("fig", 0, "regenerate one figure (4-9); 0 = all")
-		table   = flag.String("table", "", "regenerate one table (deadlines, determinism, kernelsplit, boxpasses, normalized, vector, radarnet, broadphase, hostperf, capacity, coherence, telemetry)")
+		table   = flag.String("table", "", "regenerate one table (deadlines, determinism, kernelsplit, boxpasses, normalized, vector, radarnet, broadphase, hostperf, capacity, coherence, telemetry, scenario)")
 		quick   = flag.Bool("quick", false, "trimmed sweeps for a fast smoke run")
 		outDir  = flag.String("out", "results", "directory for CSV output")
 		cycles  = flag.Int("cycles", 0, "major cycles per measurement (0 = default)")
@@ -38,6 +39,8 @@ func main() {
 		noChart = flag.Bool("nochart", false, "suppress ASCII charts")
 		workers = flag.Int("workers", 0,
 			"host worker goroutines for sweeps and task execution (0 = GOMAXPROCS); results are identical at any count")
+		scenarioSpec = flag.String("scenario", "",
+			"workload spec for the platform sweeps, e.g. circle:radius=50 (families: "+scenario.FamilyNames()+"; empty = the paper's uniform traffic; ablation tables always run uniform)")
 	)
 	flag.Parse()
 	// Pre-flight validation shared with atmsim and atmserve. atmbench
@@ -54,13 +57,14 @@ func main() {
 		N:        1,
 		Periods:  cyc * sched.PeriodsPerMajorCycle,
 		Workers:  *workers,
+		Scenario: *scenarioSpec,
 	}
 	if err := params.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "atmbench:", err)
 		os.Exit(2)
 	}
 	parexec.SetDefaultWorkers(*workers)
-	cfg := experiments.Config{Cycles: *cycles, Seed: *seed, Quick: *quick}
+	cfg := experiments.Config{Cycles: *cycles, Seed: *seed, Quick: *quick, Scenario: *scenarioSpec}
 	if err := run(cfg, *figNum, *table, *outDir, !*noChart); err != nil {
 		fmt.Fprintln(os.Stderr, "atmbench:", err)
 		os.Exit(1)
@@ -142,6 +146,7 @@ func run(cfg experiments.Config, figNum int, table, outDir string, chart bool) e
 		"capacity":    {"capacity", func() error { d, err := experiments.CapacityTable(cfg); return emit(d, err, emitDataset) }},
 		"coherence":   {"coherence", func() error { d, err := experiments.CoherenceTable(cfg); return emit(d, err, emitDataset) }},
 		"telemetry":   {"telemetry", func() error { d, err := experiments.TelemetryTable(cfg); return emit(d, err, emitDataset) }},
+		"scenario":    {"scenario", func() error { d, err := experiments.ScenarioTable(cfg); return emit(d, err, emitDataset) }},
 	}
 
 	switch {
@@ -154,7 +159,7 @@ func run(cfg experiments.Config, figNum int, table, outDir string, chart bool) e
 	case table != "":
 		j, ok := tableJobs[table]
 		if !ok {
-			return fmt.Errorf("no table %q (have deadlines, determinism, kernelsplit, boxpasses, normalized, vector, radarnet, broadphase, hostperf, capacity, coherence, telemetry)", table)
+			return fmt.Errorf("no table %q (have deadlines, determinism, kernelsplit, boxpasses, normalized, vector, radarnet, broadphase, hostperf, capacity, coherence, telemetry, scenario)", table)
 		}
 		return j.run()
 	}
@@ -185,6 +190,7 @@ func run(cfg experiments.Config, figNum int, table, outDir string, chart bool) e
 		{"Table radarnet", tableJobs["radarnet"].run},
 		{"Table broadphase", tableJobs["broadphase"].run},
 		{"Table telemetry", tableJobs["telemetry"].run},
+		{"Table scenario", tableJobs["scenario"].run},
 	} {
 		fmt.Printf("\n=== %s ===\n", art.name)
 		if err := art.run(); err != nil {

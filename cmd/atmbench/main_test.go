@@ -1,0 +1,49 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestMain lets the test binary stand in for the atmbench executable
+// (see cmd/atmsim/main_test.go for the pattern).
+func TestMain(m *testing.M) {
+	if os.Getenv("ATMBENCH_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// TestBadFlagsAreUsageErrors: invalid configurations exit 2 from
+// pre-flight validation, before any sweep starts.
+func TestBadFlagsAreUsageErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantSub string
+	}{
+		{"unknown scenario family", []string{"-scenario", "warp"}, "unknown family"},
+		{"bad scenario value", []string{"-scenario", "burst:waves=0"}, "waves must be"},
+		{"negative workers", []string{"-workers", "-2"}, "worker count"},
+	}
+	for _, tc := range cases {
+		cmd := exec.Command(os.Args[0], tc.args...)
+		cmd.Env = append(os.Environ(), "ATMBENCH_RUN_MAIN=1")
+		out, err := cmd.CombinedOutput()
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) {
+			t.Errorf("%s: err %v, want an exit error\n%s", tc.name, err, out)
+			continue
+		}
+		if ee.ExitCode() != 2 {
+			t.Errorf("%s: exit %d, want 2\n%s", tc.name, ee.ExitCode(), out)
+		}
+		if !strings.Contains(string(out), tc.wantSub) {
+			t.Errorf("%s: output %q does not mention %q", tc.name, out, tc.wantSub)
+		}
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"repro/internal/parexec"
 	"repro/internal/platform"
 	"repro/internal/replay"
+	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/live"
@@ -40,10 +41,12 @@ func main() {
 	var (
 		platformName = flag.String("platform", platform.TitanXPascal,
 			"platform to simulate ("+strings.Join(append(platform.Names(), platform.ExtensionNames()...), ", ")+")")
-		n          = flag.Int("n", 4000, "number of aircraft")
-		cycles     = flag.Int("cycles", 2, "number of 8-second major cycles")
-		seed       = flag.Uint64("seed", 2018, "random seed (flights, radar noise, MIMD jitter)")
-		noise      = flag.Float64("noise", 0, "radar noise amplitude in nm (0 = default 0.25)")
+		n            = flag.Int("n", 4000, "number of aircraft")
+		cycles       = flag.Int("cycles", 2, "number of 8-second major cycles")
+		seed         = flag.Uint64("seed", 2018, "random seed (flights, radar noise, MIMD jitter)")
+		noise        = flag.Float64("noise", 0, "radar noise amplitude in nm (0 = default 0.25)")
+		scenarioSpec = flag.String("scenario", "",
+			"scenario family spec, e.g. circle:radius=50,speed=250 (families: "+scenario.FamilyNames()+"; empty = the paper's uniform setup)")
 		pairSource = flag.String("pairsource", "",
 			"broad-phase pair source for collision detection ("+strings.Join(broadphase.Names(), ", ")+"; empty = all-pairs)")
 		coherent = flag.Bool("coherent", false,
@@ -71,6 +74,7 @@ func main() {
 		Workers:    *workers,
 		PairSource: *pairSource,
 		Coherent:   *coherent,
+		Scenario:   *scenarioSpec,
 	}
 	if err := params.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "atmsim:", err)
@@ -86,7 +90,7 @@ func main() {
 		detail:   *detail,
 		capacity: *capacity,
 	}
-	if err := run(*platformName, *n, *cycles, *seed, *noise, *pairSource, *coherent, *verbose, *watch, *record, tc); err != nil {
+	if err := run(*platformName, *n, *cycles, *seed, *noise, *scenarioSpec, *pairSource, *coherent, *verbose, *watch, *record, tc); err != nil {
 		fmt.Fprintln(os.Stderr, "atmsim:", err)
 		os.Exit(1)
 	}
@@ -182,13 +186,13 @@ func (tc telemetryConfig) flush(rec *telemetry.Recorder) error {
 	return write(tc.metrics, func(f *os.File) error { return telemetry.PeriodDataset(rec, "atmsim").WriteCSV(f) })
 }
 
-func run(platformName string, n, cycles int, seed uint64, noise float64, pairSource string, coherent, verbose, watch bool, record string, tc telemetryConfig) error {
+func run(platformName string, n, cycles int, seed uint64, noise float64, scenarioSpec, pairSource string, coherent, verbose, watch bool, record string, tc telemetryConfig) error {
 	// Flag validation already happened in main via core.RunParams.
 	p, err := platform.New(platformName, seed)
 	if err != nil {
 		return err
 	}
-	sys := core.NewSystem(p, core.Config{N: n, Seed: seed, Noise: noise, PairSource: pairSource, Incremental: coherent})
+	sys := core.NewSystem(p, core.Config{N: n, Seed: seed, Noise: noise, Scenario: scenarioSpec, PairSource: pairSource, Incremental: coherent})
 	rec, pub, telemetrySrv, err := tc.attach(sys)
 	if err != nil {
 		return err
@@ -211,6 +215,10 @@ func run(platformName string, n, cycles int, seed uint64, noise float64, pairSou
 	}
 
 	fmt.Printf("platform : %s (deterministic: %v)\n", p.Name(), p.Deterministic())
+	if scenarioSpec != "" {
+		spec, _ := scenario.ParseSpec(scenarioSpec)
+		fmt.Printf("scenario : %s\n", spec.String())
+	}
 	if pairSource != "" {
 		mode := "rebuild per task"
 		if coherent {

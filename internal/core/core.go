@@ -15,6 +15,7 @@ import (
 	"repro/internal/radar"
 	"repro/internal/replay"
 	"repro/internal/rng"
+	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/telemetry"
 )
@@ -40,6 +41,11 @@ type Config struct {
 	// PeriodDur overrides the half-second period (tests only); 0 means
 	// the paper's 500 ms.
 	PeriodDur time.Duration
+	// Scenario selects the traffic workload as a scenario spec string
+	// ("circle:radius=80", "streams", ...); the empty string keeps the
+	// paper's uniform random setup, bit-exactly. Invalid specs panic;
+	// front ends reject them first through RunParams.Validate.
+	Scenario string
 	// PairSource selects a broadphase pair source ("brute", "grid",
 	// "sweep") for platforms that support pruned Tasks 2-3 scans; the
 	// empty string keeps the paper's all-pairs kernels. Unknown names
@@ -127,6 +133,9 @@ func (s *System) SetTelemetry(rec *telemetry.Recorder) {
 		}
 	}
 	rec.Meta("platform", s.Platform.Name())
+	if s.cfg.Scenario != "" {
+		rec.Meta("scenario", s.cfg.Scenario)
+	}
 	if s.cfg.PairSource != "" {
 		rec.Meta("pairsource", s.cfg.PairSource)
 	}
@@ -140,11 +149,18 @@ func (s *System) SetTelemetry(rec *telemetry.Recorder) {
 // Telemetry returns the attached recorder (nil if none).
 func (s *System) Telemetry() *telemetry.Recorder { return s.rec }
 
-// NewSystem creates the airfield (SetupFlight for every aircraft) and
-// binds it to the platform.
+// NewSystem creates the airfield (the configured scenario; SetupFlight
+// for every aircraft by default) and binds it to the platform.
 func NewSystem(p platform.Platform, cfg Config) *System {
 	if cfg.N < 0 {
 		panic(fmt.Sprintf("core: negative aircraft count %d", cfg.N))
+	}
+	spec, err := scenario.ParseSpec(cfg.Scenario)
+	if err != nil {
+		panic(fmt.Sprintf("core: %v", err))
+	}
+	if err := spec.Validate(cfg.N); err != nil {
+		panic(fmt.Sprintf("core: %v", err))
 	}
 	src := applyPairSource(p, cfg)
 	root := rng.New(cfg.Seed)
@@ -152,7 +168,7 @@ func NewSystem(p platform.Platform, cfg Config) *System {
 	radarRng := root.Split()
 	return &System{
 		Platform:   p,
-		World:      airspace.NewWorld(cfg.N, setupRng),
+		World:      spec.Generate(cfg.N, setupRng),
 		cfg:        cfg,
 		radarRng:   radarRng,
 		tracker:    sched.NewTracker(cfg.PeriodDur),
@@ -280,20 +296,35 @@ type Measurement struct {
 }
 
 // Measure runs cycles major cycles of the named platform at N aircraft
-// and summarizes.
+// on the paper's uniform workload and summarizes.
 func Measure(platformName string, n, cycles int, seed uint64) (Measurement, error) {
-	p, err := platform.New(platformName, seed)
+	return MeasureWith(platformName, cycles, Config{N: n, Seed: seed})
+}
+
+// MeasureWith is Measure under a full Config: scenario, pair source
+// and coherence mode all apply. cfg.N is the aircraft count. Unlike
+// NewSystem, a scenario that cannot hold cfg.N aircraft is an error,
+// not a panic — sweeps reach counts front-end validation cannot see.
+func MeasureWith(platformName string, cycles int, cfg Config) (Measurement, error) {
+	p, err := platform.New(platformName, cfg.Seed)
 	if err != nil {
 		return Measurement{}, err
 	}
-	sys := NewSystem(p, Config{N: n, Seed: seed})
+	spec, err := scenario.ParseSpec(cfg.Scenario)
+	if err != nil {
+		return Measurement{}, err
+	}
+	if err := spec.Validate(cfg.N); err != nil {
+		return Measurement{}, err
+	}
+	sys := NewSystem(p, cfg)
 	sys.RunMajorCycles(cycles)
 	st := sys.Stats()
 	t1 := st.Task(Task1)
 	t23 := st.Task(Task23)
 	return Measurement{
 		PlatformName: p.Name(),
-		N:            n,
+		N:            cfg.N,
 		Task1Mean:    t1.Mean(),
 		Task23Mean:   t23.Mean(),
 		Task1Max:     t1.Max,

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/broadphase"
 	"repro/internal/platform"
+	"repro/internal/scenario"
 )
 
 // ValidationError reports a front-end configuration rejected before any
@@ -43,6 +44,9 @@ type RunParams struct {
 	// Workers is the host worker-pool size. 0 selects the host default
 	// (GOMAXPROCS) and is valid; negative counts are not.
 	Workers int
+	// Scenario is empty (the paper's uniform random setup) or a
+	// scenario spec string ("family" or "family:key=val,...").
+	Scenario string
 	// PairSource is empty (the paper's all-pairs kernels) or a
 	// registered broad-phase source name.
 	PairSource string
@@ -72,6 +76,15 @@ func (p RunParams) Validate() error {
 		if _, err := broadphase.New(p.PairSource); err != nil {
 			return validationErrorf("unknown pair source %q (known: %s; empty = all-pairs)",
 				p.PairSource, strings.Join(broadphase.Names(), ", "))
+		}
+	}
+	if p.Scenario != "" {
+		spec, err := scenario.ParseSpec(p.Scenario)
+		if err != nil {
+			return validationErrorf("bad scenario (-scenario): %v", err)
+		}
+		if err := spec.Validate(p.N); err != nil {
+			return validationErrorf("bad scenario (-scenario): %v", err)
 		}
 	}
 	if p.Coherent && p.PairSource == "" {

@@ -18,6 +18,9 @@ func TestValidateAccepts(t *testing.T) {
 		func(p *RunParams) { p.Workers = 8 },       // pinned pool
 		func(p *RunParams) { p.Platform = "avx2" }, // extension machine
 		func(p *RunParams) { p.Platform = "xeon16" },
+		func(p *RunParams) { p.Scenario = "circle" },
+		func(p *RunParams) { p.Scenario = "burst:waves=2,interval=30" },
+		func(p *RunParams) { p.Scenario = "uniform" },
 	}
 	for i, mutate := range cases {
 		p := validParams()
@@ -41,6 +44,11 @@ func TestValidateRejects(t *testing.T) {
 		{"negative workers", func(p *RunParams) { p.Workers = -1 }, "worker count"},
 		{"unknown platform", func(p *RunParams) { p.Platform = "cray1" }, `unknown platform "cray1"`},
 		{"unknown pair source", func(p *RunParams) { p.PairSource = "octree" }, `unknown pair source "octree"`},
+		{"unknown scenario family", func(p *RunParams) { p.Scenario = "warp" }, "bad scenario (-scenario)"},
+		{"bad scenario key", func(p *RunParams) { p.Scenario = "circle:waves=3" }, "unknown key"},
+		{"bad scenario value", func(p *RunParams) { p.Scenario = "circle:radius=-4" }, "radius must be"},
+		{"malformed scenario", func(p *RunParams) { p.Scenario = "circle:radius" }, "want key=value"},
+		{"scenario over capacity", func(p *RunParams) { p.Scenario = "streams"; p.N = 30000 }, "lanes"},
 	}
 	for _, tc := range cases {
 		p := validParams()

@@ -21,6 +21,7 @@ import (
 	"repro/internal/radar"
 	"repro/internal/radarnet"
 	"repro/internal/rng"
+	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/tasks"
@@ -37,6 +38,12 @@ type Config struct {
 	Seed uint64
 	// Quick trims the sweeps for tests: smaller Ns, one cycle.
 	Quick bool
+	// Scenario is a workload spec (see internal/scenario) applied to
+	// the platform sweeps — Figures 4-9 and the sweep-derived tables.
+	// Empty keeps the paper's uniform traffic. The ablation tables
+	// always measure under uniform traffic: they study host-side
+	// subsystems whose workload is part of the experiment's identity.
+	Scenario string
 }
 
 // DefaultConfig is the full reproduction configuration. One major
@@ -98,7 +105,8 @@ func RunSweep(platforms []string, ns []int, cfg Config) (*Sweep, error) {
 	cells := make([]cell, len(platforms)*len(ns))
 	parexec.Default().Run(len(cells), 1, func(_, lo, hi int) {
 		for k := lo; k < hi; k++ {
-			m, err := core.Measure(platforms[k/len(ns)], ns[k%len(ns)], cfg.cycles(), cfg.Seed)
+			m, err := core.MeasureWith(platforms[k/len(ns)], cfg.cycles(),
+				core.Config{N: ns[k%len(ns)], Seed: cfg.Seed, Scenario: cfg.Scenario})
 			cells[k] = cell{m, err}
 		}
 	})
@@ -796,6 +804,57 @@ func TelemetryTable(cfg Config) (*trace.Dataset, error) {
 			d.Add("pairchecks:"+label, float64(n), float64(rec.SumOf(telemetry.NameDetectPairChecks)))
 			d.Add("conflicts:"+label, float64(n), float64(rec.SumOf(telemetry.NameDetectConflicts)))
 			d.Add("resolved:"+label, float64(n), float64(rec.SumOf(telemetry.NameDetectResolved)))
+		}
+	}
+	return d, nil
+}
+
+// ScenarioNs is the aircraft-count sweep for the scenario table. It is
+// deliberately modest: structured workloads (converging circles, dense
+// sectors) hold far more simultaneous conflicts per aircraft than the
+// paper's uniform traffic, so the interesting comparisons happen well
+// below the uniform sweeps' top end.
+func (c Config) ScenarioNs() []int {
+	if c.Quick {
+		return []int{250, 500}
+	}
+	return []int{500, 1000, 2000}
+}
+
+// ScenarioTable — modeled load per scenario family: every family at
+// its default parameters, run on every platform (extensions included)
+// across ScenarioNs. Per cell it reports the Task-1 and Tasks-2+3 mean
+// in modeled milliseconds plus missed periods, showing how traffic
+// structure, not just aircraft count, drives each architecture's
+// conflict load. Family/N combinations the setup area cannot hold
+// (e.g. streams beyond its lane capacity) are skipped; the families'
+// Validate errors document the bound.
+func ScenarioTable(cfg Config) (*trace.Dataset, error) {
+	d := &trace.Dataset{
+		ID:     "scenario",
+		Title:  "Scenario families: modeled task means (ms) and deadline misses per platform",
+		XLabel: "aircraft",
+		YLabel: "value",
+	}
+	for _, f := range scenario.Families() {
+		spec := scenario.DefaultSpec(f)
+		for _, name := range append(platform.Names(), platform.ExtensionNames()...) {
+			label := platform.Label(name)
+			for _, n := range cfg.ScenarioNs() {
+				if err := spec.Validate(n); err != nil {
+					continue // family capacity bound; see doc comment
+				}
+				m, err := core.MeasureWith(name, cfg.cycles(), core.Config{
+					N: n, Seed: cfg.Seed, Scenario: spec.String(),
+				})
+				if err != nil {
+					return nil, err
+				}
+				key := string(f) + ":" + label
+				d.Add("task1.ms:"+key, float64(n), float64(m.Task1Mean)/float64(time.Millisecond))
+				d.Add("task23.ms:"+key, float64(n), float64(m.Task23Mean)/float64(time.Millisecond))
+				d.Add("miss:"+key, float64(n), float64(m.PeriodMisses))
+			}
 		}
 	}
 	return d, nil

@@ -19,6 +19,10 @@ var DeterministicPackages = map[string]bool{
 	"repro/internal/mimd":       true,
 	"repro/internal/vector":     true,
 	"repro/internal/rng":        true,
+	// Scenario generation is a pure function of (spec, n, rng state);
+	// any time/map/goroutine dependence would break the conformance
+	// harness's cross-platform world fixtures.
+	"repro/internal/scenario": true,
 	// The telemetry recorder feeds from deterministic packages and its
 	// stream must be worker-invariant; the live subpackage (HTTP
 	// snapshots, outside the contract) is deliberately not listed.

@@ -1,0 +1,69 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSpec hardens the spec parser, the one component of this
+// package that eats attacker-adjacent input (the atmserve query
+// parameter). Invariants: never panic; accepted specs round-trip
+// through their canonical String form to the identical Spec; the
+// canonical form is a fixed point; Validate never panics on an
+// accepted spec at any aircraft count.
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"uniform",
+		"circle",
+		"circle:radius=50,speed=250",
+		"streams:streams=6,angle=30,spacing=4,lanegap=5",
+		"dense:clusters=3,radius=20",
+		"layers:bands=2,gap=800",
+		"burst:waves=2,interval=30",
+		"bogus",
+		":radius=1",                // empty family
+		"circle:",                  // empty parameter list
+		"circle:radius",            // missing =
+		"circle:=5",                // missing key
+		"circle:radius=5,radius=6", // duplicate key
+		"circle:waves=3",           // wrong family's key
+		"circle:radius=1e999",      // overflows float64
+		"circle:radius=-1e308",     // huge negative
+		"circle:radius=NaN",
+		"circle:radius=Inf",
+		"streams:streams=99999999999999999999", // overflows int
+		"burst:waves=-7",
+		"layers:bands=2,gap=0x10",
+		"uniform:radius=1", // uniform takes no keys
+		"circle:radius=50,,speed=250",
+		"CIRCLE",
+		"circle:RADIUS=50",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		spec, err := ParseSpec(text)
+		if err != nil {
+			if !strings.HasPrefix(err.Error(), "scenario: ") {
+				t.Fatalf("ParseSpec(%q) error %q lacks the package prefix", text, err)
+			}
+			return
+		}
+		canon := spec.String()
+		again, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted spec %q rejected: %v", canon, text, err)
+		}
+		if again != spec {
+			t.Fatalf("round trip of %q via %q changed the spec:\n  %+v\n  %+v", text, canon, spec, again)
+		}
+		if fp := again.String(); fp != canon {
+			t.Fatalf("canonical form of %q not a fixed point: %q -> %q", text, canon, fp)
+		}
+		// Validate must never panic, whatever the count; errors are fine.
+		for _, n := range []int{0, 1, 1000, 1 << 20} {
+			_ = spec.Validate(n)
+		}
+	})
+}

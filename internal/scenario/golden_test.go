@@ -1,0 +1,116 @@
+package scenario
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/airspace"
+	"repro/internal/platform"
+	"repro/internal/rng"
+	"repro/internal/tasks"
+)
+
+var update = flag.Bool("update", false, "rewrite the scenario golden file")
+
+const goldenFile = "testdata/golden_scenarios.txt"
+
+// TestGoldenScenarios pins every family's generated world and its
+// conflict behaviour at the reproduction's reference point (seed 2018,
+// N=1000): a content hash of the full world, the reference detector's
+// counts, and each of the eight platforms' conflict and resolution
+// counts after one Tasks 2-3 pass. Regenerate with
+//
+//	go test ./internal/scenario -run TestGoldenScenarios -update
+//
+// after an intentional generator or kernel change; an unintentional
+// diff here means a scenario stopped reproducing bit-exactly.
+func TestGoldenScenarios(t *testing.T) {
+	const (
+		seed = 2018
+		n    = 1000
+	)
+	var buf bytes.Buffer
+	for _, f := range Families() {
+		spec := DefaultSpec(f)
+		// The exact world core.NewSystem builds: the setup stream is the
+		// first split off the root.
+		root := rng.New(seed)
+		w := spec.Generate(n, root.Split())
+		fmt.Fprintf(&buf, "family %-8s world %s\n", f, worldHash(w))
+
+		det := tasks.Detect(w.Clone())
+		fmt.Fprintf(&buf, "family %-8s reference conflicts=%d pairchecks=%d\n", f, det.Conflicts, det.PairChecks)
+
+		for _, name := range append(platform.Names(), platform.ExtensionNames()...) {
+			p := platform.MustNew(name, seed)
+			run := w.Clone()
+			p.DetectResolve(run)
+			conflicts, resolved := 0, 0
+			for i := range run.Aircraft {
+				if run.Aircraft[i].Col {
+					conflicts++
+				}
+				if run.Aircraft[i].DX != w.Aircraft[i].DX || run.Aircraft[i].DY != w.Aircraft[i].DY {
+					resolved++
+				}
+			}
+			fmt.Fprintf(&buf, "family %-8s platform %-10s conflicts=%d resolved=%d\n", f, name, conflicts, resolved)
+		}
+	}
+
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenFile), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenFile, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", goldenFile, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(goldenFile)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create it): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("scenario golden mismatch; run `go test ./internal/scenario -run TestGoldenScenarios -update` if intentional\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// worldHash digests every field of every aircraft, floats by IEEE
+// bits, so any generator drift — however small — changes the hash.
+func worldHash(w *airspace.World) string {
+	h := sha256.New()
+	var rec [14 * 8]byte
+	for i := range w.Aircraft {
+		a := &w.Aircraft[i]
+		col := uint64(0)
+		if a.Col {
+			col = 1
+		}
+		vals := [...]uint64{
+			uint64(uint32(a.ID)),
+			math.Float64bits(a.X), math.Float64bits(a.Y),
+			math.Float64bits(a.DX), math.Float64bits(a.DY),
+			math.Float64bits(a.Alt),
+			math.Float64bits(a.BatX), math.Float64bits(a.BatY),
+			col,
+			math.Float64bits(a.TimeTill),
+			uint64(uint32(a.ColWith)),
+			uint64(uint8(a.RMatch)),
+			math.Float64bits(a.ExpX), math.Float64bits(a.ExpY),
+		}
+		for j, v := range vals {
+			binary.LittleEndian.PutUint64(rec[8*j:], v)
+		}
+		h.Write(rec[:])
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}

@@ -1,0 +1,175 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/airspace"
+	"repro/internal/rng"
+	"repro/internal/tasks"
+)
+
+// TestWraparoundInvariant drives every family's world forward through
+// the torus and checks the paper's re-entry rule at each step: an
+// aircraft that exits the field at (x, y) re-enters at (-x, -y) with
+// its velocity unchanged, and is inside the field afterwards.
+func TestWraparoundInvariant(t *testing.T) {
+	for _, f := range Families() {
+		spec := DefaultSpec(f)
+		for _, seed := range []uint64{1, 2018} {
+			w := spec.Generate(400, rng.New(seed))
+			wrapped := 0
+			for step := 0; step < 3000; step++ {
+				// One velocity step never overshoots the boundary by more
+				// than the fastest aircraft moves in a period, so a wrapped
+				// position is at worst that far outside the far edge (and
+				// back inside within a step or two).
+				const maxStep = airspace.SpeedMax / airspace.PeriodsPerHour
+				for i := range w.Aircraft {
+					a := &w.Aircraft[i]
+					a.X += a.DX
+					a.Y += a.DY
+					x, y, dx, dy := a.X, a.Y, a.DX, a.DY
+					exited := !airspace.InField(x, y)
+					airspace.Wrap(a)
+					if exited {
+						wrapped++
+						if a.X != -x || a.Y != -y {
+							t.Fatalf("%s seed=%d step=%d aircraft %d: exited at (%g, %g), re-entered at (%g, %g), want (%g, %g)",
+								f, seed, step, i, x, y, a.X, a.Y, -x, -y)
+						}
+					} else if a.X != x || a.Y != y {
+						t.Fatalf("%s seed=%d step=%d aircraft %d: Wrap moved an in-field aircraft", f, seed, step, i)
+					}
+					if a.DX != dx || a.DY != dy {
+						t.Fatalf("%s seed=%d step=%d aircraft %d: Wrap changed the velocity", f, seed, step, i)
+					}
+					if math.Abs(a.X) > airspace.FieldHalf+maxStep || math.Abs(a.Y) > airspace.FieldHalf+maxStep {
+						t.Fatalf("%s seed=%d step=%d aircraft %d: further than one step outside the field after Wrap at (%g, %g)",
+							f, seed, step, i, a.X, a.Y)
+					}
+				}
+			}
+			if f != Circle && wrapped == 0 {
+				t.Errorf("%s seed=%d: no aircraft ever left the field in 3000 periods; the wraparound path went unexercised", f, seed)
+			}
+		}
+	}
+}
+
+// TestCircleGuaranteedConflict is the circle family's defining
+// property: everyone converges on the center, so every aircraft has at
+// least one detected conflict partner (horizontal window open inside
+// the detection horizon, altitudes inside the vertical band).
+func TestCircleGuaranteedConflict(t *testing.T) {
+	cases := []struct {
+		spec string
+		n    int
+	}{
+		{"circle", 40},
+		{"circle", 401},
+		{"circle:radius=12,speed=500", 64},
+		{"circle:radius=60,speed=300,phase=17", 129},
+	}
+	for _, c := range cases {
+		spec, err := ParseSpec(c.spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := spec.Generate(c.n, rng.New(2018))
+		for i := range w.Aircraft {
+			a := &w.Aircraft[i]
+			partner := false
+			for j := range w.Aircraft {
+				if i == j {
+					continue
+				}
+				b := &w.Aircraft[j]
+				if !tasks.AltOverlap(a, b) {
+					continue
+				}
+				if _, _, conflict := tasks.PairConflict(a.X, a.Y, a.DX, a.DY, b); conflict {
+					partner = true
+					break
+				}
+			}
+			if !partner {
+				t.Fatalf("%s n=%d: aircraft %d has no conflict partner within the horizon", c.spec, c.n, i)
+			}
+		}
+	}
+}
+
+// TestStreamsInTrailSeparation: at t=0 every pair within one stream is
+// separated by at least the configured minimum of in-trail spacing and
+// lane gap — never below the separation standard — and shares one
+// velocity vector, so that separation is preserved for all time.
+func TestStreamsInTrailSeparation(t *testing.T) {
+	for _, c := range []struct {
+		text string
+		n    int
+	}{
+		{"streams", 600},
+		{"streams:streams=6,angle=30,spacing=4,lanegap=5", 600},
+		{"streams:streams=1", 300}, // a single stream holds fewer aircraft
+	} {
+		text, n := c.text, c.n
+		spec, err := ParseSpec(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := spec.Validate(n); err != nil {
+			t.Fatalf("%s: %v", text, err)
+		}
+		w := spec.Generate(n, rng.New(2018))
+		minSep := math.Min(spec.Spacing, spec.LaneGap)
+		if minSep < airspace.SepTotal {
+			t.Fatalf("%s: configured minimum %g below the separation standard", text, minSep)
+		}
+		for i := range w.Aircraft {
+			for j := i + 1; j < n; j++ {
+				if i%spec.Streams != j%spec.Streams {
+					continue // different streams cross by design
+				}
+				a, b := &w.Aircraft[i], &w.Aircraft[j]
+				if a.DX != b.DX || a.DY != b.DY {
+					t.Fatalf("%s: stream mates %d and %d have different velocities", text, i, j)
+				}
+				if d := math.Hypot(a.X-b.X, a.Y-b.Y); d < minSep-1e-9 {
+					t.Fatalf("%s: stream mates %d and %d only %g nm apart at t=0, want >= %g",
+						text, i, j, d, minSep)
+				}
+			}
+		}
+	}
+}
+
+// TestBurstWavesSeparated: within one burst wall all velocities are
+// equal and neighbours sit a full spacing apart; opposite walls of the
+// same wave share an altitude band while consecutive waves are
+// vertically separated beyond the conflict filter — the structure the
+// periodic-stress claim rests on.
+func TestBurstWavesSeparated(t *testing.T) {
+	spec, err := ParseSpec("burst:interval=30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 480
+	w := spec.Generate(n, rng.New(2018))
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			a, b := &w.Aircraft[i], &w.Aircraft[j]
+			if i%spec.Waves != j%spec.Waves {
+				if math.Abs(a.Alt-b.Alt) < airspace.AltBandFeet {
+					t.Fatalf("waves %d and %d overlap vertically (%g vs %g ft)", i%spec.Waves, j%spec.Waves, a.Alt, b.Alt)
+				}
+				continue
+			}
+			if a.DX == b.DX { // same wall of the same wave
+				if d := math.Hypot(a.X-b.X, a.Y-b.Y); d < spec.Spacing-1e-9 {
+					t.Fatalf("wall mates %d and %d only %g nm apart, want >= %g", i, j, d, spec.Spacing)
+				}
+			}
+		}
+	}
+}

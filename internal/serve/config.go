@@ -11,6 +11,7 @@ import (
 	"strconv"
 
 	"repro/internal/core"
+	"repro/internal/scenario"
 )
 
 // Defaults filled into requests during canonicalization: the paper's
@@ -46,6 +47,10 @@ type RunRequest struct {
 	// mode — the flag is still part of the run identity because it
 	// changes the telemetry export (span names, maintenance counters).
 	Coherent bool `json:"coherent,omitempty"`
+	// Scenario selects the traffic workload as a scenario spec string
+	// ("circle:radius=50", see internal/scenario); empty keeps the
+	// paper's uniform setup.
+	Scenario string `json:"scenario,omitempty"`
 	// Detail is the telemetry detail level: "task" (default) or
 	// "block".
 	Detail string `json:"detail,omitempty"`
@@ -65,6 +70,7 @@ type RunConfig struct {
 	Periods    int    `json:"periods"`
 	PairSource string `json:"pair_source,omitempty"`
 	Coherent   bool   `json:"coherent,omitempty"`
+	Scenario   string `json:"scenario,omitempty"`
 	Detail     string `json:"detail"`
 	Telemetry  string `json:"telemetry,omitempty"`
 }
@@ -80,6 +86,7 @@ func (r RunRequest) Canonicalize() (RunConfig, error) {
 		Periods:    r.Periods,
 		PairSource: r.PairSource,
 		Coherent:   r.Coherent,
+		Scenario:   r.Scenario,
 		Detail:     r.Detail,
 		Telemetry:  r.Telemetry,
 	}
@@ -105,9 +112,17 @@ func (r RunRequest) Canonicalize() (RunConfig, error) {
 		Workers:    0, // host workers are a server setting, not part of the run identity
 		PairSource: cfg.PairSource,
 		Coherent:   cfg.Coherent,
+		Scenario:   cfg.Scenario,
 	}
 	if err := params.Validate(); err != nil {
 		return RunConfig{}, err
+	}
+	if cfg.Scenario != "" {
+		// Differently spelled specs of the same workload collapse to one
+		// canonical form, so they share a cache entry and a single-flight
+		// slot ("circle" and "circle:radius=100" are the same run).
+		spec, _ := scenario.ParseSpec(cfg.Scenario) // params.Validate already vetted it
+		cfg.Scenario = spec.String()
 	}
 	switch cfg.Detail {
 	case "task", "block":
@@ -126,8 +141,8 @@ func (r RunRequest) Canonicalize() (RunConfig, error) {
 // (worker count, queue position, cache state) are deliberately absent:
 // they change wall-clock speed only, never the answer.
 func (c RunConfig) Key() string {
-	return fmt.Sprintf("platform=%s&n=%d&seed=%d&periods=%d&pairsource=%s&coherent=%t&detail=%s&telemetry=%s",
-		c.Platform, c.N, c.Seed, c.Periods, c.PairSource, c.Coherent, c.Detail, c.Telemetry)
+	return fmt.Sprintf("platform=%s&n=%d&seed=%d&periods=%d&pairsource=%s&coherent=%t&scenario=%s&detail=%s&telemetry=%s",
+		c.Platform, c.N, c.Seed, c.Periods, c.PairSource, c.Coherent, c.Scenario, c.Detail, c.Telemetry)
 }
 
 // Hash returns the short content hash of the canonical key, used as
@@ -165,6 +180,7 @@ func requestFromQuery(q url.Values) (RunRequest, error) {
 	req := RunRequest{
 		Platform:   q.Get("platform"),
 		PairSource: q.Get("pair_source"),
+		Scenario:   q.Get("scenario"),
 		Detail:     q.Get("detail"),
 		Telemetry:  q.Get("telemetry"),
 	}

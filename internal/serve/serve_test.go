@@ -305,6 +305,10 @@ func TestValidationErrors(t *testing.T) {
 		{"unknown detail", "/v1/simulate?platform=titanx&n=100&detail=verbose"},
 		{"unknown telemetry", "/v1/simulate?platform=titanx&n=100&telemetry=xml"},
 		{"over max n", "/v1/simulate?platform=titanx&n=60000"},
+		{"unknown scenario family", "/v1/simulate?platform=titanx&n=100&scenario=warp"},
+		{"bad scenario value", "/v1/simulate?platform=titanx&n=100&scenario=circle:radius=-4"},
+		{"malformed scenario", "/v1/simulate?platform=titanx&n=100&scenario=circle:radius"},
+		{"scenario over capacity", "/v1/simulate?platform=titanx&n=30000&scenario=streams"},
 	}
 	for _, tc := range cases {
 		resp, body := get(t, ts.URL+tc.query)
@@ -428,5 +432,53 @@ func TestCanonicalizeDefaultsAndKey(t *testing.T) {
 	}
 	if c.Key() == a.Key() {
 		t.Error("different seed produced the same key")
+	}
+}
+
+// TestScenarioCanonicalKey: differently spelled specs of the same
+// workload share one cache identity; a different workload does not;
+// and the scenario is part of the key at all (uniform vs structured).
+func TestScenarioCanonicalKey(t *testing.T) {
+	short, err := RunRequest{Platform: "titanx", N: 400, Scenario: "circle"}.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := RunRequest{Platform: "titanx", N: 400, Scenario: "circle:radius=100"}.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short.Key() != long.Key() {
+		t.Errorf("default-spelled and explicit specs split the cache: %q vs %q", short.Key(), long.Key())
+	}
+	other, err := RunRequest{Platform: "titanx", N: 400, Scenario: "circle:radius=50"}.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Key() == short.Key() {
+		t.Error("different radius produced the same key")
+	}
+	uniform, err := RunRequest{Platform: "titanx", N: 400}.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uniform.Key() == short.Key() {
+		t.Error("scenario absent from the cache key")
+	}
+}
+
+// TestScenarioRunServed: a structured-traffic run completes over HTTP
+// and echoes the canonical spec in the response config.
+func TestScenarioRunServed(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp, body := get(t, ts.URL+"/v1/simulate?platform=titanx&n=200&scenario=circle:radius=40")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp.StatusCode, body)
+	}
+	var r Response
+	if err := json.Unmarshal(body, &r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(r.Config.Scenario, "circle:") || !strings.Contains(r.Config.Scenario, "radius=40") {
+		t.Errorf("response config scenario %q, want the canonical circle spec", r.Config.Scenario)
 	}
 }

@@ -25,7 +25,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-PATTERN=${BENCH_PATTERN:-'^(BenchmarkCoherent_|BenchmarkReference_Task23$|BenchmarkBroadphase_Sweep_10000$)'}
+PATTERN=${BENCH_PATTERN:-'^(BenchmarkCoherent_|BenchmarkReference_Task23$|BenchmarkBroadphase_Sweep_10000$|BenchmarkScenario_Generate_)'}
 TIME=${BENCH_TIME:-1s}
 COUNT=${BENCH_COUNT:-3}
 MAX_TIME_REGRESS=${MAX_TIME_REGRESS:-5} # percent
