@@ -60,7 +60,8 @@ bench-smoke:
 # bench-diff compares the hot-path benchmarks on HEAD against BASE_REF
 # (default: merge base with origin/main) and fails on a >5% time or any
 # allocs/op regression; `scripts/benchdiff.sh snapshot` refreshes the
-# checked-in BENCH_7.json. See scripts/benchdiff.sh for tunables.
+# checked-in BENCH_10.json. See scripts/benchdiff.sh for tunables
+# (BENCH_CPU=1,8 is the CI cell that gates both worker-pool shapes).
 BASE_REF ?=
 bench-diff:
 	./scripts/benchdiff.sh $(BASE_REF)

@@ -414,6 +414,13 @@ func benchDetectWith(b *testing.B, source string, n int) {
 	src := broadphase.MustNew(source)
 	wc := &airspace.World{}
 	var checks int
+	// One untimed pass grows the source's index and the detect scratch
+	// to n aircraft. Every function on the steady-state path is under
+	// the //atm:noalloc contract (see internal/tasks's noalloc
+	// manifest), so with the cold-path growth hoisted out here the
+	// timed loop benches 0 allocs/op.
+	w.CloneInto(wc)
+	tasks.DetectWith(wc, src)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
@@ -476,6 +483,53 @@ func benchCoherentDetect(b *testing.B, incremental bool) {
 
 func BenchmarkCoherent_Task23_4000_Rebuild(b *testing.B)     { benchCoherentDetect(b, false) }
 func BenchmarkCoherent_Task23_4000_Incremental(b *testing.B) { benchCoherentDetect(b, true) }
+
+// Worker-parallel broad phase + batched pair kernel (T-PS /
+// results/parshard.csv) — the same steady-state fused Task 2+3 period
+// as benchCoherentDetect, on the sharded table mode composed with the
+// coherent sweep: the broad phase builds its pair table across the
+// worker pool and the scan runs the branch-free 8-wide kernel. The W1
+// lanes price the batched kernel alone (the table build and repair run
+// serially); the W8 lanes add the worker-parallel build. Results are
+// bit-identical to the scalar lanes at every worker count, so the
+// delta against BenchmarkCoherent_Task23_4000_Incremental is pure
+// host-time win (scripts/benchdiff.sh reports it as
+// parshard_improvement_pct).
+func benchParShardDetect(b *testing.B, n, workers int) {
+	b.Helper()
+	b.ReportAllocs()
+	w, _ := benchWorld(n)
+	src := broadphase.NewShardedSweep(true)
+	pool := parexec.NewPool(workers)
+	advance := func() {
+		for i := range w.Aircraft {
+			a := &w.Aircraft[i]
+			a.X += a.DX
+			a.Y += a.DY
+			airspace.Wrap(a)
+		}
+	}
+	// Warm-up: size the table, scratch and segment buffers and pay the
+	// initial full sort so the timed loop is pure steady state. A few
+	// moving passes let the table's headroom policy settle at the
+	// workload's drift rate.
+	for i := 0; i < 4; i++ {
+		tasks.DetectResolveExec(w, src, pool)
+		advance()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		advance()
+		b.StartTimer()
+		tasks.DetectResolveExec(w, src, pool)
+	}
+}
+
+func BenchmarkParShard_Task23_4000_W1(b *testing.B)  { benchParShardDetect(b, 4000, 1) }
+func BenchmarkParShard_Task23_4000_W8(b *testing.B)  { benchParShardDetect(b, 4000, 8) }
+func BenchmarkParShard_Task23_10000_W1(b *testing.B) { benchParShardDetect(b, 10000, 1) }
+func BenchmarkParShard_Task23_10000_W8(b *testing.B) { benchParShardDetect(b, 10000, 8) }
 
 // Extension — radar-network report generation (multi-site coverage,
 // cones of silence, dropouts).

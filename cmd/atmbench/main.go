@@ -31,7 +31,7 @@ import (
 func main() {
 	var (
 		figNum  = flag.Int("fig", 0, "regenerate one figure (4-9); 0 = all")
-		table   = flag.String("table", "", "regenerate one table (deadlines, determinism, kernelsplit, boxpasses, normalized, vector, radarnet, broadphase, hostperf, capacity, coherence, telemetry, scenario)")
+		table   = flag.String("table", "", "regenerate one table (deadlines, determinism, kernelsplit, boxpasses, normalized, vector, radarnet, broadphase, hostperf, capacity, coherence, parshard, telemetry, scenario)")
 		quick   = flag.Bool("quick", false, "trimmed sweeps for a fast smoke run")
 		outDir  = flag.String("out", "results", "directory for CSV output")
 		cycles  = flag.Int("cycles", 0, "major cycles per measurement (0 = default)")
@@ -145,6 +145,7 @@ func run(cfg experiments.Config, figNum int, table, outDir string, chart bool) e
 		"hostperf":    {"hostperf", func() error { d, err := experiments.HostPerfTable(cfg); return emit(d, err, emitDataset) }},
 		"capacity":    {"capacity", func() error { d, err := experiments.CapacityTable(cfg); return emit(d, err, emitDataset) }},
 		"coherence":   {"coherence", func() error { d, err := experiments.CoherenceTable(cfg); return emit(d, err, emitDataset) }},
+		"parshard":    {"parshard", func() error { d, err := experiments.ParShardTable(cfg); return emit(d, err, emitDataset) }},
 		"telemetry":   {"telemetry", func() error { d, err := experiments.TelemetryTable(cfg); return emit(d, err, emitDataset) }},
 		"scenario":    {"scenario", func() error { d, err := experiments.ScenarioTable(cfg); return emit(d, err, emitDataset) }},
 	}
@@ -159,7 +160,7 @@ func run(cfg experiments.Config, figNum int, table, outDir string, chart bool) e
 	case table != "":
 		j, ok := tableJobs[table]
 		if !ok {
-			return fmt.Errorf("no table %q (have deadlines, determinism, kernelsplit, boxpasses, normalized, vector, radarnet, broadphase, hostperf, capacity, coherence, telemetry, scenario)", table)
+			return fmt.Errorf("no table %q (have deadlines, determinism, kernelsplit, boxpasses, normalized, vector, radarnet, broadphase, hostperf, capacity, coherence, parshard, telemetry, scenario)", table)
 		}
 		return j.run()
 	}

@@ -184,7 +184,7 @@ func TrackProgram(m *Machine, w *airspace.World, f *radar.Frame) tasks.Correlate
 // machine's SoA mirror instead of the []Aircraft records: same values
 // (the mirror is refreshed each program run and updated at heading
 // commits), so the responder masks and reductions are bit-identical.
-func apScan(m *Machine, w *airspace.World, idx int, vx, vy float64, st *tasks.DetectStats, src broadphase.PairSource, cols *airspace.Columns) (earliest float64, with int32, critical bool) {
+func apScan(m *Machine, w *airspace.World, idx int, vx, vy float64, st *tasks.DetectStats, src broadphase.PairSource, tab *broadphase.PairTable, cols *airspace.Columns) (earliest float64, with int32, critical bool) {
 	ac := w.Aircraft
 	track := &ac[idx]
 	m.Broadcast(5) // x, y, vx, vy, alt
@@ -198,8 +198,14 @@ func apScan(m *Machine, w *airspace.World, idx int, vx, vy float64, st *tasks.De
 
 	var cand []int32
 	if src != nil {
-		cand = src.AppendCandidates(m.candBuf[:0], w, track)
-		m.candBuf = cand
+		if tab != nil {
+			// Sharded source: the scatter reads the pre-built table slice
+			// — the identical candidate set a fresh query would emit.
+			cand = tab.Candidates(idx)
+		} else {
+			cand = src.AppendCandidates(m.candBuf[:0], w, track)
+			m.candBuf = cand
+		}
 		if len(m.candMask) < len(ac) {
 			m.candMask = make([]bool, len(ac))
 		}
@@ -327,13 +333,22 @@ func DetectResolveProgramWith(m *Machine, w *airspace.World, src broadphase.Pair
 		// Control-unit index build over the database.
 		m.Scalar(w.N())
 	}
+	// A sharded source materializes the candidate table once (serial on
+	// the control unit: the AP models no host worker pool); the per-PE
+	// scatter then reads table slices instead of re-querying, with
+	// identical candidates and cycle charges.
+	var tab *broadphase.PairTable
+	if ts := broadphase.TableOf(src); ts != nil {
+		ts.SetPool(nil)
+		tab = ts.PrepareTable()
+	}
 	m.mark("ap.scanresolve", 0)
 	ac := w.Aircraft
 	for i := range ac {
 		track := &ac[i]
 		track.ResetConflict()
 		m.Scalar(4)
-		tmin, with, critical := apScan(m, w, i, track.DX, track.DY, &st, src, cols)
+		tmin, with, critical := apScan(m, w, i, track.DX, track.DY, &st, src, tab, cols)
 		if !critical {
 			continue
 		}
@@ -347,7 +362,7 @@ func DetectResolveProgramWith(m *Machine, w *airspace.World, src broadphase.Pair
 			m.Scalar(8) // rotate on the control unit
 			v := base.Rotate(deg)
 			track.BatX, track.BatY = v.X, v.Y
-			tmin, with, critical = apScan(m, w, i, v.X, v.Y, &st, src, cols)
+			tmin, with, critical = apScan(m, w, i, v.X, v.Y, &st, src, tab, cols)
 			if !critical {
 				track.DX, track.DY = v.X, v.Y
 				if cols != nil {

@@ -3,6 +3,8 @@ package broadphase
 import (
 	"sync/atomic"
 
+	"repro/internal/parexec"
+
 	"repro/internal/airspace"
 )
 
@@ -68,4 +70,36 @@ func (c *Counted) AppendCandidates(dst []int32, w *airspace.World, track *airspa
 //atm:allow atomic -- drained sequentially between tasks
 func (c *Counted) Take() (queries, candidates int64) {
 	return c.queries.Swap(0), c.candidates.Swap(0)
+}
+
+// Sharded forwards to the wrapped source; false when it has no
+// worker-parallel table mode. Counted thereby satisfies TableSource
+// whenever the wrapped source does, so TableOf resolves through it and
+// table builds are tallied like any other query traffic.
+func (c *Counted) Sharded() bool {
+	ts, ok := c.src.(TableSource)
+	return ok && ts.Sharded()
+}
+
+// SetPool forwards to the wrapped source.
+func (c *Counted) SetPool(p *parexec.Pool) { c.src.(TableSource).SetPool(p) }
+
+// PrepareTable forwards to the wrapped source, tallying the build as
+// one query per track and its candidate total — the same traffic the
+// equivalent per-track AppendCandidates calls would have counted.
+//
+//atm:allow atomic -- order-independent sums, drained sequentially between tasks
+func (c *Counted) PrepareTable() *PairTable {
+	t := c.src.(TableSource).PrepareTable()
+	c.queries.Add(int64(len(t.Start) - 1))
+	c.candidates.Add(int64(len(t.Cand)))
+	return t
+}
+
+// AddKernelBatches forwards to the wrapped source.
+func (c *Counted) AddKernelBatches(n int64) { c.src.(TableSource).AddKernelBatches(n) }
+
+// TakeShardStats forwards to the wrapped source.
+func (c *Counted) TakeShardStats() (segments, batches int64) {
+	return c.src.(TableSource).TakeShardStats()
 }

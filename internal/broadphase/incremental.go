@@ -50,14 +50,25 @@ type Options struct {
 	// the option — they already rebuild in O(N) — so the flag is safe
 	// to apply uniformly from a config switch.
 	Incremental bool
+	// Sharded requests the worker-parallel table mode: the sweep
+	// materializes every track's candidate set in one parallel walk of
+	// its sorted order (PrepareTable), and the incremental repair
+	// splits into independent runs. Candidate sets — and therefore
+	// results — are bit-identical with the flag on or off, at every
+	// worker count; only host time changes. Sources without the mode
+	// (brute, grid) ignore the flag.
+	Sharded bool
 }
 
 // NewWith constructs the named pair source with the given options. The
 // candidate sets produced are bit-identical to New's for every option
 // combination; options only change how the index is maintained.
 func NewWith(name string, opts Options) (PairSource, error) {
-	if opts.Incremental && name == SweepName {
-		return NewIncrementalSweep(), nil
+	if (opts.Incremental || opts.Sharded) && name == SweepName {
+		s := NewSweep()
+		s.incremental = opts.Incremental
+		s.sharded = opts.Sharded
+		return s, nil
 	}
 	return New(name)
 }

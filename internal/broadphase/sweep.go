@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/airspace"
+	"repro/internal/parexec"
 )
 
 // Sweep is sort-based sweep-and-prune on the per-axis reach intervals
@@ -65,6 +66,33 @@ type Sweep struct {
 	// sequential by contract, so plain fields suffice.
 	statUpdates, statRebuilds, statMoved, statResorted int64
 
+	// sharded enables the worker-parallel table mode (see table.go):
+	// PrepareTable walks the sorted order in parallel segments on pool,
+	// and the incremental repair splits into independent runs. pool may
+	// be nil (serial); consumers install it through SetPool.
+	sharded bool
+	pool    *parexec.Pool
+	// table is the source-owned candidate table PrepareTable fills;
+	// chunkBufs / cnt are its build scratch.
+	table     PairTable
+	chunkBufs []tableBuf
+	cnt       []int32
+	// Parallel-repair scratch: per-block key extrema, run boundaries
+	// and per-run outcomes.
+	chunkMin, chunkMax []float64
+	runs               []int32
+	runStats           []runStat
+	// Shard counters, drained by TakeShardStats. statSegments counts
+	// table-build segments; statBatches accumulates consumer-reported
+	// batched-kernel iterations. Sequential, like the update counters.
+	statSegments, statBatches int64
+	// Persistent job bodies for the engine's RunBody dispatch, held as
+	// fields so steady-state parallel phases allocate nothing.
+	fill   fillJob
+	copier copyJob
+	minmax minmaxJob
+	repair repairJob
+
 	// sorter is the reusable sort.Interface over order/lox: sort.Slice
 	// allocates its closure pair on every call, which made Prepare the
 	// only allocation left in a steady-state detection period.
@@ -106,6 +134,17 @@ func NewSweep() *Sweep { return &Sweep{scratch: &sync.Pool{}} }
 func NewIncrementalSweep() *Sweep {
 	s := NewSweep()
 	s.incremental = true
+	return s
+}
+
+// NewShardedSweep returns a sweep source with the worker-parallel table
+// mode enabled (see table.go); incremental additionally selects the
+// temporal-coherence repair. Candidate sets are bit-identical to
+// NewSweep's in every combination.
+func NewShardedSweep(incremental bool) *Sweep {
+	s := NewSweep()
+	s.incremental = incremental
+	s.sharded = true
 	return s
 }
 
@@ -201,7 +240,15 @@ func (s *Sweep) finishPrepare(reuse bool) {
 	n := s.n
 	repaired := false
 	if reuse {
-		repaired = s.repairOrder()
+		if s.sharded {
+			// The run-partitioned repair is used at every worker count
+			// (including pool == nil) so its statistics — per-run budget
+			// accounting differs from the serial cumulative budget only
+			// on aborts — are invariant across workers.
+			repaired = s.repairOrderRuns()
+		} else {
+			repaired = s.repairOrder()
+		}
 		if repaired {
 			s.statUpdates++
 		}
@@ -322,13 +369,25 @@ func (s *Sweep) AppendCandidates(dst []int32, w *airspace.World, track *airspace
 	if s.n == 0 {
 		return dst
 	}
-	i := int(track.ID)
+	nw := (s.n + 63) / 64
+	sc := s.getScratch(nw) //atm:allow noallocflow -- scratch acquisition allocates only on pool miss or fleet growth; steady state reuses pooled words
+	dst = s.appendCandidatesID(dst, int(track.ID), sc.words)
+	s.scratch.Put(sc)
+	return dst
+}
+
+// appendCandidatesID is the query core shared by AppendCandidates and
+// the table build: emit aircraft i's candidates into dst using the
+// caller's bitmap words (len >= ceil(n/64), all zero; left zero on
+// return). Pure with respect to the prepared index, so repeated calls
+// — and the table built from one walk — return identical sets.
+//
+//atm:noalloc
+func (s *Sweep) appendCandidatesID(dst []int32, i int, words []uint64) []int32 {
 	qloX, qhiX := s.lox[i], s.hix[i]
 	qloY, qhiY := s.loy[i], s.hiy[i]
 
 	nw := (s.n + 63) / 64
-	sc := s.getScratch(nw) //atm:allow noallocflow -- scratch acquisition allocates only on pool miss or fleet growth; steady state reuses pooled words
-	words := sc.words
 	start := sort.SearchFloat64s(s.sortedLo, qloX-s.maxW)
 	if s.incremental {
 		// Dense walk over the sorted mirror: identical comparisons on
@@ -383,6 +442,5 @@ func (s *Sweep) AppendCandidates(dst []int32, w *airspace.World, track *airspace
 			word &= word - 1
 		}
 	}
-	s.scratch.Put(sc)
 	return dst
 }

@@ -1,0 +1,138 @@
+package broadphase_test
+
+import (
+	"testing"
+
+	"repro/internal/broadphase"
+	"repro/internal/parexec"
+	"repro/internal/rng"
+)
+
+// TestPairTableMatchesQueries is the table-mode exactness property:
+// through long randomized mutation sequences, the sharded sweep's
+// table must hold, for every track, exactly the slice AppendCandidates
+// emits — same elements, same order — at every worker count, with and
+// without the incremental repair, and the tables built by different
+// pools must be byte-identical to each other.
+func TestPairTableMatchesQueries(t *testing.T) {
+	pools := []*parexec.Pool{nil, parexec.NewPool(1), parexec.NewPool(3), parexec.NewPool(8)}
+	r := rng.New(0x7ab1e)
+	for _, incremental := range []bool{false, true} {
+		for _, n := range []int{0, 1, 2, 17, 120, 300, 700} {
+			w := randomWorld(r.Split(), n, 0.3)
+			ref := broadphase.NewSweep()
+			sharded := make([]*broadphase.Sweep, len(pools))
+			for i, p := range pools {
+				sharded[i] = broadphase.NewShardedSweep(incremental)
+				sharded[i].SetPool(p)
+			}
+			var buf []int32
+			for period := 0; period < 24; period++ {
+				advancePeriod(r, w, period)
+				ref.Prepare(w)
+				tables := make([]*broadphase.PairTable, len(pools))
+				for i := range sharded {
+					sharded[i].Prepare(w)
+					tables[i] = sharded[i].PrepareTable()
+				}
+				for i := range w.Aircraft {
+					buf = ref.AppendCandidates(buf[:0], w, &w.Aircraft[i])
+					for pi, tab := range tables {
+						got := tab.Candidates(i)
+						if len(got) != len(buf) {
+							t.Fatalf("inc=%v n=%d period=%d pool=%d track %d: table has %d candidates, query %d",
+								incremental, n, period, pi, i, len(got), len(buf))
+						}
+						for k := range got {
+							if got[k] != buf[k] {
+								t.Fatalf("inc=%v n=%d period=%d pool=%d track %d: table[%d]=%d, query %d",
+									incremental, n, period, pi, i, k, got[k], buf[k])
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPairTableRepeatable: rebuilding the table from the same prepared
+// index yields the identical layout (Start and Cand byte-for-byte) —
+// the property that makes rotation probes and dirty-replay rescans safe
+// to serve from one build.
+func TestPairTableRepeatable(t *testing.T) {
+	r := rng.New(0x7ab1e2)
+	w := randomWorld(r.Split(), 400, 0.3)
+	s := broadphase.NewShardedSweep(true)
+	s.SetPool(parexec.NewPool(4))
+	s.Prepare(w)
+	first := s.PrepareTable()
+	start := append([]int32(nil), first.Start...)
+	cand := append([]int32(nil), first.Cand...)
+	for trial := 0; trial < 3; trial++ {
+		tab := s.PrepareTable()
+		if len(tab.Start) != len(start) || len(tab.Cand) != len(cand) {
+			t.Fatalf("trial %d: table shape changed: %d/%d vs %d/%d",
+				trial, len(tab.Start), len(tab.Cand), len(start), len(cand))
+		}
+		for i := range start {
+			if tab.Start[i] != start[i] {
+				t.Fatalf("trial %d: Start[%d] = %d, want %d", trial, i, tab.Start[i], start[i])
+			}
+		}
+		for i := range cand {
+			if tab.Cand[i] != cand[i] {
+				t.Fatalf("trial %d: Cand[%d] = %d, want %d", trial, i, tab.Cand[i], cand[i])
+			}
+		}
+	}
+}
+
+// TestShardedRepairOrderInvariant: the sharded (run-partitioned)
+// incremental repair must produce candidate sets identical to the
+// serial incremental sweep's — and identical update statistics at
+// every worker count.
+func TestShardedRepairOrderInvariant(t *testing.T) {
+	r := rng.New(0x5eed5)
+	w := randomWorld(r.Split(), 500, 0.3)
+	serial := broadphase.NewIncrementalSweep()
+	pools := []*parexec.Pool{parexec.NewPool(1), parexec.NewPool(3), parexec.NewPool(8)}
+	sharded := make([]*broadphase.Sweep, len(pools))
+	for i, p := range pools {
+		sharded[i] = broadphase.NewShardedSweep(true)
+		sharded[i].SetPool(p)
+	}
+	var bufS, bufP []int32
+	var stats []broadphase.UpdateStats
+	for period := 0; period < 40; period++ {
+		advancePeriod(r, w, period)
+		serial.Prepare(w)
+		for i := range sharded {
+			sharded[i].Prepare(w)
+		}
+		for i := range w.Aircraft {
+			bufS = serial.AppendCandidates(bufS[:0], w, &w.Aircraft[i])
+			for si := range sharded {
+				bufP = sharded[si].AppendCandidates(bufP[:0], w, &w.Aircraft[i])
+				if len(bufS) != len(bufP) {
+					t.Fatalf("period %d pool %d track %d: %d candidates vs serial %d",
+						period, si, i, len(bufP), len(bufS))
+				}
+				for k := range bufS {
+					if bufS[k] != bufP[k] {
+						t.Fatalf("period %d pool %d track %d: candidate[%d] = %d, serial %d",
+							period, si, i, k, bufP[k], bufS[k])
+					}
+				}
+			}
+		}
+	}
+	for i := range sharded {
+		stats = append(stats, sharded[i].TakeUpdateStats())
+	}
+	for i := 1; i < len(stats); i++ {
+		if stats[i] != stats[0] {
+			t.Fatalf("update stats vary with workers: pool %d %+v vs pool 0 %+v", i, stats[i], stats[0])
+		}
+	}
+}

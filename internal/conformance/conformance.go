@@ -49,6 +49,9 @@ type Lane struct {
 	// Coherent selects the temporal-coherence incremental broad phase
 	// (meaningful with PairSource "sweep").
 	Coherent bool
+	// Sharded selects the worker-parallel table broad phase with the
+	// batched pair kernel (meaningful with PairSource "sweep").
+	Sharded bool
 	// Workers pins the host worker pool (0 = process default).
 	Workers int
 }
@@ -60,6 +63,9 @@ func (l Lane) String() string {
 	}
 	if l.Coherent {
 		src += "+coherent"
+	}
+	if l.Sharded {
+		src += "+parshard"
 	}
 	return fmt.Sprintf("%s/w%d", src, l.Workers)
 }
@@ -113,6 +119,7 @@ func Run(rs RunSpec) Fingerprint {
 		Scenario:    rs.Scenario,
 		PairSource:  rs.Lane.PairSource,
 		Incremental: rs.Lane.Coherent,
+		ParShard:    rs.Lane.Sharded,
 	})
 	worldH := sha256.New()
 	buf := make([]byte, 0, rs.N*aircraftBytes)
@@ -219,10 +226,17 @@ func AllPlatforms() []string {
 
 // WorkerLanes is the acceptance worker matrix over one pair source.
 func WorkerLanes(pairSource string, coherent bool) []Lane {
+	return ShardedWorkerLanes(pairSource, coherent, false)
+}
+
+// ShardedWorkerLanes is WorkerLanes with the sharded table mode
+// selectable, so the acceptance matrix folds the worker-parallel broad
+// phase into the same worker-invariance relations.
+func ShardedWorkerLanes(pairSource string, coherent, sharded bool) []Lane {
 	return []Lane{
-		{PairSource: pairSource, Coherent: coherent, Workers: 1},
-		{PairSource: pairSource, Coherent: coherent, Workers: 3},
-		{PairSource: pairSource, Coherent: coherent, Workers: 8},
+		{PairSource: pairSource, Coherent: coherent, Sharded: sharded, Workers: 1},
+		{PairSource: pairSource, Coherent: coherent, Sharded: sharded, Workers: 3},
+		{PairSource: pairSource, Coherent: coherent, Sharded: sharded, Workers: 8},
 	}
 }
 

@@ -95,13 +95,22 @@ func TestConformance(t *testing.T) {
 				}
 
 				// The coherent sweep must be bit-identical to the rebuild
-				// sweep, modeled times included.
+				// sweep, modeled times included — and the sharded table
+				// mode bit-identical to both, with coherence on or off, at
+				// every worker count.
 				for _, w := range workers {
 					rebuild := runLane(fam, plat, Lane{PairSource: "sweep", Workers: w})
 					coherent := runLane(fam, plat, Lane{PairSource: "sweep", Coherent: true, Workers: w})
 					if coherent.Full != rebuild.Full {
 						t.Errorf("%s sweep+coherent/w%d: full fingerprint diverged from the rebuild sweep\n  rebuild  %s\n  coherent %s",
 							plat, w, rebuild.Full[:16], coherent.Full[:16])
+					}
+					for _, coh := range []bool{false, true} {
+						lane := Lane{PairSource: "sweep", Coherent: coh, Sharded: true, Workers: w}
+						if fp := runLane(fam, plat, lane); fp.Full != rebuild.Full {
+							t.Errorf("%s %s: full fingerprint diverged from the rebuild sweep\n  rebuild %s\n  sharded %s",
+								plat, lane, rebuild.Full[:16], fp.Full[:16])
+						}
 					}
 				}
 			}

@@ -58,6 +58,15 @@ type Config struct {
 	// bit-identical to the rebuild mode; only host time changes.
 	// Sources other than "sweep" accept and ignore the flag.
 	Incremental bool
+	// ParShard turns on the worker-parallel sharded broad phase: the
+	// sweep source materializes every track's candidate set in one
+	// parallel walk of its sorted order per Tasks 2-3 invocation, and
+	// the executors feed the fused pair kernel from that table in
+	// branch-free batches of 8. Results are bit-identical to every other
+	// mode at every worker count; only host time changes. Sources other
+	// than "sweep" accept and ignore the flag. Composes freely with
+	// Incremental.
+	ParShard bool
 }
 
 func (c Config) noise() float64 {
@@ -78,13 +87,15 @@ type System struct {
 	period                      int // global period counter
 	recorder                    *replay.Recorder
 	rec                         *telemetry.Recorder
-	pairSrc                     broadphase.PairSource // as installed on the platform
-	counted                     *broadphase.Counted   // non-nil while telemetry is attached
-	maintainer                  broadphase.Maintainer // non-nil when the source runs incrementally
+	pairSrc                     broadphase.PairSource  // as installed on the platform
+	counted                     *broadphase.Counted    // non-nil while telemetry is attached
+	maintainer                  broadphase.Maintainer  // non-nil when the source runs incrementally
+	tableSrc                    broadphase.TableSource // non-nil when the source runs sharded
 	schedObs                    telemetry.SchedObserver
 	idBPQueries, idBPCandidates telemetry.NameID
 	idBPUpdates, idBPRebuilds   telemetry.NameID
 	idBPMoved, idBPResorted     telemetry.NameID
+	idBPSegments, idKBatches    telemetry.NameID
 }
 
 // SetRecorder attaches a replay recorder; every subsequent period is
@@ -130,6 +141,10 @@ func (s *System) SetTelemetry(rec *telemetry.Recorder) {
 				s.idBPMoved = rec.Intern(telemetry.NameBroadphaseMoved)
 				s.idBPResorted = rec.Intern(telemetry.NameBroadphaseResorted)
 			}
+			if s.tableSrc != nil {
+				s.idBPSegments = rec.Intern(telemetry.NameBroadphaseSegments)
+				s.idKBatches = rec.Intern(telemetry.NameKernelBatches)
+			}
 		}
 	}
 	rec.Meta("platform", s.Platform.Name())
@@ -141,6 +156,9 @@ func (s *System) SetTelemetry(rec *telemetry.Recorder) {
 	}
 	if s.cfg.Incremental {
 		rec.Meta("coherent", "true")
+	}
+	if s.cfg.ParShard {
+		rec.Meta("parshard", "true")
 	}
 	rec.Meta("n", fmt.Sprintf("%d", s.World.N()))
 	rec.Meta("seed", fmt.Sprintf("%d", s.cfg.Seed))
@@ -174,6 +192,7 @@ func NewSystem(p platform.Platform, cfg Config) *System {
 		tracker:    sched.NewTracker(cfg.PeriodDur),
 		pairSrc:    src,
 		maintainer: broadphase.MaintainerOf(src),
+		tableSrc:   broadphase.TableOf(src),
 	}
 }
 
@@ -192,6 +211,7 @@ func NewSystemWithWorld(p platform.Platform, w *airspace.World, cfg Config) *Sys
 		tracker:    sched.NewTracker(cfg.PeriodDur),
 		pairSrc:    src,
 		maintainer: broadphase.MaintainerOf(src),
+		tableSrc:   broadphase.TableOf(src),
 	}
 }
 
@@ -203,7 +223,7 @@ func applyPairSource(p platform.Platform, cfg Config) broadphase.PairSource {
 	if cfg.PairSource == "" {
 		return nil
 	}
-	src, err := broadphase.NewWith(cfg.PairSource, broadphase.Options{Incremental: cfg.Incremental})
+	src, err := broadphase.NewWith(cfg.PairSource, broadphase.Options{Incremental: cfg.Incremental, Sharded: cfg.ParShard})
 	if err != nil {
 		panic(fmt.Sprintf("core: %v", err))
 	}
@@ -247,6 +267,13 @@ func (s *System) RunPeriod() {
 					s.rec.Counter(s.idBPRebuilds, u.Rebuilds)
 					s.rec.Counter(s.idBPMoved, u.Moved)
 					s.rec.Counter(s.idBPResorted, u.Resorted)
+				}
+			}
+			if s.tableSrc != nil {
+				segments, batches := s.tableSrc.TakeShardStats()
+				if segments != 0 || batches != 0 {
+					s.rec.Counter(s.idBPSegments, segments)
+					s.rec.Counter(s.idKBatches, batches)
 				}
 			}
 		}

@@ -53,6 +53,10 @@ type RunParams struct {
 	// Coherent asks for the temporal-coherence incremental broad phase
 	// (-coherent). It is only meaningful with a pair source configured.
 	Coherent bool
+	// ParShard asks for the worker-parallel sharded broad phase with the
+	// batched pair kernel (-parshard). It is only meaningful with a pair
+	// source configured.
+	ParShard bool
 }
 
 // Validate checks every knob and returns a *ValidationError describing
@@ -89,6 +93,9 @@ func (p RunParams) Validate() error {
 	}
 	if p.Coherent && p.PairSource == "" {
 		return validationErrorf("-coherent needs a pair source (-pairsource; \"sweep\" runs incrementally, others ignore the flag)")
+	}
+	if p.ParShard && p.PairSource == "" {
+		return validationErrorf("-parshard needs a pair source (-pairsource; \"sweep\" runs sharded, others ignore the flag)")
 	}
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/airspace"
 	"repro/internal/broadphase"
 	"repro/internal/geom"
+	"repro/internal/parexec"
 	"repro/internal/radar"
 	"repro/internal/tasks"
 )
@@ -62,8 +63,13 @@ type deviceState struct {
 	resolved     []int32
 
 	// src, when set, prunes the pair scan to its candidate sets; the
-	// all-pairs kernel of the paper is the src == nil path.
+	// all-pairs kernel of the paper is the src == nil path. tab, set
+	// when src has the sharded table mode, holds the candidate table
+	// built once per launch sequence; every probe then serves from it
+	// bit-identically (candidate sets depend only on positions and
+	// speeds, and resolution only rotates courses).
 	src broadphase.PairSource
+	tab *broadphase.PairTable
 
 	// candBufs are per-host-worker candidate buffers for the pruned
 	// scan, indexed by Thread.Worker.
@@ -127,6 +133,7 @@ func (e *Engine) resetState(w *airspace.World, f *radar.Frame) *deviceState {
 		s.radarCand = growInt32(s.radarCand, f.N())
 	}
 	s.src = nil
+	s.tab = nil
 	s.conflicts, s.rotations, s.resolvedCount, s.unresolvedCount, s.pairChecks = 0, 0, 0, 0, 0
 	return s
 }
@@ -444,6 +451,13 @@ func (e *Engine) prepareDetect(w *airspace.World, res *DetectResult) *deviceStat
 			e.src.Prepare(w)
 		}
 		s.src = e.src
+		// A sharded source additionally materializes the candidate
+		// table on the host workers; the modeled charge is unchanged
+		// (the launch below), as bit-identity requires.
+		if ts := broadphase.TableOf(e.src); ts != nil {
+			ts.SetPool(parexec.Resolve(e.dev.pool))
+			s.tab = ts.PrepareTable()
+		}
 		res.add(e.dev.Launch(name, n, func(t *Thread) {
 			t.Ops(opsIndexBuild)
 			t.Mem(16)
@@ -491,6 +505,10 @@ func (s *deviceState) scanSnapshot(t *Thread, i int, vx, vy float64) (earliest f
 	if s.src == nil {
 		for p := 0; p < s.snap.N(); p++ {
 			s.scanOne(&acc, i, p, vx, vy)
+		}
+	} else if s.tab != nil {
+		for _, p := range s.tab.Candidates(i) {
+			s.scanOne(&acc, i, int(p), vx, vy)
 		}
 	} else {
 		buf := &s.candBufs[t.Worker]

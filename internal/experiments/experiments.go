@@ -689,6 +689,70 @@ func CoherenceTable(cfg Config) (*trace.Dataset, error) {
 	return d, nil
 }
 
+// ParShardTable — the worker-parallel broad-phase ablation behind
+// results/parshard.csv: host wall time of one fused Tasks 2+3 pass with
+// the sharded table mode (-parshard: worker-parallel table build plus
+// the branch-free batched pair kernel) across aircraft counts, worker
+// counts and coherence modes. Results are bit-identical to the scalar
+// sweep in every cell (see the conformance matrix); the table measures
+// only what the mode buys the host, alongside the shard telemetry —
+// table-build segments and batched-kernel iterations per pass, both of
+// which are exact, reproducible, and identical at every worker count.
+//
+// Wall times are host measurements and vary run to run (and worker
+// counts above the host's core count buy nothing); the segment and
+// batch counts are the reproducible part.
+//
+// This experiment is not part of atmbench's default run; invoke it
+// with -table parshard.
+func ParShardTable(cfg Config) (*trace.Dataset, error) {
+	d := &trace.Dataset{
+		ID:     "parshard",
+		Title:  "Worker-parallel broad phase + batched kernel: wall ms and shard counters per detection pass",
+		XLabel: "aircraft",
+		YLabel: "value",
+	}
+	ns := []int{1000, 4000, 10000}
+	iters := 8
+	if cfg.Quick {
+		ns = []int{300, 600}
+		iters = 2
+	}
+	for _, n := range ns {
+		for _, workers := range []int{1, 8} {
+			pool := parexec.NewPool(workers)
+			for _, coh := range []bool{false, true} {
+				src := broadphase.NewShardedSweep(coh)
+				w := airspace.NewWorld(n, rng.New(cfg.Seed))
+				tasks.DetectResolveExec(w, src, pool) // warm scratch, table and sorted order
+				src.TakeShardStats()                  // exclude the warm-up pass from the counters
+				var wall time.Duration
+				for it := 0; it < iters; it++ {
+					for i := range w.Aircraft {
+						a := &w.Aircraft[i]
+						a.X += a.DX
+						a.Y += a.DY
+						airspace.Wrap(a)
+					}
+					start := time.Now()
+					tasks.DetectResolveExec(w, src, pool)
+					wall += time.Since(start)
+				}
+				segments, batches := src.TakeShardStats()
+				mode := "rebuild"
+				if coh {
+					mode = "coherent"
+				}
+				tag := fmt.Sprintf("%s:w%d", mode, workers)
+				d.Add("ms:"+tag, float64(n), wall.Seconds()*1000/float64(iters))
+				d.Add("segments:"+tag, float64(n), float64(segments)/float64(iters))
+				d.Add("batches:"+tag, float64(n), float64(batches)/float64(iters))
+			}
+		}
+	}
+	return d, nil
+}
+
 // MeasurementDuration is a tiny helper for callers formatting results.
 func MeasurementDuration(s float64) time.Duration {
 	return time.Duration(s * float64(time.Second))

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/platform"
+	"repro/internal/trace"
 )
 
 // quick is the test configuration: trimmed sweeps, one major cycle.
@@ -409,6 +410,50 @@ func TestCoherenceTable(t *testing.T) {
 			for _, p := range s.Points {
 				if p.Y > 0.5 {
 					t.Errorf("%s at n=%v: %v allocs per pass", s.Label, p.X, p.Y)
+				}
+			}
+		}
+	}
+}
+
+func TestParShardTable(t *testing.T) {
+	d, err := ParShardTable(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ID != "parshard" {
+		t.Fatalf("dataset id %q", d.ID)
+	}
+	// Every (mode, workers) cell reports wall times plus the shard
+	// counters. Wall times are host noise, so the test asserts shape —
+	// and the worker-invariance of the counters, which are exact.
+	for _, mode := range []string{"rebuild", "coherent"} {
+		var seg1, bat1 *trace.Series
+		for _, w := range []string{"w1", "w8"} {
+			tag := mode + ":" + w
+			ms := d.Get("ms:" + tag)
+			if ms == nil || len(ms.Points) == 0 {
+				t.Fatalf("missing wall-time series for %s: %+v", tag, d.Series)
+			}
+			seg := d.Get("segments:" + tag)
+			bat := d.Get("batches:" + tag)
+			if seg == nil || bat == nil {
+				t.Fatalf("missing shard-counter series for %s", tag)
+			}
+			for i := range seg.Points {
+				if seg.Points[i].Y <= 0 || bat.Points[i].Y <= 0 {
+					t.Errorf("%s at n=%v: segments %v batches %v, want positive",
+						tag, seg.Points[i].X, seg.Points[i].Y, bat.Points[i].Y)
+				}
+			}
+			if w == "w1" {
+				seg1, bat1 = seg, bat
+				continue
+			}
+			for i := range seg.Points {
+				if seg.Points[i].Y != seg1.Points[i].Y || bat.Points[i].Y != bat1.Points[i].Y {
+					t.Errorf("%s at n=%v: counters diverge from w1 (segments %v vs %v, batches %v vs %v)",
+						tag, seg.Points[i].X, seg.Points[i].Y, seg1.Points[i].Y, bat.Points[i].Y, bat1.Points[i].Y)
 				}
 			}
 		}

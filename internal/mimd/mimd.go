@@ -549,6 +549,16 @@ func (m *Machine) DetectResolve(w *airspace.World) (tasks.DetectStats, time.Dura
 		m.markPhase(tally, name, 0)
 	}
 
+	// A sharded source additionally materializes the candidate table on
+	// the host pool; scans then serve from it bit-identically (candidate
+	// sets depend only on positions and speeds, which resolution's
+	// rotations preserve), with the same modeled charge.
+	var tab *broadphase.PairTable
+	if ts := broadphase.TableOf(m.src); ts != nil {
+		ts.SetPool(parexec.Resolve(m.pool))
+		tab = ts.PrepareTable()
+	}
+
 	var conflicts, rotations, resolvedCount, unresolvedCount, pairChecks uint64
 	scanOne := func(i, p int, vx, vy float64, checks *uint64, ops *uint64,
 		earliest *float64, with *int32) {
@@ -571,6 +581,10 @@ func (m *Machine) DetectResolve(w *airspace.World) (tasks.DetectStats, time.Dura
 		if m.src == nil {
 			for p := 0; p < n; p++ {
 				scanOne(i, p, vx, vy, &checks, ops, &earliest, &with)
+			}
+		} else if tab != nil {
+			for _, p := range tab.Candidates(i) {
+				scanOne(i, int(p), vx, vy, &checks, ops, &earliest, &with)
 			}
 		} else {
 			buf := &scr.bufs[core]

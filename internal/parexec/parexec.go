@@ -42,8 +42,26 @@ type Pool struct {
 	cursor atomic.Int64
 	limit  int64
 	grain  int64
-	body   func(worker, lo, hi int)
+	body   Body
 }
+
+// Body is the chunk executor RunBody dispatches: Chunk is called once
+// per claimed chunk, under exactly the contract Run documents for its
+// closure form. Implementing Body on a persistent job struct (typically
+// held in pooled scratch) lets hot paths dispatch parallel work with
+// zero allocations: a pointer-to-struct converts to the interface
+// without boxing, whereas a closure that captures state allocates at
+// every call site.
+type Body interface {
+	Chunk(worker, lo, hi int)
+}
+
+// funcBody adapts Run's closure form to Body. A func value is already
+// pointer-shaped, so the interface conversion does not allocate.
+type funcBody func(worker, lo, hi int)
+
+//atm:noalloc
+func (f funcBody) Chunk(worker, lo, hi int) { f(worker, lo, hi) }
 
 // NewPool returns a pool with the given number of workers; workers <= 0
 // means runtime.GOMAXPROCS(0).
@@ -77,8 +95,19 @@ func (p *Pool) Workers() int { return p.workers }
 // goroutines.
 //
 //atm:noalloc
-//atm:ordered-merge
 func (p *Pool) Run(n, grain int, body func(worker, lo, hi int)) {
+	p.RunBody(n, grain, funcBody(body))
+}
+
+// RunBody is Run with the body passed as a Body value instead of a
+// closure. Semantics, chunking and the deterministic-merge contract are
+// identical; the interface form exists so steady-state hot paths can
+// reuse a persistent job struct and keep parallel dispatch free of the
+// per-call closure allocation.
+//
+//atm:noalloc
+//atm:ordered-merge
+func (p *Pool) RunBody(n, grain int, body Body) {
 	if n <= 0 {
 		return
 	}
@@ -91,7 +120,7 @@ func (p *Pool) Run(n, grain int, body func(worker, lo, hi int)) {
 			if hi > n {
 				hi = n
 			}
-			body(0, lo, hi)
+			body.Chunk(0, lo, hi)
 		}
 		return
 	}
@@ -152,7 +181,7 @@ func (p *Pool) drain(worker int) {
 		if hi > limit {
 			hi = limit
 		}
-		p.body(worker, int(lo), int(hi))
+		p.body.Chunk(worker, int(lo), int(hi))
 	}
 }
 

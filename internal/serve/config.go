@@ -47,6 +47,11 @@ type RunRequest struct {
 	// mode — the flag is still part of the run identity because it
 	// changes the telemetry export (span names, maintenance counters).
 	Coherent bool `json:"coherent,omitempty"`
+	// ParShard turns on the worker-parallel sharded broad phase with the
+	// batched pair kernel (needs a pair source). Results are
+	// bit-identical; the flag is part of the run identity because it
+	// changes the telemetry export (shard counters, parshard meta).
+	ParShard bool `json:"parshard,omitempty"`
 	// Scenario selects the traffic workload as a scenario spec string
 	// ("circle:radius=50", see internal/scenario); empty keeps the
 	// paper's uniform setup.
@@ -70,6 +75,7 @@ type RunConfig struct {
 	Periods    int    `json:"periods"`
 	PairSource string `json:"pair_source,omitempty"`
 	Coherent   bool   `json:"coherent,omitempty"`
+	ParShard   bool   `json:"parshard,omitempty"`
 	Scenario   string `json:"scenario,omitempty"`
 	Detail     string `json:"detail"`
 	Telemetry  string `json:"telemetry,omitempty"`
@@ -86,6 +92,7 @@ func (r RunRequest) Canonicalize() (RunConfig, error) {
 		Periods:    r.Periods,
 		PairSource: r.PairSource,
 		Coherent:   r.Coherent,
+		ParShard:   r.ParShard,
 		Scenario:   r.Scenario,
 		Detail:     r.Detail,
 		Telemetry:  r.Telemetry,
@@ -112,6 +119,7 @@ func (r RunRequest) Canonicalize() (RunConfig, error) {
 		Workers:    0, // host workers are a server setting, not part of the run identity
 		PairSource: cfg.PairSource,
 		Coherent:   cfg.Coherent,
+		ParShard:   cfg.ParShard,
 		Scenario:   cfg.Scenario,
 	}
 	if err := params.Validate(); err != nil {
@@ -141,8 +149,8 @@ func (r RunRequest) Canonicalize() (RunConfig, error) {
 // (worker count, queue position, cache state) are deliberately absent:
 // they change wall-clock speed only, never the answer.
 func (c RunConfig) Key() string {
-	return fmt.Sprintf("platform=%s&n=%d&seed=%d&periods=%d&pairsource=%s&coherent=%t&scenario=%s&detail=%s&telemetry=%s",
-		c.Platform, c.N, c.Seed, c.Periods, c.PairSource, c.Coherent, c.Scenario, c.Detail, c.Telemetry)
+	return fmt.Sprintf("platform=%s&n=%d&seed=%d&periods=%d&pairsource=%s&coherent=%t&parshard=%t&scenario=%s&detail=%s&telemetry=%s",
+		c.Platform, c.N, c.Seed, c.Periods, c.PairSource, c.Coherent, c.ParShard, c.Scenario, c.Detail, c.Telemetry)
 }
 
 // Hash returns the short content hash of the canonical key, used as
@@ -193,6 +201,13 @@ func requestFromQuery(q url.Values) (RunRequest, error) {
 			return RunRequest{}, &core.ValidationError{Msg: fmt.Sprintf("bad coherent %q: %v", s, err)}
 		}
 		req.Coherent = v
+	}
+	if s := q.Get("parshard"); s != "" {
+		v, err := strconv.ParseBool(s)
+		if err != nil {
+			return RunRequest{}, &core.ValidationError{Msg: fmt.Sprintf("bad parshard %q: %v", s, err)}
+		}
+		req.ParShard = v
 	}
 	var err error
 	if req.N, err = intParam(q, "n"); err != nil {

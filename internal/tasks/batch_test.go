@@ -1,0 +1,108 @@
+package tasks
+
+import (
+	"testing"
+
+	"repro/internal/airspace"
+	"repro/internal/broadphase"
+	"repro/internal/parexec"
+	"repro/internal/rng"
+	"repro/internal/scenario"
+)
+
+// TestBatchedKernelMatchesScalar is the batched-vs-scalar differential:
+// across randomized scenario families, the sharded table path — the
+// worker-parallel broad phase feeding the branch-free 8-wide kernel —
+// must produce worlds and stats identical to the scalar sweep kernel,
+// with incremental repair on or off, at every worker count, through
+// several consecutive detection rounds (so commits made by one round
+// feed the next, exercising table reuse against a repaired index).
+func TestBatchedKernelMatchesScalar(t *testing.T) {
+	families := []string{
+		"uniform",
+		"circle:radius=12,speed=500",
+		"burst:interval=30",
+		"streams",
+		"dense",
+		"layers:gap=800",
+	}
+	serial := parexec.NewPool(1)
+	pools := []*parexec.Pool{parexec.NewPool(1), parexec.NewPool(3), parexec.NewPool(8)}
+	const rounds = 3
+
+	for fi, fam := range families {
+		spec, err := scenario.ParseSpec(fam)
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		for trial := 0; trial < 3; trial++ {
+			n := 160 + (fi*97+trial*53)%240
+			if err := spec.Validate(n); err != nil {
+				t.Fatalf("%s n=%d: %v", fam, n, err)
+			}
+			seed := uint64(9000 + 31*fi + trial)
+			base := spec.Generate(n, rng.New(seed))
+
+			// One scalar reference chain and one sharded chain per
+			// configuration, advanced in lockstep round by round.
+			type chain struct {
+				label string
+				w     *airspace.World
+				src   broadphase.PairSource
+				pool  *parexec.Pool
+			}
+			ref := chain{label: "scalar", w: base.Clone(), src: broadphase.NewSweep(), pool: serial}
+			var got []chain
+			for _, inc := range []bool{false, true} {
+				for _, p := range pools {
+					lbl := "sharded"
+					if inc {
+						lbl = "sharded+coherent"
+					}
+					got = append(got, chain{
+						label: lbl + "/w" + itoa(p.Workers()),
+						w:     base.Clone(),
+						src:   broadphase.NewShardedSweep(inc),
+						pool:  p,
+					})
+				}
+			}
+
+			for round := 0; round < rounds; round++ {
+				tag := func(c chain, task string) string {
+					return fam + " trial " + itoa(trial) + " round " + itoa(round) + " " + task + " " + c.label
+				}
+				// Detection alone on forks, so the fused task below sees
+				// identical inputs on every chain.
+				detW := ref.w.Clone()
+				detRef := DetectExec(detW, ref.src, ref.pool)
+				resRef := DetectResolveExec(ref.w, ref.src, ref.pool)
+				for _, c := range got {
+					dw := c.w.Clone()
+					if det := DetectExec(dw, c.src, c.pool); det != detRef {
+						t.Fatalf("%s: stats diverged:\nscalar:  %+v\nsharded: %+v", tag(c, "Detect"), detRef, det)
+					}
+					worldsEqual(t, tag(c, "Detect"), detW, dw)
+					if res := DetectResolveExec(c.w, c.src, c.pool); res != resRef {
+						t.Fatalf("%s: stats diverged:\nscalar:  %+v\nsharded: %+v", tag(c, "DetectResolve"), resRef, res)
+					}
+					worldsEqual(t, tag(c, "DetectResolve"), ref.w, c.w)
+				}
+				// Fly the committed courses so the next round's index — and
+				// the incremental chains' repairs — see moved traffic.
+				advance := func(w *airspace.World) {
+					for i := range w.Aircraft {
+						a := &w.Aircraft[i]
+						a.X += a.DX
+						a.Y += a.DY
+						airspace.Wrap(a)
+					}
+				}
+				advance(ref.w)
+				for _, c := range got {
+					advance(c.w)
+				}
+			}
+		}
+	}
+}

@@ -47,6 +47,12 @@ var noallocContract = map[string]noallocSpec{
 	"scanColsPar":          {closures: 1}, // the fanned-out pair scan body
 	"detectCols":           {closures: 1}, // the parallel scan phase
 	"detectResolveCols":    {closures: 1}, // the parallel scan phase
+	// Sharded (table-mode) path, batch.go: the batched kernel and its
+	// consumers. Chunk is tableScanJob's parallel scan body.
+	"scanTableBatch":        {decl: true},
+	"scanTableOne":          {decl: true},
+	"resolveOneSerialTable": {decl: true},
+	"Chunk":                 {decl: true},
 }
 
 // TestNoallocManifestMatchesDirectives parses this package's sources

@@ -71,12 +71,14 @@ const (
 var rotationSchedule = RotationSchedule()
 
 // scanResult is one track's scan outcome: the earliest conflict start,
-// the partner that achieved it (first-wins on ties), and the number of
-// pair checks performed.
+// the partner that achieved it (first-wins on ties), the number of pair
+// checks performed, and — on the batched-kernel path — the number of
+// 8-wide batch iterations executed (tail included).
 type scanResult struct {
-	tmin   float64
-	with   int32
-	checks int32
+	tmin    float64
+	with    int32
+	checks  int32
+	batches int32
 }
 
 // workerBuf is one worker's candidate buffer, padded so neighbouring
@@ -97,6 +99,9 @@ type detectScratch struct {
 	// cols is the column snapshot used by the coherent (SoA) scan path
 	// in soa.go; the record path never touches it.
 	cols airspace.Columns
+	// tjob is the sharded path's persistent scan body (batch.go), held
+	// here so its RunBody dispatch allocates nothing.
+	tjob tableScanJob
 }
 
 var detectScratchPool sync.Pool
@@ -232,6 +237,9 @@ func scanPar(w *airspace.World, track *airspace.Aircraft, vx, vy float64, src br
 //atm:ordered-merge
 func DetectExec(w *airspace.World, src broadphase.PairSource, pool *parexec.Pool) DetectStats {
 	p := parexec.Resolve(pool)
+	if ts := broadphase.TableOf(src); ts != nil {
+		return detectTable(w, src, ts, p)
+	}
 	if m := colsMaintainer(src); m != nil {
 		return detectCols(w, src, m, p)
 	}
@@ -289,6 +297,9 @@ func DetectExec(w *airspace.World, src broadphase.PairSource, pool *parexec.Pool
 //atm:ordered-merge
 func DetectResolveExec(w *airspace.World, src broadphase.PairSource, pool *parexec.Pool) DetectStats {
 	p := parexec.Resolve(pool)
+	if ts := broadphase.TableOf(src); ts != nil {
+		return detectResolveTable(w, src, ts, p)
+	}
 	if m := colsMaintainer(src); m != nil {
 		return detectResolveCols(w, src, m, p)
 	}

@@ -15,14 +15,26 @@ import (
 // NewWith options, not a separate source).
 const incrementalSweepName = "incremental-sweep"
 
+// shardedSweepName and shardedIncrementalSweepName select the
+// worker-parallel table broad phase (rebuild and coherent flavors) in
+// test tables; like incrementalSweepName they are not registry names.
+const (
+	shardedSweepName            = "sharded-sweep"
+	shardedIncrementalSweepName = "sharded-incremental-sweep"
+)
+
 // newTestSource builds a fresh pair source for a registry name, or nil
 // for the all-pairs scan.
 func newTestSource(name string) broadphase.PairSource {
-	if name == "" {
+	switch name {
+	case "":
 		return nil
-	}
-	if name == incrementalSweepName {
+	case incrementalSweepName:
 		return broadphase.NewIncrementalSweep()
+	case shardedSweepName:
+		return broadphase.NewShardedSweep(false)
+	case shardedIncrementalSweepName:
+		return broadphase.NewShardedSweep(true)
 	}
 	return broadphase.MustNew(name)
 }
@@ -57,7 +69,8 @@ func framesEqual(t *testing.T, label string, want, got *radar.Frame) {
 // reference. Worker count 1 is the reference itself; the others
 // exercise the phased parallel paths.
 func TestParallelMatchesSerial(t *testing.T) {
-	sources := []string{"", broadphase.BruteName, broadphase.GridName, broadphase.SweepName, incrementalSweepName}
+	sources := []string{"", broadphase.BruteName, broadphase.GridName, broadphase.SweepName,
+		incrementalSweepName, shardedSweepName, shardedIncrementalSweepName}
 	serial := parexec.NewPool(1)
 	pools := []*parexec.Pool{parexec.NewPool(2), parexec.NewPool(3), parexec.NewPool(8)}
 
@@ -201,7 +214,8 @@ func TestExecZeroAllocSteadyState(t *testing.T) {
 		if workers > 1 {
 			limit = 12
 		}
-		for _, srcName := range []string{"", broadphase.GridName, broadphase.SweepName, incrementalSweepName} {
+		for _, srcName := range []string{"", broadphase.GridName, broadphase.SweepName,
+			incrementalSweepName, shardedSweepName, shardedIncrementalSweepName} {
 			src := newTestSource(srcName)
 			w := base.Clone()
 			f := frame.Clone()

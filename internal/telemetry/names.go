@@ -40,6 +40,15 @@ const (
 	NameBroadphaseMoved    = "broadphase.moved"
 	NameBroadphaseResorted = "broadphase.resorted"
 
+	// Sharded broad-phase counters, drained by core after each Tasks 2-3
+	// run when the worker-parallel table mode (-parshard) is on:
+	// NameBroadphaseSegments counts table-build segments walked,
+	// NameKernelBatches the 8-wide batched-kernel iterations consumers
+	// executed against the table. Both are invariant across worker
+	// counts, like every result the mode produces.
+	NameBroadphaseSegments = "broadphase.segments"
+	NameKernelBatches      = "kernel.batches"
+
 	// NameServeRun spans one whole served simulation (internal/serve):
 	// it starts at the schedule origin and covers the run's virtual
 	// elapsed time, so service-side exports carry the request envelope

@@ -583,6 +583,16 @@ func (m *Machine) DetectResolve(w *airspace.World) (tasks.DetectStats, time.Dura
 		})
 	}
 
+	// A sharded source additionally materializes the candidate table on
+	// the host pool; the gather scans then serve from it bit-identically
+	// (candidate sets depend only on positions and speeds, which
+	// resolution's rotations preserve), with the same modeled charge.
+	var tab *broadphase.PairTable
+	if ts := broadphase.TableOf(m.src); ts != nil {
+		ts.SetPool(parexec.Resolve(m.pool))
+		tab = ts.PrepareTable()
+	}
+
 	var conflicts, rotations, resolvedCount, unresolvedCount, pairChecks int64
 
 	// scanLane folds one trial record into the running minimum.
@@ -625,9 +635,14 @@ func (m *Machine) DetectResolve(w *airspace.World) (tasks.DetectStats, time.Dura
 				}
 			}
 		} else {
-			buf := &m.bufs[core]
-			buf.cand = m.src.AppendCandidates(buf.cand[:0], w, &w.Aircraft[i])
-			cand := buf.cand
+			var cand []int32
+			if tab != nil {
+				cand = tab.Candidates(i)
+			} else {
+				buf := &m.bufs[core]
+				buf.cand = m.src.AppendCandidates(buf.cand[:0], w, &w.Aircraft[i])
+				cand = buf.cand
+			}
 			for base := 0; base < len(cand); base += Lanes {
 				end := base + Lanes
 				if end > len(cand) {

@@ -15,23 +15,28 @@
 #   scripts/benchdiff.sh snapshot [out.json]
 # runs the hot benchmarks on the current tree only and writes a
 # machine-readable JSON snapshot (ns/op and allocs/op per benchmark,
-# plus the coherent-vs-rebuild improvement). BENCH_7.json in the repo
-# root is such a snapshot.
+# plus the coherent-vs-rebuild and parshard-vs-coherent improvements).
+# BENCH_7.json and BENCH_10.json in the repo root are such snapshots.
 #
 # Tunables: BENCH_PATTERN (regexp of benchmarks to run), BENCH_TIME
 # (per-benchmark time, default 1s), BENCH_COUNT (repetitions averaged
-# by the comparator, default 3).
+# by the comparator, default 3), BENCH_CPU (go test -cpu list, e.g.
+# "1,8" to gate both the serial and the fanned-out worker pool; empty
+# runs at the machine's GOMAXPROCS only). With several -cpu values the
+# comparator averages across them — base and head are measured the
+# same way, so the regression gate still compares like with like.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-PATTERN=${BENCH_PATTERN:-'^(BenchmarkCoherent_|BenchmarkReference_Task23$|BenchmarkBroadphase_Sweep_10000$|BenchmarkScenario_Generate_)'}
+PATTERN=${BENCH_PATTERN:-'^(BenchmarkCoherent_|BenchmarkParShard_|BenchmarkReference_Task23$|BenchmarkBroadphase_Sweep_10000$|BenchmarkScenario_Generate_)'}
 TIME=${BENCH_TIME:-1s}
 COUNT=${BENCH_COUNT:-3}
+CPU=${BENCH_CPU:-}
 MAX_TIME_REGRESS=${MAX_TIME_REGRESS:-5} # percent
 
 run_bench() { # run_bench <outfile>
-    go test -run '^$' -bench "$PATTERN" -benchtime "$TIME" -count "$COUNT" . | tee "$1"
+    go test -run '^$' -bench "$PATTERN" -benchtime "$TIME" -count "$COUNT" ${CPU:+-cpu "$CPU"} . | tee "$1"
 }
 
 # summarize <benchfile> <out.json> — average repetitions per benchmark
@@ -66,6 +71,11 @@ summarize() {
             if ((reb in seen) && (inc in seen)) {
                 r = ns[reb]/seen[reb]; c = ns[inc]/seen[inc]
                 printf ",\n  \"coherent_improvement_pct\": %.1f", (r - c) / r * 100
+            }
+            ps = "BenchmarkParShard_Task23_4000_W8"
+            if ((inc in seen) && (ps in seen)) {
+                c = ns[inc]/seen[inc]; p = ns[ps]/seen[ps]
+                printf ",\n  \"parshard_improvement_pct\": %.1f", (c - p) / c * 100
             }
             printf "\n}\n"
         }' "$1" > "$2"
@@ -111,7 +121,7 @@ tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
 if [[ "${1:-}" == "snapshot" ]]; then
-    out=${2:-BENCH_7.json}
+    out=${2:-BENCH_10.json}
     run_bench "$tmp/head.bench"
     summarize "$tmp/head.bench" "$out"
     echo "benchdiff: wrote $out"
@@ -129,7 +139,7 @@ run_bench "$tmp/head.bench"
 
 git worktree add --detach "$tmp/base" "$base_ref" >/dev/null
 trap 'git worktree remove --force "$tmp/base" >/dev/null 2>&1 || true; rm -rf "$tmp"' EXIT
-(cd "$tmp/base" && go test -run '^$' -bench "$PATTERN" -benchtime "$TIME" -count "$COUNT" . > "$tmp/base.bench") \
+(cd "$tmp/base" && go test -run '^$' -bench "$PATTERN" -benchtime "$TIME" -count "$COUNT" ${CPU:+-cpu "$CPU"} . > "$tmp/base.bench") \
     || { echo "benchdiff: baseline has no matching benchmarks; nothing to compare"; exit 0; }
 
 if command -v benchstat >/dev/null 2>&1; then
