@@ -1,0 +1,61 @@
+package broadphase_test
+
+import (
+	"testing"
+
+	"repro/internal/airspace"
+	"repro/internal/broadphase"
+)
+
+// mkWorld makes n aircraft at x = i*spacing, tiny speed.
+func mkWorld(n int, spacing float64) *airspace.World {
+	w := &airspace.World{Aircraft: make([]airspace.Aircraft, n)}
+	for i := range w.Aircraft {
+		a := &w.Aircraft[i]
+		a.ID = int32(i)
+		a.X = float64(i) * spacing
+		a.Y = 0
+		a.Alt = 10000
+		a.DX = 0.001
+		a.DY = 0
+	}
+	return w
+}
+
+// Teleport one aircraft far left across >1 repair block and a clean
+// boundary; compare sharded incremental candidates vs serial.
+func TestRepairRunBoundaryCrossing(t *testing.T) {
+	const n = 1536
+	w := mkWorld(n, 50)
+	serial := broadphase.NewIncrementalSweep()
+	sharded := broadphase.NewShardedSweep(true)
+	serial.Prepare(w)
+	sharded.Prepare(w)
+	// move aircraft 1100 (rank 1100, block 2) to x=5 (rank 0)
+	w.Aircraft[1100].X = 5
+	serial.Prepare(w)
+	sharded.Prepare(w)
+	var a, b []int32
+	for i := range w.Aircraft {
+		a = serial.AppendCandidates(a[:0], w, &w.Aircraft[i])
+		b = sharded.AppendCandidates(b[:0], w, &w.Aircraft[i])
+		if len(a) != len(b) {
+			t.Fatalf("track %d: serial %d candidates, sharded %d (a=%v b=%v)", i, len(a), len(b), a, b)
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				t.Fatalf("track %d: cand[%d] serial %d sharded %d", i, k, a[k], b[k])
+			}
+		}
+	}
+}
+
+// Grow the world so ceil(n/256) lands between len and cap of chunkBufs.
+func TestPrepareTableGrowPanic(t *testing.T) {
+	s := broadphase.NewShardedSweep(false)
+	for _, n := range []int{1024, 1280, 1536} {
+		w := mkWorld(n, 50)
+		s.Prepare(w)
+		s.PrepareTable()
+	}
+}
